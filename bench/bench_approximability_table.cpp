@@ -1,0 +1,148 @@
+// E10 -- the classical local approximability table of Section 1.4:
+//
+//   problem                  tight local factor       our PO algorithm
+//   minimum vertex cover     2                        complement-of-minima
+//                                                     via OI->PO (regular)
+//   minimum edge cover       2                        mark-first-edge
+//   minimum dominating set   Delta' + 1               take-all
+//   maximum matching         no constant factor       (collapses in PO)
+//   maximum independent set  no constant factor       (collapses in PO)
+//   minimum edge dom. set    4 - 2/Delta'             mark-first-edge
+//
+// Measured ratios of the PO upper-bound algorithms against exact optima,
+// plus the collapse of the maximisation problems on symmetric instances.
+
+#include <numeric>
+#include <random>
+
+#include "bench_common.hpp"
+#include "lapx/algorithms/oi.hpp"
+#include "lapx/algorithms/po.hpp"
+#include "lapx/core/simulate.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/problems/exact.hpp"
+#include "lapx/problems/problem.hpp"
+
+namespace {
+
+using namespace lapx;
+
+void print_tables() {
+  bench::print_header(
+      "E10: the approximability table, Section 1.4",
+      "VC: 2; EC: 2; DS: Delta'+1; EDS: 4-2/Delta'; MaxM/MaxIS: no constant");
+
+  std::mt19937_64 rng(10);
+  bench::print_row({"problem", "instance", "alg size", "OPT", "ratio",
+                    "tight bound"});
+
+  for (int d : {2, 4}) {
+    const int n = 16;
+    const graph::Graph g =
+        d == 2 ? graph::cycle(n) : graph::random_regular(n, d, rng);
+    const auto ld = graph::to_ldigraph(g);
+    const std::string inst =
+        (d == 2 ? "C16" : "4-regular n=16");
+
+    // Vertex cover: on regular graphs "all nodes" is a 2-approximation; we
+    // use the simulated complement-of-minima PO algorithm, which marks all
+    // nodes on symmetric instances and never fewer than that elsewhere.
+    {
+      const auto sol = problems::vertex_solution(
+          core::run_po(ld, algorithms::take_all_po(), 0));
+      const std::size_t opt = problems::min_vertex_cover_size(g);
+      bench::print_row({"min vertex cover", inst, std::to_string(sol.size()),
+                        std::to_string(opt),
+                        bench::fmt(static_cast<double>(sol.size()) / opt),
+                        "2"});
+    }
+    // Edge cover.
+    {
+      const auto sol = problems::edge_solution(
+          core::run_po_edges(ld, algorithms::mark_first_edge_po(), 1));
+      const std::size_t opt = problems::min_edge_cover_size(g);
+      const bool ok = problems::edge_cover().feasible(g, sol);
+      bench::print_row({"min edge cover", inst,
+                        std::to_string(sol.size()) + (ok ? "" : "(!)"),
+                        std::to_string(opt),
+                        bench::fmt(static_cast<double>(sol.size()) / opt),
+                        "2"});
+    }
+    // Dominating set.
+    {
+      const auto sol = problems::vertex_solution(
+          core::run_po(ld, algorithms::take_all_po(), 0));
+      const std::size_t opt = problems::min_dominating_set_size(g);
+      const int dprime = 2 * (d / 2);
+      bench::print_row({"min dominating set", inst,
+                        std::to_string(sol.size()), std::to_string(opt),
+                        bench::fmt(static_cast<double>(sol.size()) / opt),
+                        std::to_string(dprime + 1)});
+    }
+    // Edge dominating set.
+    {
+      const auto sol = problems::edge_solution(
+          core::run_po_edges(ld, algorithms::eds_mark_first_po(), 1));
+      const std::size_t opt = problems::min_edge_dominating_set_size(g);
+      const int dprime = 2 * (d / 2);
+      const bool ok = problems::edge_dominating_set().feasible(g, sol);
+      bench::print_row({"min edge dom. set", inst,
+                        std::to_string(sol.size()) + (ok ? "" : "(!)"),
+                        std::to_string(opt),
+                        bench::fmt(static_cast<double>(sol.size()) / opt),
+                        bench::fmt(4.0 - 2.0 / dprime, 2)});
+    }
+  }
+
+  // The maximisation problems collapse in PO on symmetric instances: any
+  // PO algorithm outputs a constant decision, so the solution is empty (or
+  // infeasible) -- no constant-factor approximation exists.
+  std::printf("\nMaximisation problems on the symmetric cycle C30:\n");
+  {
+    const auto g = graph::directed_cycle(30);
+    const auto ord = core::TStarOrder::abelian(1, 2);
+    const auto is_b = core::oi_to_po(algorithms::local_min_is_oi(), ord);
+    const auto is_out = core::run_po(g, is_b, 2);
+    std::size_t is_size = 0;
+    for (bool bit : is_out) is_size += bit;
+    bench::print_row({"max independent set", "C30 symmetric",
+                      std::to_string(is_size), "15",
+                      is_size == 0 ? "unbounded" : "?", "no constant"});
+    const auto m_b =
+        core::oi_to_po_edges(algorithms::greedy_matching_oi(1), ord);
+    const auto m_out = problems::edge_solution(core::run_po_edges(g, m_b, 2));
+    bench::print_row({"max matching", "C30 symmetric",
+                      std::to_string(m_out.size()), "15",
+                      m_out.size() == 0 ? "unbounded" : "?", "no constant"});
+  }
+  std::printf(
+      "  -> both simulated algorithms output the empty set on the symmetric\n"
+      "     instance: PO (hence, by the main theorem, local ID) algorithms\n"
+      "     cannot approximate the maximisation problems.\n");
+}
+
+void BM_ExactSolvers(benchmark::State& state) {
+  std::mt19937_64 rng(29);
+  const auto g = graph::random_regular(static_cast<int>(state.range(0)), 3,
+                                       rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problems::min_vertex_cover_size(g));
+    benchmark::DoNotOptimize(problems::min_dominating_set_size(g));
+  }
+}
+BENCHMARK(BM_ExactSolvers)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_PoAlgorithms(benchmark::State& state) {
+  std::mt19937_64 rng(31);
+  const auto g = graph::random_regular(256, 4, rng);
+  const auto ld = graph::to_ldigraph(g);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::run_po_edges(ld, algorithms::eds_mark_first_po(), 1));
+}
+BENCHMARK(BM_PoAlgorithms);
+
+}  // namespace
+
+LAPX_BENCH_MAIN(print_tables)

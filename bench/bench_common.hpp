@@ -1,0 +1,59 @@
+#pragma once
+// Shared helpers for the experiment binaries.
+//
+// Every bench binary prints its reproduction table first (the paper claim
+// next to the measured value) and then runs google-benchmark timings for
+// the performance axis.  Pass --table-only to skip the timing runs (the
+// repo-level driver uses the full mode; CI uses --table-only).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace lapx::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-22s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double x, int digits = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, x);
+  return buf;
+}
+
+inline bool check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what.c_str());
+  return ok;
+}
+
+/// Standard main body: print the table, then (unless --table-only) run the
+/// registered google-benchmark timings.
+inline int run_main(int argc, char** argv, void (*print_tables)()) {
+  print_tables();
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--table-only") == 0) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace lapx::bench
+
+#define LAPX_BENCH_MAIN(print_tables)                      \
+  int main(int argc, char** argv) {                        \
+    return lapx::bench::run_main(argc, argv, print_tables); \
+  }

@@ -1,0 +1,137 @@
+// E12 -- Section 6.1: the main theorem does NOT extend below PO.
+//
+// On a d-regular graph whose port numbering comes from a proper
+// d-edge-colouring, every PN view (ports, no orientations) is isomorphic to
+// every other, so a PN algorithm outputs a constant: the only feasible
+// dominating set it can produce is "all nodes".  But *any* orientation
+// breaks the symmetry -- a colour class is a perfect matching, and a
+// matching edge cannot point both ways -- so PO algorithms can produce the
+// Mayer-Naor-Stockmeyer weak 2-colouring and from it a dominating set of
+// at most half the nodes.  PN < PO, strictly.
+
+#include <map>
+#include <random>
+
+#include "bench_common.hpp"
+#include "lapx/algorithms/po.hpp"
+#include "lapx/core/pn_view.hpp"
+#include "lapx/core/view.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/problems/exact.hpp"
+#include "lapx/problems/problem.hpp"
+
+namespace {
+
+using namespace lapx;
+
+struct Instance {
+  std::string name;
+  graph::Graph g;
+  graph::PortNumbering pn;
+};
+
+std::vector<Instance> instances() {
+  std::vector<Instance> result;
+  {
+    graph::Graph q3 = graph::hypercube(3);
+    auto coloring = graph::hypercube_edge_coloring(q3, 3);
+    result.push_back(
+        {"Q3 (3-cube)", q3, graph::ports_from_edge_coloring(q3, coloring)});
+  }
+  {
+    graph::Graph k33 = graph::complete_bipartite(3, 3);
+    auto coloring = graph::k33_edge_coloring(k33);
+    result.push_back(
+        {"K_{3,3}", k33, graph::ports_from_edge_coloring(k33, coloring)});
+  }
+  return result;
+}
+
+void print_tables() {
+  bench::print_header(
+      "E12: PN vs PO separation, Section 6.1",
+      "edge-colour ports make all PN views isomorphic (PN stuck at the "
+      "trivial dominating set); any orientation lets PO halve it");
+
+  std::mt19937_64 rng(12);
+  for (const auto& inst : instances()) {
+    std::printf("\ninstance %s: n=%d, 3-regular\n", inst.name.c_str(),
+                inst.g.num_vertices());
+
+    // PN: all views isomorphic at every radius.
+    for (int r : {1, 2, 4}) {
+      std::map<std::string, int> types;
+      for (graph::Vertex v = 0; v < inst.g.num_vertices(); ++v)
+        ++types[core::pn_view_type(core::pn_view(inst.g, inst.pn, v, r))];
+      bench::check(types.size() == 1,
+                   "PN: all radius-" + std::to_string(r) +
+                       " views isomorphic (" + std::to_string(types.size()) +
+                       " type)");
+    }
+    std::printf(
+        "  -> a PN algorithm outputs one constant bit; the only feasible\n"
+        "     dominating set is all %d nodes (OPT = %zu)\n",
+        inst.g.num_vertices(),
+        problems::min_dominating_set_size(inst.g));
+
+    // PO: sweep random orientations; symmetry always breaks and the weak
+    // colouring yields a half-size dominating set.
+    int orientations_tested = 0, symmetric = 0;
+    std::size_t worst_ds = 0;
+    bool always_feasible = true, always_weak = true;
+    for (int trial = 0; trial < 32; ++trial) {
+      graph::Orientation orient;
+      orient.u_to_v.resize(inst.g.num_edges());
+      for (std::size_t e = 0; e < inst.g.num_edges(); ++e)
+        orient.u_to_v[e] = rng() & 1;
+      const auto ld = graph::to_ldigraph(inst.g, inst.pn, orient, 3);
+      std::map<std::string, int> types;
+      for (graph::Vertex v = 0; v < inst.g.num_vertices(); ++v)
+        ++types[core::view_type(core::view(ld, v, 2))];
+      if (types.size() == 1) ++symmetric;
+      // Weak colouring: every node has an oppositely coloured neighbour
+      // (its mutual port-0 partner).
+      const auto colors = core::run_po(ld, algorithms::weak_coloring_po(3), 1);
+      for (graph::Vertex v = 0; v < inst.g.num_vertices(); ++v) {
+        bool has_opposite = false;
+        for (graph::Vertex u : inst.g.neighbors(v))
+          if (colors[u] != colors[v]) has_opposite = true;
+        always_weak &= has_opposite;
+      }
+      const auto ds_bits =
+          core::run_po(ld, algorithms::ds_from_weak_coloring_po(3), 2);
+      const auto sol = problems::vertex_solution(ds_bits);
+      always_feasible &=
+          problems::dominating_set().feasible(inst.g, sol);
+      worst_ds = std::max(worst_ds, sol.size());
+      ++orientations_tested;
+    }
+    bench::check(symmetric == 0,
+                 "PO: all " + std::to_string(orientations_tested) +
+                     " random orientations break symmetry");
+    bench::check(always_weak, "PO: orientation colouring is weakly proper");
+    bench::check(always_feasible, "PO: derived dominating set feasible");
+    std::printf(
+        "  PO dominating set: worst size %zu of %d nodes (PN forced %d)\n",
+        worst_ds, inst.g.num_vertices(), inst.g.num_vertices());
+  }
+
+  std::printf(
+      "\n-> PN < PO strictly: the paper's ID = OI = PO collapse stops at PO\n"
+      "   (Section 6.1); orientations are essential.\n");
+}
+
+void BM_PnView(benchmark::State& state) {
+  const auto g = graph::hypercube(3);
+  const auto pn =
+      graph::ports_from_edge_coloring(g, graph::hypercube_edge_coloring(g, 3));
+  const int r = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::pn_view(g, pn, 0, r));
+}
+BENCHMARK(BM_PnView)->Arg(1)->Arg(3)->Arg(5);
+
+}  // namespace
+
+LAPX_BENCH_MAIN(print_tables)

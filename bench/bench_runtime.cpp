@@ -1,0 +1,105 @@
+// E11 -- the round-based ground truth: r rounds of full-information message
+// passing reconstruct exactly tau(T(G, v)), justifying the
+// neighbourhood-oracle evaluation used everywhere else; plus engine
+// throughput.
+
+#include <random>
+
+#include "bench_common.hpp"
+#include "lapx/core/view.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/runtime/engine.hpp"
+#include "lapx/runtime/gather.hpp"
+
+namespace {
+
+using namespace lapx;
+
+void print_tables() {
+  bench::print_header(
+      "E11: message passing == neighbourhood oracle, Section 2",
+      "after r rounds of full-information exchange every node's state "
+      "determines exactly tau(T(G, v))");
+
+  std::mt19937_64 rng(11);
+  bench::print_row({"family", "n", "r", "all views match", "bytes/node"});
+  struct Case {
+    const char* name;
+    graph::Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"cycle", graph::cycle(64)});
+  cases.push_back({"petersen", graph::petersen()});
+  cases.push_back({"3-regular", graph::random_regular(64, 3, rng)});
+  cases.push_back({"4-regular", graph::random_regular(64, 4, rng)});
+  for (const auto& c : cases) {
+    const auto pn = graph::PortNumbering::default_for(c.g);
+    const auto orient = graph::Orientation::default_for(c.g);
+    const int delta = c.g.max_degree();
+    const auto ld = graph::to_ldigraph(c.g, pn, orient, delta);
+    for (int r : {1, 2, 3}) {
+      const auto knowledge =
+          runtime::gather_full_information(c.g, pn, orient, r);
+      bool all = true;
+      std::size_t bytes = 0;
+      for (graph::Vertex v = 0; v < c.g.num_vertices(); ++v) {
+        all &= runtime::knowledge_view_type(knowledge[v], r, delta) ==
+               core::view_type(core::view(ld, v, r));
+        bytes += knowledge[v].serialize().size();
+      }
+      bench::print_row({c.name, std::to_string(c.g.num_vertices()),
+                        std::to_string(r), all ? "yes" : "NO",
+                        std::to_string(bytes / c.g.num_vertices())});
+    }
+  }
+  std::printf(
+      "  bytes/node grows ~Delta^r: the price of full information, and the\n"
+      "  reason the library evaluates local algorithms through the oracle.\n");
+}
+
+void BM_EngineRound(benchmark::State& state) {
+  std::mt19937_64 rng(13);
+  const int n = static_cast<int>(state.range(0));
+  const auto g = graph::random_regular(n, 4, rng);
+  const auto pn = graph::PortNumbering::default_for(g);
+  const auto orient = graph::Orientation::default_for(g);
+  // Minimal echo program to time the engine itself.
+  class Echo : public runtime::NodeProgram {
+   public:
+    void init(const runtime::NodeEnv& env) override { x_ = env.input; }
+    runtime::Message message_for_port(int) const override {
+      return std::to_string(x_);
+    }
+    void receive(const std::vector<runtime::Message>& inbox) override {
+      for (const auto& m : inbox) x_ ^= std::stoll(m);
+    }
+    std::int64_t output() const override { return x_; }
+
+   private:
+    std::int64_t x_ = 0;
+  };
+  std::vector<std::int64_t> inputs(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::run_synchronous(
+        g, pn, orient, [] { return std::make_unique<Echo>(); }, inputs, 4));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EngineRound)->Range(256, 16384)->Complexity();
+
+void BM_FullInformationGather(benchmark::State& state) {
+  std::mt19937_64 rng(17);
+  const auto g = graph::random_regular(128, 3, rng);
+  const auto pn = graph::PortNumbering::default_for(g);
+  const auto orient = graph::Orientation::default_for(g);
+  const int r = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        runtime::gather_full_information(g, pn, orient, r));
+}
+BENCHMARK(BM_FullInformationGather)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+LAPX_BENCH_MAIN(print_tables)

@@ -1,0 +1,67 @@
+// Anonymous networks: what a node can and cannot learn without identifiers.
+//
+// Runs the full-information protocol on a port-numbered network, shows that
+// the gathered knowledge equals the truncated view tau(T(G, v)), and
+// demonstrates the Figure 2 impossibility: on a completely symmetric cycle
+// all views coincide, so no deterministic anonymous algorithm can break
+// symmetry.
+
+#include <cstdio>
+#include <map>
+
+#include "lapx/core/view.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/runtime/gather.hpp"
+
+int main() {
+  using namespace lapx;
+
+  // A small network: the Petersen graph with default ports/orientation.
+  const graph::Graph g = graph::petersen();
+  const auto pn = graph::PortNumbering::default_for(g);
+  const auto orient = graph::Orientation::default_for(g);
+  const int delta = g.max_degree();
+  const auto network = graph::to_ldigraph(g, pn, orient, delta);
+
+  std::printf("network: %s (anonymous, port-numbered, oriented)\n\n",
+              g.summary().c_str());
+
+  // Run 2 rounds of "send everything you know".
+  const int r = 2;
+  const auto knowledge = runtime::gather_full_information(g, pn, orient, r);
+  std::printf("after %d rounds of full-information exchange:\n", r);
+  std::map<std::string, int> view_types;
+  bool all_match = true;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto gathered = runtime::knowledge_view_type(knowledge[v], r, delta);
+    const auto direct = core::view_type(core::view(network, v, r));
+    all_match &= gathered == direct;
+    ++view_types[gathered];
+  }
+  std::printf("  gathered state == tau(T(G, v)) at every node: %s\n",
+              all_match ? "yes" : "NO");
+  std::printf("  distinct view types among the 10 nodes: %zu\n\n",
+              view_types.size());
+
+  // The Figure 2 impossibility: the symmetric cycle.
+  const auto cycle = graph::directed_cycle(12);
+  std::map<std::string, int> cycle_types;
+  for (graph::Vertex v = 0; v < 12; ++v)
+    ++cycle_types[core::view_type(core::view(cycle, v, 3))];
+  std::printf("symmetric directed C12, radius 3: %zu distinct view type(s)\n",
+              cycle_types.size());
+  std::printf(
+      "  -> every node is in the same state forever: no anonymous\n"
+      "     deterministic algorithm can elect a leader, find an MIS, or\n"
+      "     output any nonconstant labelling on this network (Figure 2).\n\n");
+
+  // But orientation *does* help on odd structures: with distinct port
+  // patterns the views differ, which is what PO algorithms exploit.
+  std::printf(
+      "on the Petersen network above the default port numbering produced\n"
+      "%zu view types -- port-numbered views are a real resource, just a\n"
+      "strictly weaker one than identifiers.\n",
+      view_types.size());
+  return 0;
+}

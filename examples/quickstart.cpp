@@ -1,0 +1,71 @@
+// Quickstart: run local algorithms in the three models on one graph and
+// compare their solutions against the exact optimum.
+//
+//   $ ./quickstart
+//
+// Walks through the core API: building a graph, assigning ports and an
+// orientation (the PO model), order keys (OI) and identifiers (ID),
+// running algorithms, and measuring approximation ratios.
+
+#include <cstdio>
+#include <numeric>
+#include <random>
+
+#include "lapx/algorithms/oi.hpp"
+#include "lapx/algorithms/po.hpp"
+#include "lapx/core/model.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/problems/exact.hpp"
+#include "lapx/problems/problem.hpp"
+
+int main() {
+  using namespace lapx;
+
+  // 1. An instance: a random 4-regular graph on 32 nodes.
+  std::mt19937_64 rng(42);
+  const graph::Graph g = graph::random_regular(32, 4, rng);
+  std::printf("instance: %s\n\n", g.summary().c_str());
+
+  // 2. The PO model: port numbering + orientation -> L-digraph.
+  const graph::LDigraph network = graph::to_ldigraph(g);
+
+  // A PO algorithm: every node marks its first incident edge.  The marked
+  // set is simultaneously an edge cover and an edge dominating set.
+  const auto marks =
+      core::run_po_edges(network, algorithms::eds_mark_first_po(), 1);
+  const auto eds = problems::edge_solution(marks);
+  std::printf("PO mark-first-edge:\n");
+  std::printf("  |D| = %zu, feasible EDS: %s\n", eds.size(),
+              problems::edge_dominating_set().feasible(g, eds) ? "yes" : "no");
+  const std::size_t opt = problems::min_edge_dominating_set_size(g);
+  std::printf("  exact OPT = %zu, ratio = %.3f (paper bound: 4 - 2/4 = 3.5)\n\n",
+              opt, static_cast<double>(eds.size()) / opt);
+
+  // 3. The OI model: a linear order on the nodes.
+  order::Keys keys(g.num_vertices());
+  std::iota(keys.begin(), keys.end(), 0);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  const auto is_bits =
+      core::run_oi(g, keys, algorithms::local_min_is_oi(), 1);
+  const auto is_sol = problems::vertex_solution(is_bits);
+  std::printf("OI local-minima independent set:\n");
+  std::printf("  |I| = %zu, independent: %s, MaxIS = %zu\n\n", is_sol.size(),
+              problems::independent_set().feasible(g, is_sol) ? "yes" : "no",
+              problems::max_independent_set_size(g));
+
+  // 4. The ID model: identifiers are just keys whose *values* may be used.
+  const core::VertexIdAlgorithm parity_rule = [](const core::Ball& ball) {
+    return ball.keys[ball.root] % 2 == 0 ? 1 : 0;
+  };
+  const auto even_bits = core::run_id(g, keys, parity_rule, 0);
+  std::size_t evens = 0;
+  for (bool b : even_bits) evens += b;
+  std::printf("ID parity rule: %zu nodes with even identifier\n\n", evens);
+
+  std::printf(
+      "The paper proves that for problems like the EDS above, the ID and OI\n"
+      "models cannot beat the PO ratio -- see the edge_dominating_set_bound\n"
+      "example for the full lower-bound pipeline.\n");
+  return 0;
+}

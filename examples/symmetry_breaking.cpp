@@ -1,0 +1,52 @@
+// Symmetry breaking on cycles (Figure 2): the power of identifiers.
+//
+// With unique identifiers, Cole-Vishkin colour reduction 3-colours a
+// directed cycle in O(log* n) rounds and yields a maximal independent set;
+// without identifiers (the PO model) the symmetric cycle admits no
+// symmetry breaking at all.  This example runs both sides.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <random>
+
+#include "lapx/algorithms/cole_vishkin.hpp"
+#include "lapx/core/view.hpp"
+#include "lapx/graph/generators.hpp"
+
+int main() {
+  using namespace lapx;
+  std::mt19937_64 rng(7);
+
+  std::printf("Cole-Vishkin 3-colouring + MIS on directed cycles (model ID):\n");
+  std::printf("%-10s %-10s %-10s %-10s %-10s\n", "n", "CV rounds",
+              "total", "log*(n)", "MIS size");
+  for (int n : {16, 256, 65536, 1 << 20}) {
+    std::vector<std::int64_t> ids(n);
+    std::iota(ids.begin(), ids.end(), 1);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    const auto coloring = algorithms::cole_vishkin_3coloring(ids);
+    int rounds = coloring.rounds;
+    const auto mis = algorithms::mis_from_coloring(coloring.colors, &rounds);
+    std::size_t size = 0;
+    for (bool b : mis) size += b;
+    std::printf("%-10d %-10d %-10d %-10d %-10zu %s\n", n, coloring.rounds,
+                rounds, algorithms::log_star(n), size,
+                algorithms::is_cycle_mis(mis) ? "" : "(INVALID)");
+  }
+
+  std::printf("\nthe same problem in model PO (anonymous symmetric cycle):\n");
+  const auto g = graph::directed_cycle(32);
+  bool all_equal = true;
+  const auto type0 = core::view_type(core::view(g, 0, 5));
+  for (graph::Vertex v = 1; v < 32; ++v)
+    all_equal &= core::view_type(core::view(g, v, 5)) == type0;
+  std::printf("  all radius-5 views identical: %s\n", all_equal ? "yes" : "no");
+  std::printf(
+      "  -> any deterministic anonymous algorithm outputs the same value at\n"
+      "     every node; an MIS (or any non-trivial labelling) is impossible.\n"
+      "     The O(log* n) ID algorithm above is therefore *not* portable to\n"
+      "     anonymous networks -- unlike every O(1)-time algorithm, by the\n"
+      "     paper's main theorem.\n");
+  return 0;
+}

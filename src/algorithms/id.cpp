@@ -1,0 +1,51 @@
+#include "lapx/algorithms/id.hpp"
+
+namespace lapx::algorithms {
+
+namespace {
+
+using core::Ball;
+using graph::Vertex;
+
+}  // namespace
+
+core::VertexIdAlgorithm even_min_is_id() {
+  return [](const Ball& b) {
+    if (b.keys[b.root] % 2 != 0) return 0;
+    for (Vertex u : b.g.neighbors(b.root))
+      if (b.keys[u] % 2 == 0 && b.keys[u] < b.keys[b.root]) return 0;
+    return 1;
+  };
+}
+
+core::VertexIdAlgorithm residue_id(std::int64_t modulus,
+                                   std::int64_t residue) {
+  return [modulus, residue](const Ball& b) {
+    return b.keys[b.root] % modulus == residue ? 1 : 0;
+  };
+}
+
+core::VertexIdAlgorithm ds_even_preference_id() {
+  return [](const Ball& b) {
+    // The designated dominator of u is the smallest even id in N[u] if one
+    // exists, otherwise the smallest id in N[u].
+    auto dominator = [&](Vertex u) {
+      Vertex best_even = -1, best = u;
+      auto consider = [&](Vertex w) {
+        if (b.keys[w] % 2 == 0 &&
+            (best_even == -1 || b.keys[w] < b.keys[best_even]))
+          best_even = w;
+        if (b.keys[w] < b.keys[best]) best = w;
+      };
+      consider(u);
+      for (Vertex w : b.g.neighbors(u)) consider(w);
+      return best_even != -1 ? best_even : best;
+    };
+    if (dominator(b.root) == b.root) return 1;
+    for (Vertex u : b.g.neighbors(b.root))
+      if (dominator(u) == b.root) return 1;
+    return 0;
+  };
+}
+
+}  // namespace lapx::algorithms

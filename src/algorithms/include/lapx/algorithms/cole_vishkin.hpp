@@ -1,0 +1,57 @@
+#pragma once
+// Cole-Vishkin colour reduction on directed cycles (Figure 2 / Section 6.2).
+//
+// With unique identifiers, a directed n-cycle can be 3-coloured in
+// O(log* n) synchronous rounds, after which a maximal independent set
+// follows in 3 more rounds.  This is the classical witness that the ID
+// model is strictly stronger than OI and PO once the run time may grow with
+// n -- and the run-time counter returned here is exactly what experiment E2
+// plots against the impossibility of symmetry breaking in PO.
+//
+// The simulation is honestly local: each round every node computes its new
+// colour from its own colour and its predecessor's colour only.
+
+#include <cstdint>
+#include <vector>
+
+namespace lapx::algorithms {
+
+/// Result of running colour reduction around a directed cycle.
+struct CycleColoring {
+  std::vector<int> colors;  ///< proper colouring with colours in {0, 1, 2}
+  int rounds = 0;           ///< synchronous rounds used
+};
+
+/// Cole-Vishkin bit-trick reduction from identifiers to 6 colours, then the
+/// standard 3-round reduction to 3 colours.  ids[i] is the identifier of
+/// node i; node i's predecessor is node (i - 1 + n) % n.
+CycleColoring cole_vishkin_3coloring(const std::vector<std::int64_t>& ids);
+
+/// Greedy MIS from a proper colouring (one round per colour class).
+/// Returns the MIS bits and adds the rounds spent to *rounds.
+std::vector<bool> mis_from_coloring(const std::vector<int>& colors,
+                                    int* rounds);
+
+/// Validation helpers for cycles (node i adjacent to i +- 1 mod n).
+bool is_proper_cycle_coloring(const std::vector<int>& colors);
+bool is_cycle_mis(const std::vector<bool>& in_set);
+
+/// Iterated-logarithm (base 2): the theoretical round bound Theta(log* n).
+int log_star(std::int64_t n);
+
+/// Maximal matching on the cycle from a proper colouring, one round per
+/// colour class: in phase c, every node of colour c proposes to its
+/// successor if both are unmatched; mutual availability matches the edge
+/// {v, v+1}.  Adds the rounds spent to *rounds.  Together with
+/// cole_vishkin_3coloring this is the classical O(log* n) maximal matching
+/// on cycles -- and by Linial's bound (Section 1.7) no O(1)-round algorithm
+/// exists, which is why the 2-approximation of EDS via maximal matching is
+/// NOT local.
+std::vector<bool> maximal_matching_from_coloring(
+    const std::vector<int>& colors, int* rounds);
+
+/// True if `matched[i]` (edge {i, i+1 mod n}) forms a maximal matching of
+/// the n-cycle.
+bool is_cycle_maximal_matching(const std::vector<bool>& matched);
+
+}  // namespace lapx::algorithms

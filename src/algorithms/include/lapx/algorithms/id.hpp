@@ -1,0 +1,27 @@
+#pragma once
+// Local algorithms in the ID model that make genuine use of the numeric
+// identifier values (not just their order).  These are the algorithms the
+// Ramsey machinery of Section 4.2 is designed to tame: on a monochromatic
+// identifier set their behaviour collapses to an order-invariant rule.
+
+#include "lapx/core/model.hpp"
+
+namespace lapx::algorithms {
+
+/// Independent set: the root joins iff its identifier is even and no
+/// neighbour has a smaller even identifier.  Feasible independent set; the
+/// output genuinely depends on identifier parity, not just order.
+core::VertexIdAlgorithm even_min_is_id();
+
+/// Vertex subset by residue: the root joins iff id % modulus == residue.
+/// Not feasible for any particular problem -- used to exercise the Ramsey
+/// forcing on maximally id-dependent behaviour.
+core::VertexIdAlgorithm residue_id(std::int64_t modulus, std::int64_t residue);
+
+/// Dominating set: the root joins iff it is even-minimal in some closed
+/// neighbourhood (the even-id variant of the OI rule); falls back to
+/// order-minimality when a closed neighbourhood contains no even id.
+/// Always a feasible dominating set, and id-parity-dependent.
+core::VertexIdAlgorithm ds_even_preference_id();
+
+}  // namespace lapx::algorithms

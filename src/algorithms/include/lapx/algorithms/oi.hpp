@@ -1,0 +1,56 @@
+#pragma once
+// Local algorithms in the OI model (order-invariant algorithms).
+//
+// Each algorithm is a function of the canonical rank-keyed ball, so
+// order-invariance holds by construction.  These are the natural "greedy by
+// order" local algorithms -- exactly the algorithms that the paper's
+// homogeneous-graph machinery is designed to fool: on a homogeneously
+// ordered instance nearly all nodes see order-isomorphic neighbourhoods, so
+// any OI rule degenerates to a constant rule there (experiments E7, E9).
+
+#include "lapx/core/model.hpp"
+
+namespace lapx::algorithms {
+
+/// Independent set: the root joins iff its key is smaller than the keys of
+/// all its neighbours.  Always independent; on a (1-eps)-homogeneous order
+/// almost no node is a local minimum, so the solution collapses (the
+/// MaxIS inapproximability mechanism of Section 1.4).
+core::VertexOiAlgorithm local_min_is_oi();
+
+/// Vertex cover: the complement of the local minima.  Always a feasible
+/// vertex cover (two adjacent local minima are impossible); ratio tends to
+/// 2 on homogeneously ordered regular instances -- the (2 - eps) lower
+/// bound mechanism.
+core::VertexOiAlgorithm non_local_min_vc_oi();
+
+/// Simulates `rounds` synchronous rounds of greedy matching by order inside
+/// the ball: each round, every remaining edge whose (min-key, max-key) pair
+/// is lexicographically smallest among its adjacent remaining edges joins
+/// the matching, and matched endpoints retire.  The matched/unmatched
+/// status of a root-incident edge after t rounds depends on keys up to
+/// edge-distance 2t - 1, so the ball radius must be >= 2 * rounds for the
+/// root's incident edges to be decided exactly as in a global run (with a
+/// smaller radius the rule is still a valid OI algorithm, but the marks of
+/// adjacent nodes may disagree).  Returns the root's incident matched edges.
+core::EdgeOiAlgorithm greedy_matching_oi(int rounds);
+
+/// Edge dominating set with a feasibility fallback: marks the root's
+/// incident matched edges (greedy matching as above); if the root has none,
+/// marks the edge to its smallest-key neighbour.  Always a feasible EDS.
+/// On random orders this is far better than the PO bound; on homogeneously
+/// ordered instances the matching vanishes and the ratio climbs to the
+/// tight 4 - 2/Delta' (experiment E9).
+core::EdgeOiAlgorithm eds_greedy_fallback_oi(int rounds);
+
+/// Edge cover: marks the edge to the smallest-key neighbour.
+core::EdgeOiAlgorithm mark_first_neighbor_oi();
+
+/// Dominating set: the root joins iff it is a local *maximum* among its
+/// closed neighbourhood or has a neighbour of smaller key only... (kept
+/// simple: joins iff it is not dominated by the rule "my smallest-key
+/// closed-neighbourhood member joins").  Concretely: v joins iff v is the
+/// smallest key in the closed neighbourhood of *some* member of its ball.
+core::VertexOiAlgorithm ds_local_min_cover_oi();
+
+}  // namespace lapx::algorithms

@@ -1,0 +1,56 @@
+#pragma once
+// Local algorithms in the PO model (anonymous networks with port numbering
+// and orientation).  These are the classical constant-time upper bounds of
+// Sections 1.4-1.5, in their natural port-numbered form:
+//
+//  * edge cover, factor 2: every node marks one incident edge (OPT >= n/2,
+//    and the marked set has at most n edges).
+//  * edge dominating set: the same marking is an EDS -- every edge {u, v}
+//    is adjacent to the edge u marked.  On Delta'-regular graphs the ratio
+//    is at most (4 - 2/Delta'); Theorem 1.6 shows this is *optimal* even
+//    with unique identifiers.
+//  * dominating set, factor Delta + 1: take every node (OPT >= n/(Delta+1)).
+//  * vertex cover on regular graphs, factor 2: take every node
+//    (OPT >= m/Delta = n/2 on Delta-regular graphs).
+//
+// All of these have run time 0: the output is a function of the radius-0 or
+// radius-1 view.  Their point in this reproduction is that the paper's main
+// theorem shows ID algorithms cannot beat them.
+
+#include "lapx/core/model.hpp"
+
+namespace lapx::algorithms {
+
+/// Marks the root's first incident arc (smallest move in the canonical
+/// (incoming < outgoing, then label) order).  Feasible edge cover on graphs
+/// with min degree >= 1; 2-approximation.
+core::EdgePoAlgorithm mark_first_edge_po();
+
+/// The same rule, used as an edge-dominating-set algorithm; achieves
+/// 4 - 2/Delta' on Delta'-regular graphs (the tight bound of Theorem 1.6).
+core::EdgePoAlgorithm eds_mark_first_po();
+
+/// Every node joins: (Delta+1)-approximate dominating set.
+core::VertexPoAlgorithm take_all_po();
+
+/// PO algorithm that outputs 1 iff the truncated view at radius r equals the
+/// given canonical view type; building block for exhaustive typical-type
+/// adversaries.
+core::VertexPoAlgorithm match_view_type_po(std::string type);
+
+/// The orientation-based colouring that separates PO from PN (Section 6.1):
+/// a node's colour is 1 iff its port-0 edge is outgoing.  When port-0 edges
+/// are mutual (both endpoints use port 0, e.g. a colour class of a proper
+/// edge colouring used as the port numbering), this is a weak 2-colouring:
+/// every node's port-0 partner has the opposite colour.  `delta` is the
+/// degree bound used to encode the (i, j) port labels.  Radius 1.
+core::VertexPoAlgorithm weak_coloring_po(int delta);
+
+/// Dominating set from the orientation colouring: a node joins iff its
+/// colour is 0 or all its neighbours have colour 1.  Always a feasible
+/// dominating set; *non-trivial* (at most half the nodes) exactly when the
+/// colouring splits mutual port-0 pairs -- which any orientation does on
+/// the PN-symmetric instances.  Radius 2.
+core::VertexPoAlgorithm ds_from_weak_coloring_po(int delta);
+
+}  // namespace lapx::algorithms

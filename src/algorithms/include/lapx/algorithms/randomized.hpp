@@ -1,0 +1,48 @@
+#pragma once
+// Randomised local algorithms (Section 6.5).
+//
+// Randomness breaks the ID = OI = PO collapse: with random bits, anonymous
+// nodes can generate (w.h.p. unique) identifiers, and non-trivial expected
+// approximations become possible for problems that are inapproximable
+// deterministically in all three models (maximum matching, maximum
+// independent set).  This module provides the classical one-round /
+// few-round randomised algorithms and a generic "random order" adaptor
+// that feeds random keys to any deterministic OI algorithm -- the paper's
+// observation that random bits subsume identifiers.
+//
+// The algorithms are simulated round-synchronously: each round every node
+// draws its randomness and acts on its current local state, exactly as a
+// randomised LOCAL algorithm would.
+
+#include <random>
+
+#include "lapx/core/model.hpp"
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::algorithms {
+
+/// One-round Luby-style independent set: every node draws a uniform key;
+/// local minima join.  Always independent; E|I| = sum_v 1/(deg(v)+1)
+/// (each vertex is the minimum of its closed neighbourhood with that
+/// probability), which is n/(Delta+1) on Delta-regular graphs -- already a
+/// non-trivial approximation, impossible deterministically in PO.
+std::vector<bool> randomized_independent_set(const graph::Graph& g,
+                                             std::mt19937_64& rng);
+
+/// Proposal matching: for `rounds` rounds, every unmatched node proposes
+/// to a uniformly random unmatched neighbour; an edge whose endpoints
+/// propose to each other joins the matching.  Returns edge bits.
+std::vector<bool> randomized_proposal_matching(const graph::Graph& g,
+                                               int rounds,
+                                               std::mt19937_64& rng);
+
+/// Runs a deterministic OI algorithm under a uniformly random linear order
+/// (random keys): randomness as identifiers, Section 6.5.
+std::vector<bool> with_random_order(const graph::Graph& g,
+                                    const core::VertexOiAlgorithm& algo,
+                                    int r, std::mt19937_64& rng);
+std::vector<bool> with_random_order_edges(const graph::Graph& g,
+                                          const core::EdgeOiAlgorithm& algo,
+                                          int r, std::mt19937_64& rng);
+
+}  // namespace lapx::algorithms

@@ -1,0 +1,140 @@
+#include "lapx/algorithms/oi.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lapx::algorithms {
+
+namespace {
+
+using core::Ball;
+using graph::EdgeId;
+using graph::Vertex;
+
+bool is_local_min(const Ball& b) {
+  for (Vertex u : b.g.neighbors(b.root))
+    if (b.keys[u] < b.keys[b.root]) return false;
+  return true;  // isolated roots count as local minima
+}
+
+/// `rounds` rounds of simultaneous greedy matching by order inside the ball.
+/// Returns matched edge bits indexed by the ball's edge ids.
+std::vector<bool> greedy_matching_in_ball(const Ball& b, int rounds) {
+  std::vector<bool> matched_edge(b.g.num_edges(), false);
+  std::vector<bool> matched_vertex(b.g.num_vertices(), false);
+  auto edge_key = [&](EdgeId e) {
+    auto [u, v] = b.g.edge(e);
+    auto ku = b.keys[u], kv = b.keys[v];
+    if (ku > kv) std::swap(ku, kv);
+    return std::pair{ku, kv};
+  };
+  auto active = [&](EdgeId e) {
+    const auto [u, v] = b.g.edge(e);
+    return !matched_vertex[u] && !matched_vertex[v];
+  };
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<EdgeId> winners;
+    for (EdgeId e = 0; e < static_cast<EdgeId>(b.g.num_edges()); ++e) {
+      if (!active(e)) continue;
+      const auto key = edge_key(e);
+      bool smallest = true;
+      const auto [u, v] = b.g.edge(e);
+      for (Vertex w : {u, v}) {
+        for (EdgeId f : b.g.incident_edges(w)) {
+          if (f == e || !active(f)) continue;
+          if (edge_key(f) < key) {
+            smallest = false;
+            break;
+          }
+        }
+        if (!smallest) break;
+      }
+      if (smallest) winners.push_back(e);
+    }
+    if (winners.empty()) break;
+    for (EdgeId e : winners) {
+      matched_edge[e] = true;
+      const auto [u, v] = b.g.edge(e);
+      matched_vertex[u] = matched_vertex[v] = true;
+    }
+  }
+  return matched_edge;
+}
+
+}  // namespace
+
+core::VertexOiAlgorithm local_min_is_oi() {
+  return [](const Ball& b) { return is_local_min(b) ? 1 : 0; };
+}
+
+core::VertexOiAlgorithm non_local_min_vc_oi() {
+  return [](const Ball& b) {
+    if (b.g.degree(b.root) == 0) return 0;  // isolated nodes cover nothing
+    return is_local_min(b) ? 0 : 1;
+  };
+}
+
+core::EdgeOiAlgorithm greedy_matching_oi(int rounds) {
+  return [rounds](const Ball& b) {
+    const auto matched = greedy_matching_in_ball(b, rounds);
+    core::EdgeMarksOi marks;
+    for (EdgeId e : b.g.incident_edges(b.root)) {
+      if (!matched[e]) continue;
+      const auto [u, v] = b.g.edge(e);
+      marks.emplace_back(u == b.root ? v : u, true);
+    }
+    return marks;
+  };
+}
+
+core::EdgeOiAlgorithm eds_greedy_fallback_oi(int rounds) {
+  return [rounds](const Ball& b) {
+    const auto matched = greedy_matching_in_ball(b, rounds);
+    core::EdgeMarksOi marks;
+    for (EdgeId e : b.g.incident_edges(b.root)) {
+      if (!matched[e]) continue;
+      const auto [u, v] = b.g.edge(e);
+      marks.emplace_back(u == b.root ? v : u, true);
+    }
+    if (marks.empty() && b.g.degree(b.root) > 0) {
+      // Fallback: mark the edge to the smallest-key neighbour.
+      Vertex best = b.g.neighbors(b.root).front();
+      for (Vertex u : b.g.neighbors(b.root))
+        if (b.keys[u] < b.keys[best]) best = u;
+      marks.emplace_back(best, true);
+    }
+    return marks;
+  };
+}
+
+core::EdgeOiAlgorithm mark_first_neighbor_oi() {
+  return [](const Ball& b) {
+    core::EdgeMarksOi marks;
+    if (b.g.degree(b.root) > 0) {
+      Vertex best = b.g.neighbors(b.root).front();
+      for (Vertex u : b.g.neighbors(b.root))
+        if (b.keys[u] < b.keys[best]) best = u;
+      marks.emplace_back(best, true);
+    }
+    return marks;
+  };
+}
+
+core::VertexOiAlgorithm ds_local_min_cover_oi() {
+  return [](const Ball& b) {
+    // v joins iff v is the smallest key in the closed neighbourhood of some
+    // u in N[v] (then v is u's designated dominator).  Needs radius >= 2.
+    auto min_of_closed = [&](Vertex u) {
+      Vertex best = u;
+      for (Vertex w : b.g.neighbors(u))
+        if (b.keys[w] < b.keys[best]) best = w;
+      return best;
+    };
+    if (min_of_closed(b.root) == b.root) return 1;
+    for (Vertex u : b.g.neighbors(b.root))
+      if (min_of_closed(u) == b.root) return 1;
+    return 0;
+  };
+}
+
+}  // namespace lapx::algorithms

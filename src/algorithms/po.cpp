@@ -1,0 +1,74 @@
+#include "lapx/algorithms/po.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "lapx/graph/port_numbering.hpp"
+
+namespace lapx::algorithms {
+
+namespace {
+
+// The colour of a view-tree node c (possibly the root): 1 iff the arc on
+// c's port 0 is outgoing from c.  Needs all arcs incident to c inside the
+// tree, i.e. depth(c) <= radius - 1.
+int orientation_color(const core::ViewTree& t, int c, int delta) {
+  // Parent arc (absent at the root).
+  if (c != 0) {
+    const core::Move via = t.nodes[c].via;  // move from the parent to c
+    const auto [i, j] = graph::decode_port_label(via.label, delta);
+    const int c_port = via.outgoing ? j : i;
+    if (c_port == 0) return via.outgoing ? 0 : 1;  // outgoing=true: c is head
+  }
+  for (int d : t.children[c]) {
+    const core::Move via = t.nodes[d].via;  // move from c to d
+    const auto [i, j] = graph::decode_port_label(via.label, delta);
+    const int c_port = via.outgoing ? i : j;
+    if (c_port == 0) return via.outgoing ? 1 : 0;
+  }
+  throw std::logic_error("no port-0 arc visible (radius too small?)");
+}
+
+core::EdgeMarksPo mark_first(const core::ViewTree& t) {
+  core::EdgeMarksPo marks;
+  // Children of the root are sorted by (outgoing, label): incoming arcs
+  // first.  Mark the first one.
+  if (!t.children[0].empty()) {
+    const int first_child = t.children[0].front();
+    marks.emplace_back(t.nodes[first_child].via, true);
+  }
+  return marks;
+}
+
+}  // namespace
+
+core::EdgePoAlgorithm mark_first_edge_po() { return mark_first; }
+
+core::EdgePoAlgorithm eds_mark_first_po() { return mark_first; }
+
+core::VertexPoAlgorithm take_all_po() {
+  return [](const core::ViewTree&) { return 1; };
+}
+
+core::VertexPoAlgorithm match_view_type_po(std::string type) {
+  return [type = std::move(type)](const core::ViewTree& t) {
+    return core::view_type(t) == type ? 1 : 0;
+  };
+}
+
+core::VertexPoAlgorithm weak_coloring_po(int delta) {
+  return [delta](const core::ViewTree& t) {
+    return orientation_color(t, 0, delta);
+  };
+}
+
+core::VertexPoAlgorithm ds_from_weak_coloring_po(int delta) {
+  return [delta](const core::ViewTree& t) {
+    if (orientation_color(t, 0, delta) == 0) return 1;
+    for (int c : t.children[0])
+      if (orientation_color(t, c, delta) == 0) return 0;
+    return 1;  // colour 1 and no colour-0 neighbour
+  };
+}
+
+}  // namespace lapx::algorithms

@@ -1,0 +1,81 @@
+#include "lapx/algorithms/randomized.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lapx::algorithms {
+
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::Vertex;
+
+order::Keys random_keys(Vertex n, std::mt19937_64& rng) {
+  order::Keys keys(static_cast<std::size_t>(n));
+  std::iota(keys.begin(), keys.end(), 0);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  return keys;
+}
+
+}  // namespace
+
+std::vector<bool> randomized_independent_set(const Graph& g,
+                                             std::mt19937_64& rng) {
+  const auto keys = random_keys(g.num_vertices(), rng);
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    bool minimum = true;
+    for (Vertex u : g.neighbors(v))
+      if (keys[u] < keys[v]) {
+        minimum = false;
+        break;
+      }
+    in_set[v] = minimum;
+  }
+  return in_set;
+}
+
+std::vector<bool> randomized_proposal_matching(const Graph& g, int rounds,
+                                               std::mt19937_64& rng) {
+  std::vector<bool> matched_edge(g.num_edges(), false);
+  std::vector<bool> matched_vertex(g.num_vertices(), false);
+  for (int round = 0; round < rounds; ++round) {
+    // Each unmatched node proposes to a uniformly random unmatched
+    // neighbour (or stays silent if it has none).
+    std::vector<Vertex> proposal(g.num_vertices(), -1);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (matched_vertex[v]) continue;
+      std::vector<Vertex> candidates;
+      for (Vertex u : g.neighbors(v))
+        if (!matched_vertex[u]) candidates.push_back(u);
+      if (candidates.empty()) continue;
+      std::uniform_int_distribution<std::size_t> pick(0,
+                                                      candidates.size() - 1);
+      proposal[v] = candidates[pick(rng)];
+    }
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const Vertex u = proposal[v];
+      if (u == -1 || u < v) continue;  // handle each pair once
+      if (proposal[u] == v) {
+        matched_edge[g.edge_id(v, u)] = true;
+        matched_vertex[v] = matched_vertex[u] = true;
+      }
+    }
+  }
+  return matched_edge;
+}
+
+std::vector<bool> with_random_order(const Graph& g,
+                                    const core::VertexOiAlgorithm& algo,
+                                    int r, std::mt19937_64& rng) {
+  return core::run_oi(g, random_keys(g.num_vertices(), rng), algo, r);
+}
+
+std::vector<bool> with_random_order_edges(const Graph& g,
+                                          const core::EdgeOiAlgorithm& algo,
+                                          int r, std::mt19937_64& rng) {
+  return core::run_oi_edges(g, random_keys(g.num_vertices(), rng), algo, r);
+}
+
+}  // namespace lapx::algorithms

@@ -1,0 +1,51 @@
+#pragma once
+// Rooted labelled balls: the information available to ID- and OI-algorithms.
+//
+// tau(G, v) is the induced subgraph on the radius-r ball around v.  In the
+// ID model vertices additionally carry unique numeric identifiers; in the OI
+// model only the relative order of the identifiers matters, so the canonical
+// form replaces identifiers by dense ranks 0..b-1.  An OI algorithm in this
+// library is, by construction, a function of the canonicalized ball -- which
+// makes order-invariance a property enforced by the framework rather than a
+// promise by the algorithm author.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lapx/graph/graph.hpp"
+#include "lapx/order/homogeneity.hpp"
+
+namespace lapx::core {
+
+/// A rooted radius-r ball with per-vertex keys (identifiers or ranks).
+struct Ball {
+  graph::Graph g;                        ///< induced subgraph on the ball
+  graph::Vertex root = 0;                ///< root index within `g`
+  order::Keys keys;                      ///< identifier / rank per ball vertex
+  std::vector<graph::Vertex> original;   ///< ball vertex -> vertex of the host
+  int radius = 0;
+
+  int size() const { return g.num_vertices(); }
+};
+
+/// Extracts tau(G, v) at radius r with the given identifiers.
+Ball extract_ball(const graph::Graph& g, const order::Keys& ids,
+                  graph::Vertex v, int r);
+
+/// Canonical OI form: vertices relabelled so that vertex index == order
+/// rank, and keys replaced by 0..b-1.  Two order-isomorphic rooted balls
+/// canonicalize to *identical* Ball values (the order-preserving bijection
+/// is unique), so any function of the canonical ball is automatically an
+/// order-invariant algorithm.  `original` is permuted along, so
+/// original[i] still names the host vertex behind canonical vertex i.
+Ball canonicalize_oi(const Ball& b);
+
+/// Canonical string encoding of an OI ball (root + order + adjacency);
+/// equal strings <=> order-isomorphic rooted balls.
+std::string oi_ball_type(const Ball& b);
+
+/// Canonical string encoding of an ID ball (keeps raw identifiers).
+std::string id_ball_type(const Ball& b);
+
+}  // namespace lapx::core

@@ -1,0 +1,57 @@
+#pragma once
+// The PN model: port numbering *without* orientations (Section 6.1).
+//
+// PN is strictly weaker than PO.  A PN view records, for every step of a
+// non-backtracking walk, only the pair (port taken, port arrived at) --
+// there is no orientation bit.  The classical separation (discussed in
+// Section 6.1 of the paper): on a 3-regular graph whose port numbering is
+// induced by a proper 3-edge-colouring, every PN view is isomorphic to
+// every other, so PN algorithms cannot produce a non-trivial dominating
+// set; but *any* orientation breaks the symmetry (a perfect-matching
+// colour class cannot be oriented head-to-head everywhere), so PO can --
+// via the weak 2-colouring of Mayer, Naor and Stockmeyer.
+//
+// This header provides PN views and their canonical types, mirroring
+// lapx/core/view.hpp for the PO model.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lapx/graph/graph.hpp"
+#include "lapx/graph/port_numbering.hpp"
+
+namespace lapx::core {
+
+/// The radius-r truncation of the PN view: nodes are non-backtracking
+/// walks, each step annotated with (own port, remote port).
+struct PnViewTree {
+  struct Node {
+    graph::Vertex image = -1;
+    int parent = -1;
+    int via_port = -1;      ///< port taken at the parent
+    int arrival_port = -1;  ///< port of this node on the traversed edge
+    int depth = 0;
+  };
+
+  std::vector<Node> nodes;                 ///< BFS order; node 0 is the root
+  std::vector<std::vector<int>> children;  ///< sorted by via_port
+  int radius = 0;
+
+  int size() const { return static_cast<int>(nodes.size()); }
+};
+
+/// Computes the radius-r PN view of v.
+PnViewTree pn_view(const graph::Graph& g, const graph::PortNumbering& pn,
+                   graph::Vertex v, int r);
+
+/// Canonical serialization; equal strings <=> isomorphic PN views.
+std::string pn_view_type(const PnViewTree& t);
+
+/// Output of a PN vertex algorithm at every node (function of the view).
+using VertexPnAlgorithm = std::function<int(const PnViewTree&)>;
+std::vector<bool> run_pn(const graph::Graph& g,
+                         const graph::PortNumbering& pn,
+                         const VertexPnAlgorithm& algo, int r);
+
+}  // namespace lapx::core

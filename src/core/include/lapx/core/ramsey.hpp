@@ -1,0 +1,72 @@
+#pragma once
+// The Ramsey technique of Section 4.2: forcing an ID-algorithm to be
+// order-invariant on a suitable identifier subset.
+//
+// The paper colours every t-subset S of N by the behaviour of the
+// ID-algorithm A on trees whose identifiers are drawn order-preservingly
+// from S, and applies Ramsey's theorem to find identifier sets on which the
+// colour -- hence A's behaviour -- is constant, i.e. depends only on the
+// relative order of the identifiers.  That is an ID = OI statement.
+//
+// Ramsey numbers are astronomically large, but the argument only needs
+// *one* monochromatic subset, which for the small radii and degrees we
+// experiment with can be found by explicit search.  This module provides:
+//  * a generic monochromatic-subset search for colourings of t-subsets,
+//  * the behaviour colouring induced by a concrete ID-algorithm on a set of
+//    test neighbourhood structures, and
+//  * the forced OI-algorithm B(ball) := A(ball with identifiers drawn from
+//    the monochromatic set J), together with a validity check.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "lapx/core/ball.hpp"
+#include "lapx/core/model.hpp"
+
+namespace lapx::core {
+
+/// A colouring of t-subsets of {0..universe-1}.  The argument is sorted
+/// ascending and has size exactly t.
+using SubsetColouring =
+    std::function<std::string(const std::vector<std::int64_t>&)>;
+
+/// Searches for J subseteq {0..universe-1}, |J| = target, such that all
+/// t-subsets of J receive the same colour.  Exhaustive branch-and-prune; the
+/// colouring is evaluated lazily and memoised by the caller if expensive.
+std::optional<std::vector<std::int64_t>> find_monochromatic_subset(
+    int t, std::int64_t universe, int target, const SubsetColouring& colouring);
+
+/// The behaviour colouring of the paper: colour(S) concatenates A's outputs
+/// on every test structure with identifiers f_{W,S} (the |W| smallest
+/// elements of S assigned in rank order).  Test structures must be
+/// canonical OI balls (rank keys 0..b-1); t must be >= the largest ball.
+SubsetColouring behaviour_colouring(const VertexIdAlgorithm& a,
+                                    const std::vector<Ball>& test_structures);
+
+/// Result of forcing an ID algorithm into order-invariance.
+struct RamseyForcing {
+  std::vector<std::int64_t> mono_set;  ///< the monochromatic identifier set J
+  VertexOiAlgorithm forced;            ///< B(ball) = A(ball with ids from J)
+};
+
+/// Finds a monochromatic identifier set of size `target` for the behaviour
+/// colouring of A over the given test structures, and returns the forced
+/// OI-algorithm.  Returns std::nullopt if the universe is too small.
+std::optional<RamseyForcing> force_order_invariance(
+    const VertexIdAlgorithm& a, const std::vector<Ball>& test_structures,
+    std::int64_t universe, int target);
+
+/// Checks the forcing on a concrete graph: assigns identifiers from J to the
+/// vertices of g (order-preservingly w.r.t. `keys`) and verifies that A's
+/// outputs equal the forced OI-algorithm's outputs at every node whose ball
+/// appears among the test structures; returns the fraction of agreeing
+/// nodes over all nodes.
+double forcing_agreement(const RamseyForcing& forcing,
+                         const VertexIdAlgorithm& a, const graph::Graph& g,
+                         const order::Keys& keys, int r);
+
+}  // namespace lapx::core

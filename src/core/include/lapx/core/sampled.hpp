@@ -1,0 +1,60 @@
+#pragma once
+// Sampled evaluation of the OI -> PO simulation on homogeneous lifts that
+// are far too large to materialise.
+//
+// The product lift G_eps = H_eps x G of Theorem 3.3 has |H| * |G| vertices
+// with |H| = m^(2^j - 1); for the paper's wreath templates at useful eps
+// this exceeds 10^10.  But both sides of Fact 4.2 are *local* quantities:
+//
+//   A's output at a lift node v   = A(ordered radius-r ball around v),
+//   B's output at v               = A(tau* |` view(v)),
+//
+// and a lift node is just a pair (h, g) whose neighbourhoods are computable
+// by group arithmetic in H (coordinates mod m) plus arc lookups in G.  This
+// module samples uniform lift nodes, builds both inputs locally, and
+// estimates the agreement fraction -- the eps -> 0 limit of Theorem 4.1
+// measured on the genuine Section 5 construction.
+
+#include <random>
+
+#include "lapx/core/model.hpp"
+#include "lapx/core/tstar.hpp"
+#include "lapx/graph/digraph.hpp"
+#include "lapx/group/homogeneous.hpp"
+
+namespace lapx::core {
+
+/// A node of the (virtual) product lift H_eps x G.
+struct LiftNode {
+  group::Elem h;
+  graph::Vertex g = 0;
+
+  bool operator<(const LiftNode& other) const {
+    return h != other.h ? h < other.h : g < other.g;
+  }
+  bool operator==(const LiftNode&) const = default;
+};
+
+/// The ordered radius-r ball around `node` in the product lift, built by
+/// group arithmetic only.  Keys follow the pull-back order: cone order on
+/// the H component, ties broken by the G index (the same completion used by
+/// ordered_product_lift).  Ball vertices are indexed in discovery order;
+/// `original` is unused (set to the index itself).
+Ball sampled_lift_ball(const group::HomogeneousSpec& spec,
+                       const graph::LDigraph& g, const LiftNode& node, int r);
+
+/// The truncated view of `node` in the product lift (it equals the view of
+/// node.g in G by lift invariance; computed through the product for
+/// validation purposes).
+ViewTree sampled_lift_view(const group::HomogeneousSpec& spec,
+                           const graph::LDigraph& g, const LiftNode& node,
+                           int r);
+
+/// Estimates the Fact 4.2 agreement between an OI algorithm A and its PO
+/// simulation B on the virtual lift, over `samples` uniform nodes.
+double sampled_agreement(const group::HomogeneousSpec& spec,
+                         const graph::LDigraph& g,
+                         const VertexOiAlgorithm& a, const TStarOrder& order,
+                         int r, int samples, std::mt19937_64& rng);
+
+}  // namespace lapx::core

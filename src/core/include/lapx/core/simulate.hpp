@@ -1,0 +1,74 @@
+#pragma once
+// Theorem 4.1: the OI -> PO simulation, and its measurable consequences.
+//
+// Given an OI-algorithm A, the PO-algorithm B is defined by
+//     B(W) := A((T*, <*, lambda) |` W),
+// i.e. B interprets its truncated view as a subtree of the ordered complete
+// tree T* and hands that ordered graph to A.  On the homogeneous lift
+// G_eps = H_eps x G (Theorem 3.3), a (1 - eps) fraction of nodes have
+// ordered neighbourhoods isomorphic to subtrees of tau*, so A and B agree on
+// a (1 - eps) fraction of the nodes (Fact 4.2) -- and because PO outputs are
+// lift-invariant, B inherits A's approximation guarantee on the base graph
+// G up to a (1 - eps |G|)^{-1} factor that vanishes as eps -> 0.
+//
+// This header provides the transformation (vertex and edge variants), the
+// ordered-lift builder, and agreement / ratio measurement utilities used by
+// experiments E6, E7 and E9.
+
+#include <string>
+
+#include "lapx/core/model.hpp"
+#include "lapx/core/tstar.hpp"
+#include "lapx/graph/lift.hpp"
+
+namespace lapx::core {
+
+/// Interprets a truncated view as an ordered ball: the tree on the view's
+/// nodes, keyed by the <*-ranks of their walk words.  `original` is set to
+/// the covered vertices (images), so edge marks can be translated back.
+Ball view_to_ordered_ball(const ViewTree& t, const TStarOrder& order);
+
+/// B(W) := A(tau* |` W), vertex version.
+VertexPoAlgorithm oi_to_po(VertexOiAlgorithm a, TStarOrder order);
+
+/// B(W) := A(tau* |` W), edge version: A's marks on root neighbours are
+/// translated to marks on the root's incident arcs.
+EdgePoAlgorithm oi_to_po_edges(EdgeOiAlgorithm a, TStarOrder order);
+
+/// The ordered homogeneous lift of Theorem 3.3: the product of an ordered
+/// homogeneous template (H, <_H) with an arbitrary L-digraph G, ordered by
+/// any completion of the pull-back partial order (we use the pair
+/// (key_H(phi_H(v)), g-index) lexicographically, which completes it).
+struct OrderedLift {
+  graph::LDigraph graph;
+  order::Keys keys;
+  std::vector<graph::Vertex> phi;    ///< covering map onto G
+  std::vector<graph::Vertex> phi_h;  ///< homomorphism into H
+};
+
+OrderedLift ordered_product_lift(const graph::LDigraph& h_template,
+                                 const order::Keys& h_keys,
+                                 const graph::LDigraph& g);
+
+/// Fact 4.2 measurement: runs A directly on the ordered graph (underlying
+/// the lift) and B = oi_to_po(A) on the views, and reports the fraction of
+/// vertices where they agree (plus both output vectors).
+struct AgreementReport {
+  double agreement = 0.0;
+  std::vector<bool> oi_output;  ///< A's outputs on (G_eps, <)
+  std::vector<bool> po_output;  ///< B's outputs on G_eps
+};
+
+AgreementReport measure_agreement(const graph::LDigraph& lifted,
+                                  const order::Keys& keys,
+                                  const VertexOiAlgorithm& a,
+                                  const TStarOrder& order, int r);
+
+/// Edge-problem variant of the agreement measurement: compares the selected
+/// edge sets (fraction of edges on which the two solutions agree).
+AgreementReport measure_edge_agreement(const graph::LDigraph& lifted,
+                                       const order::Keys& keys,
+                                       const EdgeOiAlgorithm& a,
+                                       const TStarOrder& order, int r);
+
+}  // namespace lapx::core

@@ -1,0 +1,56 @@
+#pragma once
+// The ordered complete tree (T*, <*, lambda) (Sections 2.5 and 3.3).
+//
+// T* is the complete L-labelled radius-r tree: its nodes are the reduced
+// words of length <= r over L u L^{-1}.  The homogeneous-graph construction
+// equips it with a linear order <*: a word w is mapped to the group element
+// it evaluates to (in the ordered group underlying the homogeneous template
+// graph), and words are compared in the group's positive-cone order.
+//
+// Two templates are supported:
+//  * wreath(spec): the paper's construction -- words evaluate in U_level
+//    using spec.generators; valid for any radius r with girth > 2r + 1
+//    certified by the generator search.
+//  * abelian(k, r): the free abelian group Z^k with unit generators and the
+//    same last-nonzero-positive cone.  This is the order underlying the
+//    lexicographically ordered toroidal grids of Figure 6(b); its Cayley
+//    graph has girth 4, so it is only usable for r = 1 (but scales to huge
+//    finite tori).  See DESIGN.md.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "lapx/core/view.hpp"
+#include "lapx/group/homogeneous.hpp"
+
+namespace lapx::core {
+
+class TStarOrder {
+ public:
+  /// The paper's wreath-product order; requires spec.generators/level/r.
+  static TStarOrder wreath(const group::HomogeneousSpec& spec);
+
+  /// The abelian (toroidal) order for radius-1 experiments, or radius r on
+  /// k = 1 (where Z is cycle-like and every radius is fine).
+  static TStarOrder abelian(int k, int radius);
+
+  /// Rank of a reduced word under <*; throws std::out_of_range for words
+  /// longer than the radius (or non-reduced words).
+  std::int64_t rank(const Word& w) const;
+
+  int radius() const { return radius_; }
+  int alphabet() const { return alphabet_; }
+
+  /// Number of words (= |V(T*)|).
+  std::int64_t size() const { return static_cast<std::int64_t>(ranks_.size()); }
+
+ private:
+  TStarOrder() = default;
+
+  int radius_ = 0;
+  int alphabet_ = 0;
+  std::map<Word, std::int64_t> ranks_;
+};
+
+}  // namespace lapx::core

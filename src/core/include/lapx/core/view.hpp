@@ -1,0 +1,82 @@
+#pragma once
+// View trees (Section 2.5, Figure 4c): the information available to a
+// PO-algorithm.
+//
+// The view of an L-digraph G from a node v is the rooted L-labelled tree
+// T(G, v) whose nodes are the non-backtracking walks on G starting at v.
+// A walk is a reduced word over the letters L u L^{-1}: letter l follows an
+// outgoing arc labelled l, letter l^{-1} follows an incoming arc labelled l
+// backwards; reduced means no letter is immediately followed by its inverse.
+// The map phi sending a walk to its endpoint is a covering map T(G,v) -> G.
+//
+// A local PO-algorithm with run time r is exactly a function of the radius-r
+// truncation tau(T(G, v)).  Because the labelling is proper, each tree node
+// has at most one child per (direction, label) move, so the truncated view
+// has a canonical string serialization: two views are isomorphic iff their
+// serializations are equal.
+
+#include <string>
+#include <vector>
+
+#include "lapx/graph/digraph.hpp"
+
+namespace lapx::core {
+
+using graph::Label;
+using graph::LDigraph;
+using graph::Vertex;
+
+/// One step of a walk: follow an outgoing arc labelled `label` (outgoing ==
+/// true, the letter l) or an incoming arc backwards (outgoing == false, the
+/// letter l^{-1}).
+struct Move {
+  bool outgoing = true;
+  Label label = 0;
+
+  /// The inverse letter (what a backtracking step would look like).
+  Move inverse() const { return Move{!outgoing, label}; }
+
+  bool operator==(const Move&) const = default;
+  auto operator<=>(const Move&) const = default;
+};
+
+/// A walk word: the sequence of moves from the root.
+using Word = std::vector<Move>;
+
+/// The radius-r truncation of the view T(G, v).
+struct ViewTree {
+  struct Node {
+    Vertex image = -1;  ///< phi(walk): the vertex of G this walk ends at
+    int parent = -1;    ///< index of the parent node; -1 at the root
+    Move via;           ///< the move leading from the parent to this node
+    int depth = 0;
+  };
+
+  std::vector<Node> nodes;                 ///< BFS order; node 0 is the root
+  std::vector<std::vector<int>> children;  ///< sorted by (outgoing, label)
+  Label alphabet = 0;
+  int radius = 0;
+
+  int size() const { return static_cast<int>(nodes.size()); }
+
+  /// The walk word of a node (moves from the root).
+  Word word(int node) const;
+};
+
+/// Computes tau(T(G, v)) at radius r.
+ViewTree view(const LDigraph& g, Vertex v, int r);
+
+/// Canonical serialization; equal strings <=> isomorphic truncated views.
+/// Covered-vertex images are not part of the encoding (PO-algorithms cannot
+/// see them).
+std::string view_type(const ViewTree& t);
+
+/// Number of nodes of the complete radius-r tree (T*, lambda) over an
+/// alphabet of k labels: every non-leaf has an outgoing and an incoming
+/// child for each label (Figure 5).
+std::int64_t complete_tree_size(int k, int r);
+
+/// True if the truncated view is complete, i.e. isomorphic to (T*, lambda).
+bool is_complete_view(const ViewTree& t);
+
+}  // namespace lapx::core

@@ -1,0 +1,89 @@
+#include "lapx/core/model.hpp"
+
+#include <stdexcept>
+
+namespace lapx::core {
+
+std::vector<bool> run_po(const LDigraph& g, const VertexPoAlgorithm& algo,
+                         int r) {
+  std::vector<bool> out(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    out[v] = algo(view(g, v, r)) != 0;
+  return out;
+}
+
+std::vector<bool> run_oi(const graph::Graph& g, const order::Keys& keys,
+                         const VertexOiAlgorithm& algo, int r) {
+  std::vector<bool> out(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    out[v] = algo(canonicalize_oi(extract_ball(g, keys, v, r))) != 0;
+  return out;
+}
+
+std::vector<bool> run_id(const graph::Graph& g, const order::Keys& ids,
+                         const VertexIdAlgorithm& algo, int r) {
+  std::vector<bool> out(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    out[v] = algo(extract_ball(g, ids, v, r)) != 0;
+  return out;
+}
+
+std::vector<bool> run_po_edges(const LDigraph& g, const EdgePoAlgorithm& algo,
+                               int r) {
+  const graph::Graph underlying = g.underlying_graph();
+  std::vector<bool> marks(underlying.num_edges(), false);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& [move, selected] : algo(view(g, v, r))) {
+      if (!selected) continue;
+      const auto w = move.outgoing ? g.out_neighbor(v, move.label)
+                                   : g.in_neighbor(v, move.label);
+      if (!w)
+        throw std::logic_error("PO edge algorithm marked a missing arc");
+      marks[underlying.edge_id(v, *w)] = true;
+    }
+  }
+  return marks;
+}
+
+namespace {
+
+std::vector<bool> run_edges_with_keys(const graph::Graph& g,
+                                      const order::Keys& keys,
+                                      const EdgeOiAlgorithm& algo, int r,
+                                      bool canonicalize) {
+  std::vector<bool> marks(g.num_edges(), false);
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    const Ball ball = extract_ball(g, keys, v, r);
+    const Ball input = canonicalize ? canonicalize_oi(ball) : ball;
+    for (const auto& [neighbor_idx, selected] : algo(input)) {
+      if (!selected) continue;
+      if (!input.g.has_edge(input.root, neighbor_idx))
+        throw std::logic_error("edge algorithm marked a non-incident edge");
+      marks[g.edge_id(v, input.original.at(neighbor_idx))] = true;
+    }
+  }
+  return marks;
+}
+
+}  // namespace
+
+std::vector<bool> run_oi_edges(const graph::Graph& g, const order::Keys& keys,
+                               const EdgeOiAlgorithm& algo, int r) {
+  return run_edges_with_keys(g, keys, algo, r, /*canonicalize=*/true);
+}
+
+std::vector<bool> run_id_edges(const graph::Graph& g, const order::Keys& ids,
+                               const EdgeIdAlgorithm& algo, int r) {
+  return run_edges_with_keys(g, ids, algo, r, /*canonicalize=*/false);
+}
+
+bool po_outputs_lift_invariant(const LDigraph& lift, const LDigraph& base,
+                               const std::vector<graph::Vertex>& phi,
+                               const VertexPoAlgorithm& algo, int r) {
+  for (Vertex v = 0; v < lift.num_vertices(); ++v) {
+    if (algo(view(lift, v, r)) != algo(view(base, phi.at(v), r))) return false;
+  }
+  return true;
+}
+
+}  // namespace lapx::core

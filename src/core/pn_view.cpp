@@ -1,0 +1,67 @@
+#include "lapx/core/pn_view.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <sstream>
+
+namespace lapx::core {
+
+PnViewTree pn_view(const graph::Graph& g, const graph::PortNumbering& pn,
+                   graph::Vertex v, int r) {
+  if (!pn.valid_for(g)) throw std::invalid_argument("invalid port numbering");
+  PnViewTree t;
+  t.radius = r;
+  t.nodes.push_back(PnViewTree::Node{v, -1, -1, -1, 0});
+  t.children.emplace_back();
+  std::deque<int> queue{0};
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    const auto node = t.nodes[cur];
+    if (node.depth == r) continue;
+    const auto& ports = pn.ports.at(node.image);
+    for (int p = 0; p < static_cast<int>(ports.size()); ++p) {
+      // Non-backtracking: do not leave through the port we arrived at.
+      if (cur != 0 && p == node.arrival_port) continue;
+      const graph::Vertex u = ports[p];
+      const int q = pn.port_of(u, node.image);
+      const int child = static_cast<int>(t.nodes.size());
+      t.nodes.push_back(PnViewTree::Node{u, cur, p, q, node.depth + 1});
+      t.children.emplace_back();
+      t.children[cur].push_back(child);
+      queue.push_back(child);
+    }
+  }
+  return t;
+}
+
+namespace {
+
+void serialize(const PnViewTree& t, int node, std::ostringstream& os) {
+  os << "(";
+  for (int child : t.children[node]) {
+    os << t.nodes[child].via_port << ":" << t.nodes[child].arrival_port;
+    serialize(t, child, os);
+  }
+  os << ")";
+}
+
+}  // namespace
+
+std::string pn_view_type(const PnViewTree& t) {
+  std::ostringstream os;
+  os << "r=" << t.radius << ";";
+  serialize(t, 0, os);
+  return os.str();
+}
+
+std::vector<bool> run_pn(const graph::Graph& g,
+                         const graph::PortNumbering& pn,
+                         const VertexPnAlgorithm& algo, int r) {
+  std::vector<bool> out(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    out[v] = algo(pn_view(g, pn, v, r)) != 0;
+  return out;
+}
+
+}  // namespace lapx::core

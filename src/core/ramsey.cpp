@@ -1,0 +1,157 @@
+#include "lapx/core/ramsey.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace lapx::core {
+
+namespace {
+
+// Enumerates the t-subsets of `chosen + {x}` that contain x, calling
+// `check` on each (sorted); returns false as soon as check does.
+bool subsets_with_x_ok(const std::vector<std::int64_t>& chosen, std::int64_t x,
+                       int t,
+                       const std::function<bool(std::vector<std::int64_t>&)>&
+                           check) {
+  // choose t-1 elements from `chosen` (which is sorted, all < x).
+  std::vector<std::int64_t> subset;
+  std::function<bool(std::size_t)> rec = [&](std::size_t start) -> bool {
+    if (static_cast<int>(subset.size()) == t - 1) {
+      std::vector<std::int64_t> full = subset;
+      full.push_back(x);  // x is the largest, so `full` stays sorted
+      return check(full);
+    }
+    const int need = t - 1 - static_cast<int>(subset.size());
+    for (std::size_t i = start;
+         i + static_cast<std::size_t>(need) <= chosen.size(); ++i) {
+      subset.push_back(chosen[i]);
+      if (!rec(i + 1)) return false;
+      subset.pop_back();
+    }
+    return true;
+  };
+  return rec(0);
+}
+
+}  // namespace
+
+std::optional<std::vector<std::int64_t>> find_monochromatic_subset(
+    int t, std::int64_t universe, int target,
+    const SubsetColouring& colouring) {
+  if (t < 1) throw std::invalid_argument("t must be >= 1");
+  if (target <= 0) return std::vector<std::int64_t>{};
+  if (target > universe) return std::nullopt;
+  if (target < t) {
+    std::vector<std::int64_t> trivial;
+    for (int i = 0; i < target; ++i) trivial.push_back(i);
+    return trivial;  // no t-subsets, vacuously monochromatic
+  }
+
+  std::map<std::vector<std::int64_t>, std::string> memo;
+  auto colour_of = [&](const std::vector<std::int64_t>& s) -> const std::string& {
+    auto it = memo.find(s);
+    if (it == memo.end()) it = memo.emplace(s, colouring(s)).first;
+    return it->second;
+  };
+
+  std::vector<std::int64_t> chosen;
+  std::string target_colour;
+  bool colour_fixed = false;
+
+  std::function<bool(std::int64_t)> extend = [&](std::int64_t start) -> bool {
+    if (static_cast<int>(chosen.size()) == target) return true;
+    for (std::int64_t x = start; x < universe; ++x) {
+      bool ok = true;
+      bool fixed_here = false;
+      if (static_cast<int>(chosen.size()) + 1 >= t) {
+        ok = subsets_with_x_ok(chosen, x, t,
+                               [&](std::vector<std::int64_t>& s) {
+                                 const std::string& c = colour_of(s);
+                                 if (!colour_fixed) {
+                                   target_colour = c;
+                                   colour_fixed = true;
+                                   fixed_here = true;
+                                   return true;
+                                 }
+                                 return c == target_colour;
+                               });
+      }
+      if (ok) {
+        chosen.push_back(x);
+        if (extend(x + 1)) return true;
+        chosen.pop_back();
+      }
+      if (fixed_here) colour_fixed = false;  // backtrack the colour choice
+    }
+    return false;
+  };
+
+  if (!extend(0)) return std::nullopt;
+  return chosen;
+}
+
+SubsetColouring behaviour_colouring(const VertexIdAlgorithm& a,
+                                    const std::vector<Ball>& test_structures) {
+  for (const Ball& w : test_structures) {
+    const auto ranks = order::ranks_from_keys(w.keys);
+    for (std::size_t i = 0; i < w.keys.size(); ++i)
+      if (w.keys[i] != static_cast<std::int64_t>(ranks[i]))
+        throw std::invalid_argument("test structures must be canonical balls");
+  }
+  return [&a, test_structures](const std::vector<std::int64_t>& s) {
+    std::ostringstream colour;
+    for (const Ball& w : test_structures) {
+      if (w.keys.size() > s.size())
+        throw std::invalid_argument("t smaller than a test structure");
+      Ball labelled = w;
+      // f_{W,S}: give the rank-i vertex the i-th smallest element of S.
+      for (std::size_t i = 0; i < labelled.keys.size(); ++i)
+        labelled.keys[i] = s[static_cast<std::size_t>(w.keys[i])];
+      colour << a(labelled) << ";";
+    }
+    return colour.str();
+  };
+}
+
+std::optional<RamseyForcing> force_order_invariance(
+    const VertexIdAlgorithm& a, const std::vector<Ball>& test_structures,
+    std::int64_t universe, int target) {
+  std::size_t t = 1;
+  for (const Ball& w : test_structures) t = std::max(t, w.keys.size());
+  if (target < static_cast<int>(t)) return std::nullopt;
+  auto mono = find_monochromatic_subset(static_cast<int>(t), universe, target,
+                                        behaviour_colouring(a, test_structures));
+  if (!mono) return std::nullopt;
+  RamseyForcing forcing;
+  forcing.mono_set = *mono;
+  const std::vector<std::int64_t> j = *mono;
+  forcing.forced = [a, j](const Ball& canonical) {
+    Ball labelled = canonical;
+    for (std::size_t i = 0; i < labelled.keys.size(); ++i)
+      labelled.keys[i] = j.at(static_cast<std::size_t>(canonical.keys[i]));
+    return a(labelled);
+  };
+  return forcing;
+}
+
+double forcing_agreement(const RamseyForcing& forcing,
+                         const VertexIdAlgorithm& a, const graph::Graph& g,
+                         const order::Keys& keys, int r) {
+  if (static_cast<std::size_t>(g.num_vertices()) > forcing.mono_set.size())
+    throw std::invalid_argument("monochromatic set smaller than the graph");
+  const auto ranks = order::ranks_from_keys(keys);
+  order::Keys ids(keys.size());
+  for (std::size_t v = 0; v < keys.size(); ++v)
+    ids[v] = forcing.mono_set[static_cast<std::size_t>(ranks[v])];
+  const auto id_out = run_id(g, ids, a, r);
+  const auto oi_out = run_oi(g, ids, forcing.forced, r);
+  std::size_t agree = 0;
+  for (std::size_t v = 0; v < id_out.size(); ++v)
+    agree += id_out[v] == oi_out[v];
+  return id_out.empty() ? 1.0
+                        : static_cast<double>(agree) / id_out.size();
+}
+
+}  // namespace lapx::core

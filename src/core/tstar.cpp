@@ -1,0 +1,103 @@
+#include "lapx/core/tstar.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+namespace lapx::core {
+
+namespace {
+
+// Enumerates all reduced words of length <= radius over k labels and pairs
+// each with its evaluation under `step`.
+std::vector<std::pair<Word, group::Elem>> enumerate_words(
+    int k, int radius, const group::Elem& identity,
+    const std::function<group::Elem(const group::Elem&, const Move&)>& step) {
+  std::vector<std::pair<Word, group::Elem>> result;
+  Word word;
+  std::function<void(const group::Elem&)> dfs = [&](const group::Elem& value) {
+    result.emplace_back(word, value);
+    if (static_cast<int>(word.size()) == radius) return;
+    for (int outgoing = 0; outgoing < 2; ++outgoing) {
+      for (graph::Label l = 0; l < k; ++l) {
+        const Move move{outgoing == 1, l};
+        if (!word.empty() && move == word.back().inverse()) continue;
+        word.push_back(move);
+        dfs(step(value, move));
+        word.pop_back();
+      }
+    }
+  };
+  dfs(identity);
+  return result;
+}
+
+}  // namespace
+
+TStarOrder TStarOrder::wreath(const group::HomogeneousSpec& spec) {
+  TStarOrder order;
+  order.radius_ = spec.r;
+  order.alphabet_ = spec.k;
+  const group::WreathGroup u = spec.infinite_group();
+  auto step = [&](const group::Elem& value, const Move& move) {
+    const group::Elem& s = spec.generators.at(move.label);
+    return move.outgoing ? u.multiply(value, s)
+                         : u.multiply(value, u.inverse(s));
+  };
+  auto words = enumerate_words(spec.k, spec.r, u.identity(), step);
+  std::vector<std::size_t> idx(words.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return group::cone_less(spec.level, words[a].second, words[b].second);
+  });
+  for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+    if (pos > 0 && !group::cone_less(spec.level, words[idx[pos - 1]].second,
+                                     words[idx[pos]].second))
+      throw std::logic_error("T* words not distinct: girth certificate wrong");
+    order.ranks_[words[idx[pos]].first] = static_cast<std::int64_t>(pos);
+  }
+  return order;
+}
+
+TStarOrder TStarOrder::abelian(int k, int radius) {
+  if (k > 1 && radius > 1)
+    throw std::invalid_argument(
+        "abelian T* order is only sound for r = 1 when k > 1 (girth 4)");
+  TStarOrder order;
+  order.radius_ = radius;
+  order.alphabet_ = k;
+  const group::Elem identity(static_cast<std::size_t>(k), 0);
+  auto step = [&](const group::Elem& value, const Move& move) {
+    group::Elem next = value;
+    next.at(move.label) += move.outgoing ? 1 : -1;
+    return next;
+  };
+  auto words = enumerate_words(k, radius, identity, step);
+  auto less = [](const group::Elem& a, const group::Elem& b) {
+    group::Elem diff(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      diff[i] = b[i] - a[i];
+    return group::in_positive_cone(diff);
+  };
+  std::vector<std::size_t> idx(words.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return less(words[a].second, words[b].second);
+  });
+  for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+    if (pos > 0 && !less(words[idx[pos - 1]].second, words[idx[pos]].second))
+      throw std::logic_error("abelian T* words not distinct");
+    order.ranks_[words[idx[pos]].first] = static_cast<std::int64_t>(pos);
+  }
+  return order;
+}
+
+std::int64_t TStarOrder::rank(const Word& w) const {
+  auto it = ranks_.find(w);
+  if (it == ranks_.end())
+    throw std::out_of_range("word not in T* (too long or not reduced)");
+  return it->second;
+}
+
+}  // namespace lapx::core

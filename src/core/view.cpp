@@ -1,0 +1,87 @@
+#include "lapx/core/view.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace lapx::core {
+
+Word ViewTree::word(int node) const {
+  Word w;
+  for (int cur = node; cur != 0; cur = nodes.at(cur).parent)
+    w.push_back(nodes.at(cur).via);
+  std::reverse(w.begin(), w.end());
+  return w;
+}
+
+ViewTree view(const LDigraph& g, Vertex v, int r) {
+  ViewTree t;
+  t.alphabet = g.alphabet_size();
+  t.radius = r;
+  t.nodes.push_back(ViewTree::Node{v, -1, Move{}, 0});
+  t.children.emplace_back();
+  std::deque<int> queue{0};
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    const auto& node = t.nodes[cur];
+    if (node.depth == r) continue;
+    const Vertex u = node.image;
+    const int depth = node.depth;
+    // Enumerate moves in canonical order: incoming letters first by label,
+    // then outgoing -- any fixed order works; children stay sorted by
+    // (outgoing, label) because Move's ordering is (outgoing, label).
+    std::vector<std::pair<Move, Vertex>> steps;
+    for (const auto& [l, w] : g.in_arcs(u)) steps.push_back({Move{false, l}, w});
+    for (const auto& [l, w] : g.out_arcs(u)) steps.push_back({Move{true, l}, w});
+    std::sort(steps.begin(), steps.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [move, target] : steps) {
+      if (cur != 0 && move == t.nodes[cur].via.inverse()) continue;
+      const int child = static_cast<int>(t.nodes.size());
+      t.nodes.push_back(ViewTree::Node{target, cur, move, depth + 1});
+      t.children.emplace_back();
+      t.children[cur].push_back(child);
+      queue.push_back(child);
+    }
+  }
+  return t;
+}
+
+namespace {
+
+void serialize(const ViewTree& t, int node, std::ostringstream& os) {
+  os << "(";
+  for (int child : t.children[node]) {
+    const Move m = t.nodes[child].via;
+    os << (m.outgoing ? "+" : "-") << m.label;
+    serialize(t, child, os);
+  }
+  os << ")";
+}
+
+}  // namespace
+
+std::string view_type(const ViewTree& t) {
+  std::ostringstream os;
+  os << "r=" << t.radius << ";";
+  serialize(t, 0, os);
+  return os.str();
+}
+
+std::int64_t complete_tree_size(int k, int r) {
+  // 1 + 2k + 2k(2k-1) + ... + 2k(2k-1)^{r-1}
+  std::int64_t total = 1, layer = 2 * k;
+  for (int depth = 1; depth <= r; ++depth) {
+    total += layer;
+    layer *= (2 * k - 1);
+  }
+  return total;
+}
+
+bool is_complete_view(const ViewTree& t) {
+  return static_cast<std::int64_t>(t.nodes.size()) ==
+         complete_tree_size(t.alphabet, t.radius);
+}
+
+}  // namespace lapx::core

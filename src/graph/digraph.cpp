@@ -1,0 +1,84 @@
+#include "lapx/graph/digraph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lapx::graph {
+
+LDigraph::LDigraph(Vertex n, Label alphabet_size)
+    : alphabet_(alphabet_size),
+      out_(static_cast<std::size_t>(n)),
+      in_(static_cast<std::size_t>(n)) {
+  if (n < 0) throw std::invalid_argument("negative vertex count");
+  if (alphabet_size < 0) throw std::invalid_argument("negative alphabet size");
+}
+
+void LDigraph::add_arc(Vertex u, Vertex v, Label label) {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) throw std::invalid_argument("self-loop at " + std::to_string(u));
+  if (label < 0 || label >= alphabet_)
+    throw std::invalid_argument("label out of range: " + std::to_string(label));
+  if (out_neighbor(u, label).has_value())
+    throw std::invalid_argument("duplicate outgoing label " +
+                                std::to_string(label) + " at " +
+                                std::to_string(u));
+  if (in_neighbor(v, label).has_value())
+    throw std::invalid_argument("duplicate incoming label " +
+                                std::to_string(label) + " at " +
+                                std::to_string(v));
+  for (const auto& [l, w] : out_[u]) {
+    (void)l;
+    if (w == v)
+      throw std::invalid_argument("parallel arc (" + std::to_string(u) + "," +
+                                  std::to_string(v) + ")");
+  }
+  auto insert_sorted = [](std::vector<std::pair<Label, Vertex>>& vec, Label l,
+                          Vertex w) {
+    auto it = std::lower_bound(
+        vec.begin(), vec.end(), std::pair<Label, Vertex>{l, w},
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    vec.insert(it, {l, w});
+  };
+  insert_sorted(out_[u], label, v);
+  insert_sorted(in_[v], label, u);
+  arc_list_.push_back(Arc{u, v, label});
+  ++num_arcs_;
+}
+
+std::optional<Vertex> LDigraph::out_neighbor(Vertex v, Label l) const {
+  check_vertex(v);
+  for (const auto& [label, w] : out_[v])
+    if (label == l) return w;
+  return std::nullopt;
+}
+
+std::optional<Vertex> LDigraph::in_neighbor(Vertex v, Label l) const {
+  check_vertex(v);
+  for (const auto& [label, w] : in_[v])
+    if (label == l) return w;
+  return std::nullopt;
+}
+
+bool LDigraph::is_k_in_k_out_regular(int k) const {
+  for (Vertex v = 0; v < num_vertices(); ++v)
+    if (out_degree(v) != k || in_degree(v) != k) return false;
+  return true;
+}
+
+Graph LDigraph::underlying_graph() const {
+  Graph g(num_vertices());
+  for (const Arc& a : arc_list_) {
+    if (!g.has_edge(a.from, a.to)) g.add_edge(a.from, a.to);
+  }
+  return g;
+}
+
+std::string LDigraph::summary() const {
+  std::ostringstream os;
+  os << "LDigraph(n=" << num_vertices() << ", arcs=" << num_arcs()
+     << ", |L|=" << alphabet_ << ")";
+  return os.str();
+}
+
+}  // namespace lapx::graph

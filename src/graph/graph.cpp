@@ -1,0 +1,83 @@
+#include "lapx/graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lapx::graph {
+
+Graph::Graph(Vertex n)
+    : adj_(static_cast<std::size_t>(n)), incident_(static_cast<std::size_t>(n)) {
+  if (n < 0) throw std::invalid_argument("negative vertex count");
+}
+
+Graph Graph::from_edges(Vertex n, const std::vector<Edge>& edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+EdgeId Graph::add_edge(Vertex u, Vertex v) {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) throw std::invalid_argument("self-loop at " + std::to_string(u));
+  if (has_edge(u, v))
+    throw std::invalid_argument("parallel edge {" + std::to_string(u) + "," +
+                                std::to_string(v) + "}");
+  auto insert_sorted = [](std::vector<Vertex>& vec, Vertex x) {
+    vec.insert(std::lower_bound(vec.begin(), vec.end(), x), x);
+  };
+  insert_sorted(adj_[u], v);
+  insert_sorted(adj_[v], u);
+  if (u > v) std::swap(u, v);
+  edge_list_.emplace_back(u, v);
+  const auto id = static_cast<EdgeId>(edge_list_.size() - 1);
+  incident_[u].push_back(id);
+  incident_[v].push_back(id);
+  return id;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto& a = adj_[u];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+EdgeId Graph::edge_id(Vertex u, Vertex v) const {
+  if (u > v) std::swap(u, v);
+  check_vertex(u);
+  check_vertex(v);
+  for (EdgeId id : incident_[u]) {
+    if (edge_list_[id] == Edge{u, v}) return id;
+  }
+  throw std::out_of_range("no edge {" + std::to_string(u) + "," +
+                          std::to_string(v) + "}");
+}
+
+int Graph::max_degree() const {
+  int d = 0;
+  for (Vertex v = 0; v < num_vertices(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+int Graph::min_degree() const {
+  if (num_vertices() == 0) return 0;
+  int d = degree(0);
+  for (Vertex v = 1; v < num_vertices(); ++v) d = std::min(d, degree(v));
+  return d;
+}
+
+bool Graph::is_regular(int d) const {
+  for (Vertex v = 0; v < num_vertices(); ++v)
+    if (degree(v) != d) return false;
+  return true;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_vertices() << ", m=" << num_edges()
+     << ", maxdeg=" << max_degree() << ")";
+  return os.str();
+}
+
+}  // namespace lapx::graph

@@ -1,0 +1,88 @@
+#pragma once
+// Graph generators: the instance families used throughout the experiments.
+//
+// Undirected generators return plain Graphs; the "directed_*" generators
+// return LDigraphs whose labels are the natural symmetric ones used in the
+// paper's examples (e.g. a directed cycle where every node has one outgoing
+// and one incoming edge with the same label -- the completely symmetric
+// port numbering of Figure 2).
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "lapx/graph/digraph.hpp"
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::graph {
+
+/// Cycle 0-1-...-(n-1)-0; requires n >= 3.
+Graph cycle(Vertex n);
+
+/// Path 0-1-...-(n-1); requires n >= 1.
+Graph path(Vertex n);
+
+/// Complete graph on n vertices.
+Graph complete(Vertex n);
+
+/// Complete bipartite graph K_{a,b}.
+Graph complete_bipartite(Vertex a, Vertex b);
+
+/// d-dimensional hypercube, 2^d vertices.
+Graph hypercube(int d);
+
+/// Star with one centre and n-1 leaves.
+Graph star(Vertex n);
+
+/// Complete binary tree with the given number of levels (>= 1).
+Graph binary_tree(int levels);
+
+/// The Petersen graph (3-regular, girth 5, 10 vertices).
+Graph petersen();
+
+/// Circulant graph: vertices Z_n, i adjacent to i +- s for every s in offsets.
+Graph circulant(Vertex n, const std::vector<int>& offsets);
+
+/// Toroidal grid: cartesian product of cycles with the given side lengths
+/// (every side >= 3).  2k-regular for k = dims.size().
+Graph torus(const std::vector<int>& dims);
+
+/// Plain (non-wrapping) rows x cols grid.
+Graph grid(int rows, int cols);
+
+/// Wheel: a hub joined to every node of an (n-1)-cycle; requires n >= 4.
+Graph wheel(Vertex n);
+
+/// Ladder: two paths of length n joined by rungs (2n vertices).
+Graph ladder(int n);
+
+/// Prism (circular ladder): two n-cycles joined by rungs; 3-regular.
+Graph prism(int n);
+
+/// Generalised Petersen graph GP(n, k): outer n-cycle, inner n-star-polygon
+/// with step k, spokes.  GP(5, 2) is the Petersen graph, GP(8, 3) the
+/// Moebius-Kantor graph.  Requires 1 <= k < n/2.
+Graph generalized_petersen(int n, int k);
+
+/// Random d-regular simple graph via the pairing/configuration model with
+/// rejection; requires n*d even, d < n.  Retries until simple; throws after
+/// too many failures.
+Graph random_regular(Vertex n, int d, std::mt19937_64& rng);
+
+/// Erdos-Renyi G(n, m) conditioned on max degree <= max_deg.
+Graph random_bounded_degree(Vertex n, std::size_t m, int max_deg,
+                            std::mt19937_64& rng);
+
+// --- Symmetric L-digraphs (anonymous-network instances) ---
+
+/// Consistently oriented cycle: arcs i -> i+1 (mod n), all with label 0.
+/// This is the "completely symmetric cycle" of Figure 2: all views are
+/// pairwise isomorphic, so no PO algorithm can break symmetry on it.
+LDigraph directed_cycle(Vertex n);
+
+/// Cartesian product of directed cycles; label i = step +1 in dimension i.
+/// This is the Cayley graph of Z_{m1} x ... x Z_{mk} with the standard
+/// generators, i.e. the toroidal construction of Figure 6(b).
+LDigraph directed_torus(const std::vector<int>& dims);
+
+}  // namespace lapx::graph

@@ -1,0 +1,101 @@
+#pragma once
+// Simple undirected bounded-degree graphs.
+//
+// This is the base substrate of the whole library: every model of
+// distributed computing in the paper (ID / OI / PO) ultimately computes on a
+// simple undirected graph of maximum degree at most a known constant Delta.
+//
+// Design notes:
+//  * Adjacency lists are kept sorted, so neighbour queries are O(log deg) and
+//    iteration order is deterministic (important for canonical encodings).
+//  * Every undirected edge has a stable integer id in [0, num_edges());
+//    edge-subset solutions (matchings, edge covers, edge dominating sets) are
+//    bit vectors indexed by these ids.
+//  * The class maintains the invariant "simple graph": no self-loops, no
+//    parallel edges.  Violations throw std::invalid_argument.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lapx::graph {
+
+/// Vertex handle; vertices of an n-vertex graph are 0..n-1.
+using Vertex = std::int32_t;
+
+/// Stable identifier of an undirected edge.
+using EdgeId = std::int32_t;
+
+/// An undirected edge, stored with endpoints .first < .second.
+using Edge = std::pair<Vertex, Vertex>;
+
+/// A simple undirected graph with stable edge ids.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// An edgeless graph on n vertices.
+  explicit Graph(Vertex n);
+
+  /// Builds a graph from an edge list.  Throws on self-loops, parallel
+  /// edges, or out-of-range endpoints.
+  static Graph from_edges(Vertex n, const std::vector<Edge>& edges);
+
+  /// Adds the undirected edge {u, v} and returns its id.
+  /// Throws std::invalid_argument if the edge would violate simplicity.
+  EdgeId add_edge(Vertex u, Vertex v);
+
+  Vertex num_vertices() const { return static_cast<Vertex>(adj_.size()); }
+  std::size_t num_edges() const { return edge_list_.size(); }
+
+  int degree(Vertex v) const { return static_cast<int>(adj_.at(v).size()); }
+
+  /// Neighbours of v in increasing vertex order.
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {adj_.at(v).data(), adj_.at(v).size()};
+  }
+
+  bool has_edge(Vertex u, Vertex v) const;
+
+  /// Id of edge {u, v}; throws std::out_of_range if absent.
+  EdgeId edge_id(Vertex u, Vertex v) const;
+
+  /// The edge with the given id, endpoints ordered first < second.
+  Edge edge(EdgeId id) const { return edge_list_.at(id); }
+
+  /// All edges; index in this vector equals the edge id.
+  const std::vector<Edge>& edges() const { return edge_list_; }
+
+  /// Ids of the edges incident to v (unsorted insertion order).
+  std::span<const EdgeId> incident_edges(Vertex v) const {
+    return {incident_.at(v).data(), incident_.at(v).size()};
+  }
+
+  int max_degree() const;
+  int min_degree() const;
+
+  /// True if every vertex has degree exactly d.
+  bool is_regular(int d) const;
+
+  /// Human-readable one-line summary, e.g. "Graph(n=10, m=15, maxdeg=3)".
+  std::string summary() const;
+
+  bool operator==(const Graph& other) const {
+    return adj_ == other.adj_ && edge_list_ == other.edge_list_;
+  }
+
+ private:
+  void check_vertex(Vertex v) const {
+    if (v < 0 || v >= num_vertices())
+      throw std::invalid_argument("vertex out of range: " + std::to_string(v));
+  }
+
+  std::vector<std::vector<Vertex>> adj_;
+  std::vector<std::vector<EdgeId>> incident_;
+  std::vector<Edge> edge_list_;
+};
+
+}  // namespace lapx::graph

@@ -1,0 +1,34 @@
+#pragma once
+// Graph serialization: a plain edge-list text format and Graphviz DOT
+// export for visual inspection of instances, lifts and view trees.
+//
+// Edge-list format (whitespace separated, '#' comments):
+//   n m
+//   u1 v1
+//   ...
+//   um vm
+
+#include <iosfwd>
+#include <string>
+
+#include "lapx/graph/digraph.hpp"
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::graph {
+
+/// Writes the edge-list format.
+void write_edge_list(std::ostream& os, const Graph& g);
+std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list format; throws std::invalid_argument on malformed
+/// input (bad counts, out-of-range vertices, self-loops, duplicates).
+Graph read_edge_list(std::istream& is);
+Graph graph_from_edge_list(const std::string& text);
+
+/// Graphviz DOT of an undirected graph.
+std::string to_dot(const Graph& g);
+
+/// Graphviz DOT of an L-digraph with arc labels.
+std::string to_dot(const LDigraph& d);
+
+}  // namespace lapx::graph

@@ -1,0 +1,30 @@
+#pragma once
+// Small-graph isomorphism by backtracking with degree refinement.
+//
+// The library's fast path never needs general graph isomorphism (ordered
+// structures have canonical encodings), but an independent checker is
+// valuable for validating those encodings and for verifying structural
+// claims (e.g. two lifts of the same base being locally isomorphic).
+// Intended for small graphs (tens of vertices).
+
+#include <optional>
+#include <vector>
+
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::graph {
+
+/// An isomorphism g -> h as a vertex mapping, if one exists.
+std::optional<std::vector<Vertex>> find_isomorphism(const Graph& g,
+                                                    const Graph& h);
+
+bool are_isomorphic(const Graph& g, const Graph& h);
+
+/// Rooted isomorphism: additionally requires mapping root_g to root_h.
+bool are_rooted_isomorphic(const Graph& g, Vertex root_g, const Graph& h,
+                           Vertex root_h);
+
+/// Automorphism count of a small graph (backtracking; exponential).
+std::size_t count_automorphisms(const Graph& g);
+
+}  // namespace lapx::graph

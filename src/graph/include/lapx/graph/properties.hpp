@@ -1,0 +1,56 @@
+#pragma once
+// Structural graph properties: girth, connectivity, distances.
+//
+// The paper's constructions hinge on two structural parameters:
+//  * girth > 2r + 1, so radius-r neighbourhoods are trees (Remark 2.1), and
+//  * connectivity, for the "connected version" of the main theorem.
+
+#include <optional>
+#include <vector>
+
+#include "lapx/graph/digraph.hpp"
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::graph {
+
+inline constexpr int kInfiniteGirth = -1;
+
+/// Girth (length of a shortest cycle) of the underlying simple graph, or
+/// kInfiniteGirth if the graph is a forest.  O(n * m) BFS.
+int girth(const Graph& g);
+
+/// Girth of the underlying graph of an L-digraph, where an antiparallel arc
+/// pair (u,v),(v,u) counts as a cycle of length 2.
+int girth(const LDigraph& d);
+
+/// BFS distances from source; unreachable vertices get -1.
+std::vector<int> bfs_distances(const Graph& g, Vertex source);
+
+/// Vertices within distance <= r of v (the ball B_G(v, r)), sorted.
+std::vector<Vertex> ball(const Graph& g, Vertex v, int r);
+
+/// Component id (0-based, by smallest contained vertex order) per vertex.
+std::vector<int> connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// True if the graph contains no cycle.
+bool is_forest(const Graph& g);
+
+bool is_bipartite(const Graph& g);
+
+/// Largest BFS eccentricity; -1 if disconnected or empty.
+int diameter(const Graph& g);
+
+/// Extracts the induced subgraph on the given (sorted, duplicate-free)
+/// vertex set.  Returns the subgraph and the map new-vertex -> old-vertex.
+std::pair<Graph, std::vector<Vertex>> induced_subgraph(
+    const Graph& g, const std::vector<Vertex>& vertices);
+
+/// Extracts the sub-L-digraph induced on a connected component (the one
+/// containing `seed`, by underlying-graph connectivity).  Returns the
+/// component and the map new-vertex -> old-vertex.
+std::pair<LDigraph, std::vector<Vertex>> component_of(const LDigraph& d,
+                                                      Vertex seed);
+
+}  // namespace lapx::graph

@@ -1,0 +1,80 @@
+#include "lapx/graph/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lapx::graph {
+
+namespace {
+
+// Skips comment lines and returns the next token stream line.
+bool next_content_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (const auto& [u, v] : g.edges()) os << u << " " << v << "\n";
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  write_edge_list(os, g);
+  return os.str();
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  if (!next_content_line(is, line))
+    throw std::invalid_argument("edge list: empty input");
+  std::istringstream header(line);
+  long long n = -1, m = -1;
+  if (!(header >> n >> m) || n < 0 || m < 0)
+    throw std::invalid_argument("edge list: bad header");
+  Graph g(static_cast<Vertex>(n));
+  for (long long i = 0; i < m; ++i) {
+    if (!next_content_line(is, line))
+      throw std::invalid_argument("edge list: missing edges");
+    std::istringstream row(line);
+    long long u, v;
+    if (!(row >> u >> v)) throw std::invalid_argument("edge list: bad edge");
+    g.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return g;
+}
+
+Graph graph_from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  return read_edge_list(is);
+}
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "graph G {\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) os << "  " << v << ";\n";
+  for (const auto& [u, v] : g.edges())
+    os << "  " << u << " -- " << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const LDigraph& d) {
+  std::ostringstream os;
+  os << "digraph G {\n";
+  for (Vertex v = 0; v < d.num_vertices(); ++v) os << "  " << v << ";\n";
+  for (const Arc& a : d.arcs())
+    os << "  " << a.from << " -> " << a.to << " [label=\"" << a.label
+       << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lapx::graph

@@ -1,0 +1,121 @@
+#include "lapx/graph/port_numbering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lapx::graph {
+
+PortNumbering PortNumbering::default_for(const Graph& g) {
+  PortNumbering pn;
+  pn.ports.resize(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    auto nb = g.neighbors(v);
+    pn.ports[v].assign(nb.begin(), nb.end());
+  }
+  return pn;
+}
+
+int PortNumbering::port_of(Vertex v, Vertex u) const {
+  const auto& p = ports.at(v);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if (p[i] == u) return static_cast<int>(i);
+  throw std::out_of_range("no port from " + std::to_string(v) + " to " +
+                          std::to_string(u));
+}
+
+bool PortNumbering::valid_for(const Graph& g) const {
+  if (static_cast<Vertex>(ports.size()) != g.num_vertices()) return false;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    auto nb = g.neighbors(v);
+    std::vector<Vertex> sorted_ports(ports[v]);
+    std::sort(sorted_ports.begin(), sorted_ports.end());
+    if (!std::equal(sorted_ports.begin(), sorted_ports.end(), nb.begin(),
+                    nb.end()))
+      return false;
+  }
+  return true;
+}
+
+Orientation Orientation::default_for(const Graph& g) {
+  Orientation o;
+  o.u_to_v.assign(g.num_edges(), true);
+  return o;
+}
+
+std::pair<Vertex, Vertex> Orientation::directed(const Graph& g,
+                                                EdgeId e) const {
+  auto [u, v] = g.edge(e);
+  if (u_to_v.at(e)) return {u, v};
+  return {v, u};
+}
+
+LDigraph to_ldigraph(const Graph& g, const PortNumbering& pn,
+                     const Orientation& orient, int delta) {
+  if (delta < g.max_degree())
+    throw std::invalid_argument("delta below max degree");
+  if (!pn.valid_for(g)) throw std::invalid_argument("invalid port numbering");
+  LDigraph d(g.num_vertices(), static_cast<Label>(delta * delta));
+  for (EdgeId e = 0; e < static_cast<EdgeId>(g.num_edges()); ++e) {
+    auto [tail, head] = orient.directed(g, e);
+    const int i = pn.port_of(tail, head);
+    const int j = pn.port_of(head, tail);
+    d.add_arc(tail, head, encode_port_label(i, j, delta));
+  }
+  return d;
+}
+
+LDigraph to_ldigraph(const Graph& g) {
+  return to_ldigraph(g, PortNumbering::default_for(g),
+                     Orientation::default_for(g), g.max_degree());
+}
+
+PortNumbering ports_from_edge_coloring(const Graph& g,
+                                       const std::vector<int>& colors) {
+  const int d = g.max_degree();
+  if (!g.is_regular(d))
+    throw std::invalid_argument("edge-colour ports need a regular graph");
+  if (colors.size() != g.num_edges())
+    throw std::invalid_argument("colour vector size mismatch");
+  PortNumbering pn;
+  pn.ports.assign(g.num_vertices(), std::vector<Vertex>(d, -1));
+  for (EdgeId e = 0; e < static_cast<EdgeId>(g.num_edges()); ++e) {
+    const int c = colors[e];
+    if (c < 0 || c >= d) throw std::invalid_argument("colour out of range");
+    const auto [u, v] = g.edge(e);
+    if (pn.ports[u][c] != -1 || pn.ports[v][c] != -1)
+      throw std::invalid_argument("edge colouring is not proper");
+    pn.ports[u][c] = v;
+    pn.ports[v][c] = u;
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (Vertex u : pn.ports[v])
+      if (u == -1)
+        throw std::invalid_argument("edge colouring does not cover a port");
+  return pn;
+}
+
+std::vector<int> hypercube_edge_coloring(const Graph& g, int d) {
+  std::vector<int> colors(g.num_edges());
+  for (EdgeId e = 0; e < static_cast<EdgeId>(g.num_edges()); ++e) {
+    const auto [u, v] = g.edge(e);
+    const Vertex diff = u ^ v;
+    int bit = 0;
+    while ((diff >> bit) != 1) ++bit;
+    if (bit >= d) throw std::invalid_argument("not a hypercube edge");
+    colors[e] = bit;
+  }
+  return colors;
+}
+
+std::vector<int> k33_edge_coloring(const Graph& g) {
+  if (g.num_vertices() != 6 || g.num_edges() != 9)
+    throw std::invalid_argument("not K_{3,3}");
+  std::vector<int> colors(9);
+  for (EdgeId e = 0; e < 9; ++e) {
+    const auto [u, v] = g.edge(e);  // u in 0..2, v in 3..5
+    colors[e] = (u + (v - 3)) % 3;
+  }
+  return colors;
+}
+
+}  // namespace lapx::graph

@@ -1,0 +1,215 @@
+#include "lapx/graph/properties.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lapx::graph {
+
+namespace {
+
+// Shortest cycle through `source` is found by BFS recording parents; a
+// non-tree edge between branches closes a cycle of length
+// dist[u] + dist[v] + 1.  Taking the minimum over all sources is exact.
+int shortest_cycle_through(const Graph& g, Vertex source, int best_so_far) {
+  std::vector<int> dist(g.num_vertices(), -1);
+  std::vector<Vertex> parent(g.num_vertices(), -1);
+  std::deque<Vertex> queue{source};
+  dist[source] = 0;
+  int best = best_so_far;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    if (best > 0 && 2 * dist[u] >= best) break;  // cannot improve further
+    for (Vertex w : g.neighbors(u)) {
+      if (dist[w] == -1) {
+        dist[w] = dist[u] + 1;
+        parent[w] = u;
+        queue.push_back(w);
+      } else if (w != parent[u]) {
+        const int cycle_len = dist[u] + dist[w] + 1;
+        if (best < 0 || cycle_len < best) best = cycle_len;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int girth(const Graph& g) {
+  int best = kInfiniteGirth;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    best = shortest_cycle_through(g, v, best);
+    if (best == 3) return 3;
+  }
+  return best;
+}
+
+int girth(const LDigraph& d) {
+  // Detect 2-cycles (antiparallel arc pairs) first -- they vanish in the
+  // underlying simple graph.
+  for (const Arc& a : d.arcs()) {
+    for (const auto& [l, w] : d.out_arcs(a.to)) {
+      (void)l;
+      if (w == a.from) return 2;
+    }
+  }
+  return girth(d.underlying_graph());
+}
+
+std::vector<int> bfs_distances(const Graph& g, Vertex source) {
+  std::vector<int> dist(g.num_vertices(), -1);
+  std::deque<Vertex> queue{source};
+  dist.at(source) = 0;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    for (Vertex w : g.neighbors(u))
+      if (dist[w] == -1) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+  }
+  return dist;
+}
+
+std::vector<Vertex> ball(const Graph& g, Vertex v, int r) {
+  std::vector<Vertex> result;
+  std::vector<int> dist(g.num_vertices(), -1);
+  std::deque<Vertex> queue{v};
+  dist.at(v) = 0;
+  result.push_back(v);
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    if (dist[u] == r) continue;
+    for (Vertex w : g.neighbors(u))
+      if (dist[w] == -1) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+        result.push_back(w);
+      }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<int> connected_components(const Graph& g) {
+  std::vector<int> comp(g.num_vertices(), -1);
+  int next = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (comp[v] != -1) continue;
+    comp[v] = next;
+    std::deque<Vertex> queue{v};
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      for (Vertex w : g.neighbors(u))
+        if (comp[w] == -1) {
+          comp[w] = next;
+          queue.push_back(w);
+        }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  auto comp = connected_components(g);
+  return std::all_of(comp.begin(), comp.end(), [](int c) { return c == 0; });
+}
+
+bool is_forest(const Graph& g) { return girth(g) == kInfiniteGirth; }
+
+bool is_bipartite(const Graph& g) {
+  std::vector<int> colour(g.num_vertices(), -1);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (colour[v] != -1) continue;
+    colour[v] = 0;
+    std::deque<Vertex> queue{v};
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      for (Vertex w : g.neighbors(u)) {
+        if (colour[w] == -1) {
+          colour[w] = 1 - colour[u];
+          queue.push_back(w);
+        } else if (colour[w] == colour[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+int diameter(const Graph& g) {
+  if (g.num_vertices() == 0 || !is_connected(g)) return -1;
+  int best = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    auto dist = bfs_distances(g, v);
+    best = std::max(best, *std::max_element(dist.begin(), dist.end()));
+  }
+  return best;
+}
+
+std::pair<Graph, std::vector<Vertex>> induced_subgraph(
+    const Graph& g, const std::vector<Vertex>& vertices) {
+  std::unordered_map<Vertex, Vertex> index;
+  index.reserve(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    index[vertices[i]] = static_cast<Vertex>(i);
+  Graph sub(static_cast<Vertex>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (Vertex w : g.neighbors(vertices[i])) {
+      auto it = index.find(w);
+      if (it != index.end() && static_cast<Vertex>(i) < it->second)
+        sub.add_edge(static_cast<Vertex>(i), it->second);
+    }
+  }
+  return {std::move(sub), vertices};
+}
+
+std::pair<LDigraph, std::vector<Vertex>> component_of(const LDigraph& d,
+                                                      Vertex seed) {
+  // BFS over arcs in both directions.
+  std::vector<bool> in_comp(d.num_vertices(), false);
+  std::deque<Vertex> queue{seed};
+  in_comp.at(seed) = true;
+  std::vector<Vertex> members{seed};
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    auto visit = [&](Vertex w) {
+      if (!in_comp[w]) {
+        in_comp[w] = true;
+        members.push_back(w);
+        queue.push_back(w);
+      }
+    };
+    for (const auto& [l, w] : d.out_arcs(u)) {
+      (void)l;
+      visit(w);
+    }
+    for (const auto& [l, w] : d.in_arcs(u)) {
+      (void)l;
+      visit(w);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  std::unordered_map<Vertex, Vertex> index;
+  index.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i)
+    index[members[i]] = static_cast<Vertex>(i);
+  LDigraph sub(static_cast<Vertex>(members.size()), d.alphabet_size());
+  for (const Arc& a : d.arcs())
+    if (in_comp[a.from]) sub.add_arc(index.at(a.from), index.at(a.to), a.label);
+  return {std::move(sub), members};
+}
+
+}  // namespace lapx::graph

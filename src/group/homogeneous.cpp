@@ -1,0 +1,183 @@
+#include "lapx/group/homogeneous.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "lapx/graph/properties.hpp"
+
+namespace lapx::group {
+
+namespace {
+
+// Builds the canonical ordered type of the radius-r ball around `center` in
+// the Cayley graph of `group` w.r.t. `gens`, using only group arithmetic.
+// The linear order is the positive-cone order on representative tuples.
+std::string ball_type_by_arithmetic(const WreathGroup& group,
+                                    const std::vector<Elem>& gens,
+                                    const Elem& center, int r, int level) {
+  std::map<Elem, int> dist;
+  std::deque<Elem> queue{center};
+  dist[center] = 0;
+  std::vector<Elem> members{center};
+  while (!queue.empty()) {
+    Elem g = queue.front();
+    queue.pop_front();
+    const int dg = dist.at(g);
+    if (dg == r) continue;
+    auto visit = [&](const Elem& h) {
+      if (dist.emplace(h, dg + 1).second) {
+        queue.push_back(h);
+        members.push_back(h);
+      }
+    };
+    for (const Elem& s : gens) {
+      visit(group.multiply(g, s));
+      visit(group.multiply(g, group.inverse(s)));
+    }
+  }
+  // Index members; build the induced sub-digraph.
+  std::map<Elem, int> index;
+  for (std::size_t i = 0; i < members.size(); ++i)
+    index[members[i]] = static_cast<int>(i);
+  graph::LDigraph mini(static_cast<graph::Vertex>(members.size()),
+                       static_cast<graph::Label>(gens.size()));
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t si = 0; si < gens.size(); ++si) {
+      const Elem h = group.multiply(members[i], gens[si]);
+      auto it = index.find(h);
+      if (it != index.end())
+        mini.add_arc(static_cast<graph::Vertex>(i),
+                     static_cast<graph::Vertex>(it->second),
+                     static_cast<graph::Label>(si));
+    }
+  }
+  // Cone-order ranks.
+  std::vector<int> order_idx(members.size());
+  std::iota(order_idx.begin(), order_idx.end(), 0);
+  std::sort(order_idx.begin(), order_idx.end(), [&](int a, int b) {
+    return cone_less(level, members[a], members[b]);
+  });
+  order::Keys keys(members.size());
+  for (std::size_t pos = 0; pos < order_idx.size(); ++pos)
+    keys[order_idx[pos]] = static_cast<std::int64_t>(pos);
+  return order::ordered_ball_type(mini, keys,
+                                  static_cast<graph::Vertex>(index.at(center)),
+                                  r);
+}
+
+}  // namespace
+
+std::optional<HomogeneousSpec> design_homogeneous(int k, int r, int max_level,
+                                                  std::mt19937_64& rng) {
+  auto found = find_generators(k, 2 * r + 1, max_level, rng);
+  if (!found) return std::nullopt;
+  HomogeneousSpec spec;
+  spec.k = k;
+  spec.r = r;
+  spec.level = found->level;
+  spec.generators = found->generators;
+  spec.m = 0;  // caller chooses the cut modulus
+  return spec;
+}
+
+std::string tau_star_type(const HomogeneousSpec& spec) {
+  const WreathGroup u = spec.infinite_group();
+  return ball_type_by_arithmetic(u, spec.generators, u.identity(), spec.r,
+                                 spec.level);
+}
+
+std::string local_type(const HomogeneousSpec& spec, const Elem& center) {
+  if (spec.m <= 0) throw std::invalid_argument("spec.m not set");
+  const WreathGroup h = spec.finite_group();
+  return ball_type_by_arithmetic(h, spec.generators, center, spec.r,
+                                 spec.level);
+}
+
+double sampled_homogeneity(const HomogeneousSpec& spec, int samples,
+                           std::mt19937_64& rng) {
+  if (spec.m <= 0) throw std::invalid_argument("spec.m not set");
+  const WreathGroup h = spec.finite_group();
+  const std::string tau = tau_star_type(spec);
+  std::uniform_int_distribution<int> coord(0, spec.m - 1);
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    Elem g(static_cast<std::size_t>(h.dimension()));
+    for (int& c : g) c = coord(rng);
+    if (local_type(spec, g) == tau) ++hits;
+  }
+  return samples == 0 ? 0.0 : static_cast<double>(hits) / samples;
+}
+
+double inner_fraction_bound(const HomogeneousSpec& spec) {
+  if (spec.m <= 0) throw std::invalid_argument("spec.m not set");
+  const double base =
+      std::max(0.0, static_cast<double>(spec.m - 2 * spec.r) / spec.m);
+  return std::pow(base, spec.finite_group().dimension());
+}
+
+HomogeneousGraph materialize_homogeneous(const HomogeneousSpec& spec,
+                                         std::int64_t max_vertices,
+                                         bool take_component) {
+  if (spec.m <= 0) throw std::invalid_argument("spec.m not set");
+  const WreathGroup h = spec.finite_group();
+  CayleyGraph cg = materialize_cayley(h, spec.generators, max_vertices);
+
+  const std::int64_t n = h.size();
+  std::vector<Elem> elements;
+  elements.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) elements.push_back(h.decode(i));
+
+  auto keys_for = [&](const std::vector<Elem>& elems) {
+    std::vector<int> idx(elems.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+      return cone_less(spec.level, elems[a], elems[b]);
+    });
+    order::Keys keys(elems.size());
+    for (std::size_t pos = 0; pos < idx.size(); ++pos)
+      keys[idx[pos]] = static_cast<std::int64_t>(pos);
+    return keys;
+  };
+
+  if (!take_component)
+    return HomogeneousGraph{spec, std::move(cg.digraph), keys_for(elements),
+                            std::move(elements)};
+
+  // Pick the component with the highest density of tau*-type vertices
+  // (the averaging argument at the end of the proof of Theorem 3.2).
+  const std::string tau = tau_star_type(spec);
+  order::Keys full_keys = keys_for(elements);
+  const graph::Graph underlying = cg.digraph.underlying_graph();
+  const std::vector<int> comp = graph::connected_components(underlying);
+  const int num_comps = 1 + *std::max_element(comp.begin(), comp.end());
+  std::vector<std::int64_t> total(num_comps, 0), good(num_comps, 0);
+  for (graph::Vertex v = 0; v < cg.digraph.num_vertices(); ++v) {
+    ++total[comp[v]];
+    if (order::ordered_ball_type(cg.digraph, full_keys, v, spec.r) == tau)
+      ++good[comp[v]];
+  }
+  int best = 0;
+  double best_density = -1.0;
+  for (int c = 0; c < num_comps; ++c) {
+    const double density = static_cast<double>(good[c]) / total[c];
+    if (density > best_density) {
+      best_density = density;
+      best = c;
+    }
+  }
+  // Extract the chosen component.
+  graph::Vertex seed = 0;
+  while (comp[seed] != best) ++seed;
+  auto [sub, members] = graph::component_of(cg.digraph, seed);
+  std::vector<Elem> sub_elements;
+  sub_elements.reserve(members.size());
+  for (graph::Vertex v : members) sub_elements.push_back(elements[v]);
+  return HomogeneousGraph{spec, std::move(sub), keys_for(sub_elements),
+                          std::move(sub_elements)};
+}
+
+}  // namespace lapx::group

@@ -1,0 +1,70 @@
+#pragma once
+// Cayley graphs C(G, S) of the wreath-like groups, girth certificates via
+// reduced words, and generator-set search (Section 5.1 and Theorem 5.1).
+//
+// The Cayley graph C(G, S) has the group elements as vertices and an
+// outgoing arc g -> g s labelled by the index of s, for each s in S.  It is
+// an S-digraph in the paper's sense; 1 not in S means no self-loops.  S need
+// not generate G, so C(G, S) may be disconnected.
+//
+// Girth via words: by vertex-transitivity, the girth of C(G, S) equals the
+// length of the shortest nonempty *reduced* word over S u S^{-1} (no letter
+// immediately followed by its inverse) that evaluates to the identity.  So
+// "girth > g" is certified by enumerating all reduced words of length <= g.
+// Because reduction mod 2 is a homomorphism onto the level's W-family, a
+// certificate computed in W transfers to H_m for every even m and to U
+// (lifts only increase girth).
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "lapx/graph/digraph.hpp"
+#include "lapx/group/wreath.hpp"
+
+namespace lapx::group {
+
+/// A materialised Cayley graph of a finite wreath-family group.
+struct CayleyGraph {
+  WreathGroup group;
+  std::vector<Elem> generators;
+  graph::LDigraph digraph;  ///< vertex i is the element with encode() == i
+};
+
+/// Materialises C(group, S).  Throws if group.size() > max_vertices (guard
+/// against the exponential m^d blow-up) or if S contains the identity or
+/// duplicate elements.
+CayleyGraph materialize_cayley(const WreathGroup& group,
+                               const std::vector<Elem>& generators,
+                               std::int64_t max_vertices);
+
+/// True iff no nonempty reduced word of length <= max_len over
+/// S u S^{-1} evaluates to the identity, i.e. girth(C(group, S)) > max_len.
+/// Works for finite and infinite (modulus 0) families alike.
+bool girth_exceeds(const WreathGroup& group, const std::vector<Elem>& generators,
+                   int max_len);
+
+/// The exact girth of C(group, S), capped: returns cap + 1 if the girth
+/// exceeds `cap` (word enumeration is exponential in the bound).
+int word_girth(const WreathGroup& group, const std::vector<Elem>& generators,
+               int cap);
+
+/// A generator set together with the level it lives at.  Generators have
+/// coordinates in {0, 1}, so the same tuples are valid elements of W_level,
+/// of H_level(m) for every even m, and of U_level.
+struct GeneratorSet {
+  int level = 0;
+  std::vector<Elem> generators;
+};
+
+/// Searches for k generators in W_level (level = 2..max_level) such that
+/// girth(C(W_level, S)) > min_girth_exclusive.  Tries levels in increasing
+/// order; within a level first a deterministic seed pool, then random
+/// subsets.  Returns std::nullopt if no certificate is found.
+std::optional<GeneratorSet> find_generators(int k, int min_girth_exclusive,
+                                            int max_level,
+                                            std::mt19937_64& rng,
+                                            int attempts_per_level = 4000);
+
+}  // namespace lapx::group

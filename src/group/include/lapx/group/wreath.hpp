@@ -1,0 +1,106 @@
+#pragma once
+// The iterated wreath-like group families of Section 5.2.
+//
+// The paper defines three families by the same recursion
+//
+//    H_1 = Z_m,   W_1 = Z_2,   U_1 = Z,
+//    H_{i+1} = H_i^2 x| Z_m,   W_{i+1} = W_i^2 x| Z_2,   U_{i+1} = U_i^2 x| Z,
+//
+// where the cyclic factor acts on the direct square by swapping the two
+// coordinates iff the acting element is odd.  The underlying set of a level-i
+// element is a flat tuple of d(i) = 2^i - 1 integers; we lay an element of
+// level i+1 out as [a-block | b-block | c] with c the cyclic coordinate.
+//
+// A single class represents all three families: modulus m = 0 gives U_i
+// (coordinates range over Z), m = 2 gives W_i, and any even m >= 2 gives H_i.
+// Coordinate-wise reduction mod m is then exactly the homomorphism
+// psi_i : U_i -> H_i (resp. phi_i : U_i -> W_i) of the paper's commuting
+// diagram -- reduction commutes with the group law because the law only uses
+// addition and the parity of c.
+//
+// The left-invariant linear order on U_i is given by the positive cone
+//    P = { u != 1 : the last nonzero coordinate of u is positive },
+// i.e. u < v iff u^{-1} v in P (Section 5.2, "Linear order").  The finite
+// groups H_i are ordered by restricting < to the representative tuples
+// [0, m)^d, exactly as in the paper ("Transferring the linear order").
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lapx::group {
+
+/// A group element: flat tuple of d(level) coordinates.
+using Elem = std::vector<int>;
+
+class WreathGroup {
+ public:
+  /// level >= 1; modulus 0 (the infinite family U) or an even number >= 2.
+  WreathGroup(int level, int modulus);
+
+  int level() const { return level_; }
+  int modulus() const { return modulus_; }
+
+  /// Number of coordinates d(level) = 2^level - 1.
+  int dimension() const { return (1 << level_) - 1; }
+
+  /// True if the family is finite (modulus > 0).
+  bool finite() const { return modulus_ > 0; }
+
+  /// Number of elements m^d; throws for the infinite family or on overflow.
+  std::int64_t size() const;
+
+  Elem identity() const { return Elem(static_cast<std::size_t>(dimension()), 0); }
+
+  bool is_identity(const Elem& a) const;
+
+  /// Group law (see the recursion above).
+  Elem multiply(const Elem& a, const Elem& b) const;
+
+  /// Inverse: (a, b, c)^{-1} = (c-permuted (a^{-1}, b^{-1}), -c).
+  Elem inverse(const Elem& a) const;
+
+  /// a^k by repeated squaring (k may be negative).
+  Elem power(const Elem& a, long long k) const;
+
+  /// Multiplicative order of a (finite families only; brute force).
+  long long order_of(const Elem& a) const;
+
+  /// Coordinate-wise reduction into [0, m): the homomorphism onto the
+  /// modulus-m family at the same level.
+  static Elem reduce_mod(const Elem& a, int m);
+
+  /// Mixed-radix index of a finite-family element (coordinates in [0, m)).
+  std::int64_t encode(const Elem& a) const;
+
+  /// Inverse of encode().
+  Elem decode(std::int64_t index) const;
+
+  /// Validates coordinate ranges ([0, m) for finite families).
+  void check(const Elem& a) const;
+
+  std::string to_string(const Elem& a) const;
+
+ private:
+  // Recursive group law on coordinate blocks.
+  void mul_block(int level, const int* a, const int* b, int* out) const;
+  void inv_block(int level, const int* a, int* out) const;
+  int add_coord(int x, int y) const;
+
+  int level_;
+  int modulus_;
+};
+
+/// Positive-cone comparison *in the infinite group U*: treats the tuples as
+/// U-elements (whatever their coordinate ranges), computes w = a^{-1} b in U
+/// at the given level, and returns true iff the last nonzero coordinate of w
+/// is positive.  Restricting this to representative tuples in [0, m)^d is the
+/// paper's order on the finite groups H_i.
+bool cone_less(int level, const Elem& a, const Elem& b);
+
+/// The positive-cone test itself: true iff a != 1 and the last nonzero
+/// coordinate of a is positive.
+bool in_positive_cone(const Elem& a);
+
+}  // namespace lapx::group

@@ -1,0 +1,176 @@
+#include "lapx/group/wreath.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace lapx::group {
+
+WreathGroup::WreathGroup(int level, int modulus)
+    : level_(level), modulus_(modulus) {
+  if (level < 1 || level > 24) throw std::invalid_argument("bad level");
+  if (modulus != 0 && (modulus < 2 || modulus % 2 != 0))
+    throw std::invalid_argument("modulus must be 0 (infinite) or even >= 2");
+}
+
+std::int64_t WreathGroup::size() const {
+  if (!finite()) throw std::logic_error("infinite family has no size");
+  std::int64_t n = 1;
+  for (int i = 0; i < dimension(); ++i) {
+    if (n > std::numeric_limits<std::int64_t>::max() / modulus_)
+      throw std::overflow_error("group too large");
+    n *= modulus_;
+  }
+  return n;
+}
+
+bool WreathGroup::is_identity(const Elem& a) const {
+  check(a);
+  for (int x : a)
+    if (x != 0) return false;
+  return true;
+}
+
+int WreathGroup::add_coord(int x, int y) const {
+  if (modulus_ == 0) return x + y;
+  int z = (x + y) % modulus_;
+  if (z < 0) z += modulus_;
+  return z;
+}
+
+void WreathGroup::mul_block(int level, const int* a, const int* b,
+                            int* out) const {
+  if (level == 1) {
+    out[0] = add_coord(a[0], b[0]);
+    return;
+  }
+  const int d = (1 << (level - 1)) - 1;  // block size of the level below
+  const int c = a[2 * d];
+  const bool swap = ((c % 2) + 2) % 2 == 1;
+  const int* b_first = swap ? b + d : b;
+  const int* b_second = swap ? b : b + d;
+  mul_block(level - 1, a, b_first, out);
+  mul_block(level - 1, a + d, b_second, out + d);
+  out[2 * d] = add_coord(a[2 * d], b[2 * d]);
+}
+
+void WreathGroup::inv_block(int level, const int* a, int* out) const {
+  if (level == 1) {
+    out[0] = modulus_ == 0 ? -a[0] : (a[0] == 0 ? 0 : modulus_ - a[0]);
+    return;
+  }
+  const int d = (1 << (level - 1)) - 1;
+  const int c = a[2 * d];
+  const bool swap = ((c % 2) + 2) % 2 == 1;
+  // (a, b, c)^{-1} = ((-c) . (a^{-1}, b^{-1}), -c); -c has c's parity.
+  if (swap) {
+    inv_block(level - 1, a + d, out);      // b^{-1} into first block
+    inv_block(level - 1, a, out + d);      // a^{-1} into second block
+  } else {
+    inv_block(level - 1, a, out);
+    inv_block(level - 1, a + d, out + d);
+  }
+  out[2 * d] = modulus_ == 0 ? -c : (c == 0 ? 0 : modulus_ - c);
+}
+
+Elem WreathGroup::multiply(const Elem& a, const Elem& b) const {
+  check(a);
+  check(b);
+  Elem out(static_cast<std::size_t>(dimension()));
+  mul_block(level_, a.data(), b.data(), out.data());
+  return out;
+}
+
+Elem WreathGroup::inverse(const Elem& a) const {
+  check(a);
+  Elem out(static_cast<std::size_t>(dimension()));
+  inv_block(level_, a.data(), out.data());
+  return out;
+}
+
+Elem WreathGroup::power(const Elem& a, long long k) const {
+  Elem base = k < 0 ? inverse(a) : a;
+  unsigned long long e =
+      k < 0 ? static_cast<unsigned long long>(-(k + 1)) + 1ULL
+            : static_cast<unsigned long long>(k);
+  Elem result = identity();
+  while (e > 0) {
+    if (e & 1ULL) result = multiply(result, base);
+    base = multiply(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+long long WreathGroup::order_of(const Elem& a) const {
+  if (!finite()) throw std::logic_error("order_of needs a finite family");
+  Elem x = a;
+  long long order = 1;
+  while (!is_identity(x)) {
+    x = multiply(x, a);
+    ++order;
+    if (order > size()) throw std::logic_error("order exceeds group size");
+  }
+  return order;
+}
+
+Elem WreathGroup::reduce_mod(const Elem& a, int m) {
+  Elem out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    int z = a[i] % m;
+    if (z < 0) z += m;
+    out[i] = z;
+  }
+  return out;
+}
+
+std::int64_t WreathGroup::encode(const Elem& a) const {
+  if (!finite()) throw std::logic_error("encode needs a finite family");
+  check(a);
+  std::int64_t x = 0;
+  for (int i = dimension(); i-- > 0;) x = x * modulus_ + a[i];
+  return x;
+}
+
+Elem WreathGroup::decode(std::int64_t index) const {
+  if (!finite()) throw std::logic_error("decode needs a finite family");
+  Elem a(static_cast<std::size_t>(dimension()));
+  for (int i = 0; i < dimension(); ++i) {
+    a[i] = static_cast<int>(index % modulus_);
+    index /= modulus_;
+  }
+  if (index != 0) throw std::out_of_range("index out of range");
+  return a;
+}
+
+void WreathGroup::check(const Elem& a) const {
+  if (static_cast<int>(a.size()) != dimension())
+    throw std::invalid_argument("element dimension mismatch");
+  if (finite()) {
+    for (int x : a)
+      if (x < 0 || x >= modulus_)
+        throw std::invalid_argument("coordinate out of [0, m)");
+  }
+}
+
+std::string WreathGroup::to_string(const Elem& a) const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < a.size(); ++i)
+    os << a[i] << (i + 1 < a.size() ? "," : "");
+  os << ")";
+  return os.str();
+}
+
+bool in_positive_cone(const Elem& a) {
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != 0) return a[i] > 0;
+  }
+  return false;  // the identity is not in P
+}
+
+bool cone_less(int level, const Elem& a, const Elem& b) {
+  const WreathGroup u(level, 0);
+  return in_positive_cone(u.multiply(u.inverse(a), b));
+}
+
+}  // namespace lapx::group

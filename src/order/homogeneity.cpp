@@ -1,0 +1,185 @@
+#include "lapx/order/homogeneity.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "lapx/graph/properties.hpp"
+
+namespace lapx::order {
+
+std::vector<int> ranks_from_keys(const Keys& keys) {
+  std::vector<std::size_t> idx(keys.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  std::vector<int> ranks(keys.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (i > 0 && keys[idx[i]] == keys[idx[i - 1]])
+      throw std::invalid_argument("order keys are not distinct");
+    ranks[idx[i]] = static_cast<int>(i);
+  }
+  return ranks;
+}
+
+Keys identity_keys(Vertex n) {
+  Keys keys(static_cast<std::size_t>(n));
+  std::iota(keys.begin(), keys.end(), 0);
+  return keys;
+}
+
+namespace {
+
+// Ball vertices sorted by key, plus the position map old-vertex -> index.
+struct SortedBall {
+  std::vector<Vertex> vertices;  // sorted by key ascending
+  std::unordered_map<Vertex, int> position;
+  int root_pos = -1;
+};
+
+SortedBall sorted_ball(const std::vector<Vertex>& ball_vertices,
+                       const Keys& keys, Vertex root) {
+  SortedBall sb;
+  sb.vertices = ball_vertices;
+  std::sort(sb.vertices.begin(), sb.vertices.end(),
+            [&](Vertex a, Vertex b) { return keys.at(a) < keys.at(b); });
+  sb.position.reserve(sb.vertices.size());
+  for (std::size_t i = 0; i < sb.vertices.size(); ++i)
+    sb.position[sb.vertices[i]] = static_cast<int>(i);
+  sb.root_pos = sb.position.at(root);
+  return sb;
+}
+
+// Ball in the underlying graph of an L-digraph (arcs traversed both ways).
+std::vector<Vertex> digraph_ball(const LDigraph& d, Vertex v, int r) {
+  std::vector<int> dist(d.num_vertices(), -1);
+  std::deque<Vertex> queue{v};
+  dist.at(v) = 0;
+  std::vector<Vertex> members{v};
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    if (dist[u] == r) continue;
+    auto visit = [&](Vertex w) {
+      if (dist[w] == -1) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+        members.push_back(w);
+      }
+    };
+    for (const auto& [l, w] : d.out_arcs(u)) {
+      (void)l;
+      visit(w);
+    }
+    for (const auto& [l, w] : d.in_arcs(u)) {
+      (void)l;
+      visit(w);
+    }
+  }
+  return members;
+}
+
+}  // namespace
+
+std::string ordered_ball_type(const Graph& g, const Keys& keys, Vertex v,
+                              int r) {
+  const auto members = graph::ball(g, v, r);
+  const auto sb = sorted_ball(members, keys, v);
+  std::ostringstream os;
+  os << "b=" << sb.vertices.size() << ";root=" << sb.root_pos << ";e:";
+  std::vector<std::pair<int, int>> edges;
+  for (std::size_t i = 0; i < sb.vertices.size(); ++i) {
+    for (Vertex w : g.neighbors(sb.vertices[i])) {
+      auto it = sb.position.find(w);
+      if (it != sb.position.end() && static_cast<int>(i) < it->second)
+        edges.emplace_back(static_cast<int>(i), it->second);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [a, b] : edges) os << a << "-" << b << ",";
+  return os.str();
+}
+
+std::string ordered_ball_type(const LDigraph& d, const Keys& keys, Vertex v,
+                              int r) {
+  const auto members = digraph_ball(d, v, r);
+  const auto sb = sorted_ball(members, keys, v);
+  std::ostringstream os;
+  os << "b=" << sb.vertices.size() << ";root=" << sb.root_pos << ";a:";
+  std::vector<std::tuple<int, int, Label>> arcs;
+  for (std::size_t i = 0; i < sb.vertices.size(); ++i) {
+    for (const auto& [l, w] : d.out_arcs(sb.vertices[i])) {
+      auto it = sb.position.find(w);
+      if (it != sb.position.end())
+        arcs.emplace_back(static_cast<int>(i), it->second, l);
+    }
+  }
+  std::sort(arcs.begin(), arcs.end());
+  for (const auto& [a, b, l] : arcs) os << a << ">" << b << "#" << l << ",";
+  return os.str();
+}
+
+std::string unordered_ball_type_with_ids(const Graph& g, const Keys& ids,
+                                         Vertex v, int r) {
+  // With unique identifiers the canonical form keeps the actual id values:
+  // two ID-neighbourhoods are "isomorphic" only if identical.
+  const auto members = graph::ball(g, v, r);
+  const auto sb = sorted_ball(members, ids, v);
+  std::ostringstream os;
+  os << "b=" << sb.vertices.size() << ";root=" << sb.root_pos << ";ids:";
+  for (Vertex w : sb.vertices) os << ids.at(w) << ",";
+  os << ";e:";
+  std::vector<std::pair<int, int>> edges;
+  for (std::size_t i = 0; i < sb.vertices.size(); ++i) {
+    for (Vertex w : g.neighbors(sb.vertices[i])) {
+      auto it = sb.position.find(w);
+      if (it != sb.position.end() && static_cast<int>(i) < it->second)
+        edges.emplace_back(static_cast<int>(i), it->second);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [a, b] : edges) os << a << "-" << b << ",";
+  return os.str();
+}
+
+namespace {
+
+template <typename GraphT>
+HomogeneityReport measure(const GraphT& g, const Keys& keys, int r) {
+  HomogeneityReport report;
+  const Vertex n = g.num_vertices();
+  if (static_cast<Vertex>(keys.size()) != n)
+    throw std::invalid_argument("keys size mismatch");
+  for (Vertex v = 0; v < n; ++v)
+    ++report.histogram[ordered_ball_type(g, keys, v, r)];
+  report.distinct_types = report.histogram.size();
+  for (const auto& [type, count] : report.histogram) {
+    const double frac = n == 0 ? 0.0 : static_cast<double>(count) / n;
+    if (frac > report.fraction) {
+      report.fraction = frac;
+      report.type = type;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+HomogeneityReport measure_homogeneity(const Graph& g, const Keys& keys,
+                                      int r) {
+  return measure(g, keys, r);
+}
+
+HomogeneityReport measure_homogeneity(const LDigraph& d, const Keys& keys,
+                                      int r) {
+  return measure(d, keys, r);
+}
+
+bool is_homogeneous(const Graph& g, const Keys& keys, double alpha, int r) {
+  return measure_homogeneity(g, keys, r).fraction >= alpha;
+}
+
+}  // namespace lapx::order

@@ -1,0 +1,77 @@
+#pragma once
+// Ordered graphs and (alpha, r)-homogeneity (Section 3.1, Definition 3.1).
+//
+// An ordered graph (G, <) is a graph with a linear order on its vertices; we
+// represent the order by distinct integer keys (identifiers double as keys,
+// which is exactly how the OI model treats them).
+//
+// The radius-r ordered neighbourhood tau(G, <, v) is the induced subgraph on
+// the ball B_G(v, r) together with the restriction of < and the root v.  Two
+// ordered neighbourhoods are isomorphic iff there is a root- and
+// order-preserving graph isomorphism; because the order is total, the only
+// candidate bijection is the unique order-preserving one, so isomorphism
+// reduces to equality of a canonical string encoding.  This is the library's
+// central trick: OI-neighbourhood isomorphism is O(ball * log ball) instead
+// of general graph isomorphism.
+//
+// (G, <) is (alpha, r)-homogeneous when at least an alpha fraction of its
+// vertices share one neighbourhood isomorphism type -- the associated
+// homogeneity type.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lapx/graph/digraph.hpp"
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::order {
+
+using graph::Graph;
+using graph::Label;
+using graph::LDigraph;
+using graph::Vertex;
+
+/// Order keys: any vector of pairwise distinct integers, one per vertex.
+using Keys = std::vector<std::int64_t>;
+
+/// Dense ranks 0..n-1 of the given distinct keys.
+std::vector<int> ranks_from_keys(const Keys& keys);
+
+/// Keys 0..n-1 in vertex-id order (the identity order).
+Keys identity_keys(Vertex n);
+
+/// Canonical encoding of tau(G, <, v) at radius r.  Equal encodings <=>
+/// isomorphic ordered rooted neighbourhoods.
+std::string ordered_ball_type(const Graph& g, const Keys& keys, Vertex v,
+                              int r);
+
+/// Canonical encoding of the ordered rooted radius-r neighbourhood in an
+/// L-digraph: the ball of the underlying graph with arc directions and
+/// labels retained (the paper's Theorem 3.2 types are L-digraph types).
+std::string ordered_ball_type(const LDigraph& d, const Keys& keys, Vertex v,
+                              int r);
+
+/// Canonical encoding of the *unordered* PO-invariant structure is handled
+/// by view trees in lapx::core; here we also expose the unordered ball type
+/// of a plain graph (used to compare ID/OI/PO information content).
+std::string unordered_ball_type_with_ids(const Graph& g, const Keys& ids,
+                                         Vertex v, int r);
+
+/// Homogeneity measurement result.
+struct HomogeneityReport {
+  double fraction = 0.0;          ///< largest type-class fraction (best alpha)
+  std::string type;               ///< canonical encoding of that class
+  std::size_t distinct_types = 0;
+  std::map<std::string, int> histogram;  ///< type -> multiplicity
+};
+
+HomogeneityReport measure_homogeneity(const Graph& g, const Keys& keys, int r);
+HomogeneityReport measure_homogeneity(const LDigraph& d, const Keys& keys,
+                                      int r);
+
+/// True if (g, keys) is (alpha, r)-homogeneous.
+bool is_homogeneous(const Graph& g, const Keys& keys, double alpha, int r);
+
+}  // namespace lapx::order

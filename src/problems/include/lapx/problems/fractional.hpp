@@ -1,0 +1,47 @@
+#pragma once
+// Fractional relaxations of matching and vertex cover (Section 6.5
+// context: local LP approximation and randomised rounding).
+//
+// The fractional matching LP  max sum y_e  s.t.  sum_{e at v} y_e <= 1
+// has half-integral optima (Balinski), and its value equals half the
+// maximum matching of the bipartite double cover:
+//     nu_f(G) = nu(G x K_2) / 2.
+// By LP duality the fractional vertex cover satisfies tau_f = nu_f, and a
+// half-integral tau_f solution rounds up to an integral vertex cover of
+// size <= 2 tau_f <= 2 tau -- the LP-rounding 2-approximation.
+//
+// These quantities calibrate the integrality gaps that separate what local
+// LP methods can achieve from the integral optima.
+
+#include <vector>
+
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::problems {
+
+/// The bipartite double cover G x K_2: vertices (v, side), edges
+/// (u, 0)-(v, 1) and (u, 1)-(v, 0) per edge {u, v}.  Vertex (v, s) has
+/// index 2 v + s.  (It is a 2-lift of G; also exposed here because the
+/// fractional quantities are computed through it.)
+graph::Graph bipartite_double_cover(const graph::Graph& g);
+
+/// nu_f(G): the fractional matching number (a multiple of 1/2).
+/// Returned doubled so the value is integral: returns 2 * nu_f.
+std::size_t fractional_matching_doubled(const graph::Graph& g);
+
+/// tau_f(G) = nu_f(G) by LP duality; returns 2 * tau_f.
+std::size_t fractional_vertex_cover_doubled(const graph::Graph& g);
+
+/// A half-integral optimal fractional matching: per edge a weight in
+/// {0, 1, 2} halves (i.e. y_e = weight / 2).
+std::vector<int> half_integral_matching(const graph::Graph& g);
+
+/// A half-integral optimal fractional vertex cover: per vertex a weight in
+/// {0, 1, 2} halves.
+std::vector<int> half_integral_vertex_cover(const graph::Graph& g);
+
+/// Rounds a half-integral fractional vertex cover up: the classic
+/// LP-rounding 2-approximation.  Returns vertex bits.
+std::vector<bool> round_up_vertex_cover(const std::vector<int>& halves);
+
+}  // namespace lapx::problems

@@ -1,0 +1,61 @@
+#pragma once
+// Locally checkable labellings (LCL problems, Naor-Stockmeyer; Section 1.3
+// of the paper).
+//
+// An LCL problem fixes a finite label set Sigma and a constant-radius local
+// verifier: a labelling is valid iff the verifier accepts at every node
+// given the labelled radius-t ball.  Graph colouring, weak colouring and
+// maximal independent sets are the classical examples; the paper's simple
+// PO-checkable optimisation problems are LCLs with an objective on top.
+//
+// The framework here mirrors lapx::problems::Problem but for labellings
+// with more than one bit per node, which is exactly the setting in which
+// Naor-Stockmeyer proved the original ID = OI result that Section 4.2
+// generalises.  The Ramsey machinery of lapx/core/ramsey.hpp applies to
+// label-valued ID algorithms unchanged (outputs are ints).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::problems {
+
+/// A locally checkable labelling problem.
+struct LclProblem {
+  std::string name;
+  int num_labels = 2;  ///< labels are 0 .. num_labels-1
+  int radius = 1;      ///< verifier radius
+
+  /// Local verifier: accepts at `v` given the full labelling (the verifier
+  /// implementation must only read labels within `radius` of v; tests
+  /// enforce this by perturbation).
+  std::function<bool(const graph::Graph&, const std::vector<int>&,
+                     graph::Vertex)>
+      check;
+};
+
+/// A labelling is valid iff every node accepts.
+bool lcl_valid(const LclProblem& p, const graph::Graph& g,
+               const std::vector<int>& labels);
+
+/// Proper vertex colouring with k colours (radius 1).
+LclProblem proper_coloring_lcl(int k);
+
+/// Weak colouring with k colours: every non-isolated node has at least one
+/// neighbour with a different colour (radius 1).  The problem Naor and
+/// Stockmeyer solved locally with IDs and Mayer et al. in PO.
+LclProblem weak_coloring_lcl(int k);
+
+/// Maximal independent set as an LCL: label 1 nodes form an independent
+/// set, and every label-0 node has a label-1 neighbour (radius 1).
+LclProblem mis_lcl();
+
+/// "Pointer" maximal matching as an LCL on labels 0..Delta: label p >= 1
+/// means "matched through my p-th neighbour (in sorted adjacency order)";
+/// validity requires pointers to be mutual and unmatched nodes to have no
+/// unmatched neighbour (radius 1).
+LclProblem pointer_matching_lcl(int delta);
+
+}  // namespace lapx::problems

@@ -1,0 +1,34 @@
+#pragma once
+// Maximum matching in general graphs (Edmonds' blossom algorithm, O(V^3)).
+//
+// The matching substrate serves several roles in the reproduction:
+//  * exact optimum for the "maximum matching" problem,
+//  * min edge cover = n - nu(G) by Gallai's identity (no isolated vertices),
+//  * the lower bound nu(G)/2 <= OPT for minimum edge dominating sets, used
+//    to certify lower-bound measurements on instances too large for exact
+//    EDS search,
+//  * greedy maximal matchings as classical 2-approximations.
+
+#include <vector>
+
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::problems {
+
+/// mate[v] = matched partner of v, or -1.  Edmonds' blossom algorithm.
+std::vector<graph::Vertex> maximum_matching_mates(const graph::Graph& g);
+
+/// nu(G): the maximum matching size.
+std::size_t maximum_matching_size(const graph::Graph& g);
+
+/// Converts mates to an edge-id-indexed bit vector.
+std::vector<bool> mates_to_edge_bits(const graph::Graph& g,
+                                     const std::vector<graph::Vertex>& mates);
+
+/// Greedy maximal matching scanning edges in id order.
+std::vector<bool> greedy_maximal_matching(const graph::Graph& g);
+
+/// True if the edge set is a maximal matching.
+bool is_maximal_matching(const graph::Graph& g, const std::vector<bool>& bits);
+
+}  // namespace lapx::problems

@@ -1,0 +1,82 @@
+#pragma once
+// Simple PO-checkable graph problems (Section 1.6 and Example 1.1).
+//
+// A simple graph problem asks for a subset of nodes or edges, minimising or
+// maximising its size.  It is PO-checkable when feasibility can be verified
+// by a constant-radius local algorithm: every node inspects a bounded
+// neighbourhood (and the solution bits on it) and accepts; a solution is
+// feasible iff all nodes accept.  The six problems of Example 1.1 are
+// provided: minimum vertex cover, minimum edge cover, maximum matching,
+// maximum independent set, minimum dominating set, minimum edge dominating
+// set.
+//
+// Each problem carries:
+//  * global feasibility (the specification),
+//  * a per-node local checker of documented radius (the PO-checkability
+//    witness; tests verify that the conjunction of local checks equals
+//    global feasibility and that each check only depends on its radius-r
+//    ball).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::problems {
+
+enum class Goal { kMinimise, kMaximise };
+enum class Kind { kVertexSubset, kEdgeSubset };
+
+/// A candidate solution: bits indexed by vertex (kVertexSubset) or by edge
+/// id (kEdgeSubset).
+struct Solution {
+  Kind kind = Kind::kVertexSubset;
+  std::vector<bool> bits;
+
+  std::size_t size() const {
+    std::size_t s = 0;
+    for (bool b : bits) s += b;
+    return s;
+  }
+};
+
+Solution vertex_solution(const std::vector<bool>& bits);
+Solution edge_solution(const std::vector<bool>& bits);
+
+struct Problem {
+  std::string name;
+  Goal goal = Goal::kMinimise;
+  Kind kind = Kind::kVertexSubset;
+  int checker_radius = 1;
+
+  /// Global feasibility of a solution.
+  std::function<bool(const graph::Graph&, const Solution&)> feasible;
+
+  /// Local feasibility check at one node; reads only data within
+  /// checker_radius of v.  Feasible <=> all nodes accept.
+  std::function<bool(const graph::Graph&, const Solution&, graph::Vertex)>
+      local_check;
+};
+
+const Problem& vertex_cover();
+const Problem& edge_cover();
+const Problem& maximum_matching();
+const Problem& independent_set();
+const Problem& dominating_set();
+const Problem& edge_dominating_set();
+
+/// All six problems of Example 1.1.
+std::vector<const Problem*> all_problems();
+
+/// Conjunction of local checks over every node.
+bool locally_checkable_accepts(const Problem& p, const graph::Graph& g,
+                               const Solution& s);
+
+/// Approximation ratio of a feasible solution against the optimum value:
+/// size/opt for minimisation, opt/size for maximisation (infinity if the
+/// solution is empty on a maximisation problem with opt > 0).
+double approximation_ratio(const Problem& p, std::size_t solution_size,
+                           std::size_t optimum);
+
+}  // namespace lapx::problems

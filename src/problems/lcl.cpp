@@ -1,0 +1,101 @@
+#include "lapx/problems/lcl.hpp"
+
+#include <stdexcept>
+
+namespace lapx::problems {
+
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+void check_labels(const LclProblem& p, const Graph& g,
+                  const std::vector<int>& labels) {
+  if (labels.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("labelling size mismatch");
+  for (int l : labels)
+    if (l < 0 || l >= p.num_labels)
+      throw std::invalid_argument("label out of range");
+}
+
+}  // namespace
+
+bool lcl_valid(const LclProblem& p, const Graph& g,
+               const std::vector<int>& labels) {
+  check_labels(p, g, labels);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (!p.check(g, labels, v)) return false;
+  return true;
+}
+
+LclProblem proper_coloring_lcl(int k) {
+  LclProblem p;
+  p.name = "proper " + std::to_string(k) + "-coloring";
+  p.num_labels = k;
+  p.radius = 1;
+  p.check = [](const Graph& g, const std::vector<int>& labels, Vertex v) {
+    for (Vertex u : g.neighbors(v))
+      if (labels[u] == labels[v]) return false;
+    return true;
+  };
+  return p;
+}
+
+LclProblem weak_coloring_lcl(int k) {
+  LclProblem p;
+  p.name = "weak " + std::to_string(k) + "-coloring";
+  p.num_labels = k;
+  p.radius = 1;
+  p.check = [](const Graph& g, const std::vector<int>& labels, Vertex v) {
+    if (g.degree(v) == 0) return true;
+    for (Vertex u : g.neighbors(v))
+      if (labels[u] != labels[v]) return true;
+    return false;
+  };
+  return p;
+}
+
+LclProblem mis_lcl() {
+  LclProblem p;
+  p.name = "maximal independent set";
+  p.num_labels = 2;
+  p.radius = 1;
+  p.check = [](const Graph& g, const std::vector<int>& labels, Vertex v) {
+    if (labels[v] == 1) {
+      for (Vertex u : g.neighbors(v))
+        if (labels[u] == 1) return false;  // not independent
+      return true;
+    }
+    for (Vertex u : g.neighbors(v))
+      if (labels[u] == 1) return true;  // dominated
+    return false;  // undominated label-0 node (isolated nodes must join)
+  };
+  return p;
+}
+
+LclProblem pointer_matching_lcl(int delta) {
+  LclProblem p;
+  p.name = "pointer maximal matching";
+  p.num_labels = delta + 1;
+  p.radius = 1;
+  p.check = [](const Graph& g, const std::vector<int>& labels, Vertex v) {
+    const auto nb = g.neighbors(v);
+    const int label = labels[v];
+    if (label > static_cast<int>(nb.size())) return false;  // dangling port
+    if (label >= 1) {
+      const Vertex u = nb[label - 1];
+      // Mutuality: u must point back at v.
+      const auto un = g.neighbors(u);
+      const int back = labels[u];
+      return back >= 1 && back <= static_cast<int>(un.size()) &&
+             un[back - 1] == v;
+    }
+    // Unmatched: maximality requires every neighbour to be matched.
+    for (Vertex u : nb)
+      if (labels[u] == 0) return false;
+    return true;
+  };
+  return p;
+}
+
+}  // namespace lapx::problems

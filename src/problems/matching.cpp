@@ -1,0 +1,160 @@
+#include "lapx/problems/matching.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace lapx::problems {
+
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+// Classic O(V^3) blossom implementation: BFS for augmenting paths with
+// blossom contraction via `base` pointers.
+class Blossom {
+ public:
+  explicit Blossom(const Graph& g)
+      : g_(g),
+        n_(g.num_vertices()),
+        mate_(n_, -1),
+        parent_(n_),
+        base_(n_) {}
+
+  std::vector<Vertex> solve() {
+    for (Vertex v = 0; v < n_; ++v)
+      if (mate_[v] == -1) augment_from(v);
+    return mate_;
+  }
+
+ private:
+  Vertex lowest_common_ancestor(Vertex a, Vertex b) {
+    std::vector<bool> used(n_, false);
+    for (Vertex cur = a;;) {
+      cur = base_[cur];
+      used[cur] = true;
+      if (mate_[cur] == -1) break;
+      cur = parent_[mate_[cur]];
+    }
+    for (Vertex cur = b;;) {
+      cur = base_[cur];
+      if (used[cur]) return cur;
+      cur = parent_[mate_[cur]];
+    }
+  }
+
+  void mark_path(std::vector<bool>& blossom, Vertex v, Vertex lca,
+                 Vertex child) {
+    while (base_[v] != lca) {
+      blossom[base_[v]] = true;
+      blossom[base_[mate_[v]]] = true;
+      parent_[v] = child;
+      child = mate_[v];
+      v = parent_[mate_[v]];
+    }
+  }
+
+  Vertex find_augmenting_path(Vertex root) {
+    std::fill(parent_.begin(), parent_.end(), -1);
+    for (Vertex v = 0; v < n_; ++v) base_[v] = v;
+    std::vector<bool> used(n_, false);
+    used[root] = true;
+    std::deque<Vertex> queue{root};
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop_front();
+      for (Vertex to : g_.neighbors(v)) {
+        if (base_[v] == base_[to] || mate_[v] == to) continue;
+        if (to == root || (mate_[to] != -1 && parent_[mate_[to]] != -1)) {
+          // Odd cycle: contract the blossom.
+          const Vertex lca = lowest_common_ancestor(v, to);
+          std::vector<bool> blossom(n_, false);
+          mark_path(blossom, v, lca, to);
+          mark_path(blossom, to, lca, v);
+          for (Vertex u = 0; u < n_; ++u)
+            if (blossom[base_[u]]) {
+              base_[u] = lca;
+              if (!used[u]) {
+                used[u] = true;
+                queue.push_back(u);
+              }
+            }
+        } else if (parent_[to] == -1) {
+          parent_[to] = v;
+          if (mate_[to] == -1) return to;  // augmenting path found
+          used[mate_[to]] = true;
+          queue.push_back(mate_[to]);
+        }
+      }
+    }
+    return -1;
+  }
+
+  void augment_from(Vertex root) {
+    const Vertex leaf = find_augmenting_path(root);
+    if (leaf == -1) return;
+    Vertex v = leaf;
+    while (v != -1) {
+      const Vertex pv = parent_[v];
+      const Vertex ppv = mate_[pv];
+      mate_[v] = pv;
+      mate_[pv] = v;
+      v = ppv;
+    }
+  }
+
+  const Graph& g_;
+  Vertex n_;
+  std::vector<Vertex> mate_, parent_, base_;
+};
+
+}  // namespace
+
+std::vector<Vertex> maximum_matching_mates(const Graph& g) {
+  return Blossom(g).solve();
+}
+
+std::size_t maximum_matching_size(const Graph& g) {
+  const auto mates = maximum_matching_mates(g);
+  std::size_t matched = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) matched += mates[v] != -1;
+  return matched / 2;
+}
+
+std::vector<bool> mates_to_edge_bits(const Graph& g,
+                                     const std::vector<Vertex>& mates) {
+  std::vector<bool> bits(g.num_edges(), false);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (mates[v] != -1 && v < mates[v]) bits[g.edge_id(v, mates[v])] = true;
+  return bits;
+}
+
+std::vector<bool> greedy_maximal_matching(const Graph& g) {
+  std::vector<bool> bits(g.num_edges(), false);
+  std::vector<bool> used(g.num_vertices(), false);
+  for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.num_edges());
+       ++e) {
+    const auto [u, v] = g.edge(e);
+    if (!used[u] && !used[v]) {
+      bits[e] = true;
+      used[u] = used[v] = true;
+    }
+  }
+  return bits;
+}
+
+bool is_maximal_matching(const Graph& g, const std::vector<bool>& bits) {
+  std::vector<bool> used(g.num_vertices(), false);
+  for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.num_edges());
+       ++e) {
+    if (!bits[e]) continue;
+    const auto [u, v] = g.edge(e);
+    if (used[u] || used[v]) return false;  // not a matching
+    used[u] = used[v] = true;
+  }
+  for (const auto& [u, v] : g.edges())
+    if (!used[u] && !used[v]) return false;  // extendable => not maximal
+  return true;
+}
+
+}  // namespace lapx::problems

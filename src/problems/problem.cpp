@@ -1,0 +1,195 @@
+#include "lapx/problems/problem.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace lapx::problems {
+
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::Vertex;
+
+void check_sizes(const Graph& g, const Solution& s, Kind kind) {
+  if (s.kind != kind) throw std::invalid_argument("solution kind mismatch");
+  const std::size_t expected = kind == Kind::kVertexSubset
+                                   ? static_cast<std::size_t>(g.num_vertices())
+                                   : g.num_edges();
+  if (s.bits.size() != expected)
+    throw std::invalid_argument("solution size mismatch");
+}
+
+/// True iff some edge incident to v is selected.
+bool has_selected_incident(const Graph& g, const Solution& s, Vertex v) {
+  for (EdgeId e : g.incident_edges(v))
+    if (s.bits[e]) return true;
+  return false;
+}
+
+int selected_incident_count(const Graph& g, const Solution& s, Vertex v) {
+  int count = 0;
+  for (EdgeId e : g.incident_edges(v)) count += s.bits[e];
+  return count;
+}
+
+}  // namespace
+
+Solution vertex_solution(const std::vector<bool>& bits) {
+  return Solution{Kind::kVertexSubset, bits};
+}
+
+Solution edge_solution(const std::vector<bool>& bits) {
+  return Solution{Kind::kEdgeSubset, bits};
+}
+
+const Problem& vertex_cover() {
+  static const Problem p{
+      "minimum vertex cover", Goal::kMinimise, Kind::kVertexSubset, 1,
+      [](const Graph& g, const Solution& s) {
+        check_sizes(g, s, Kind::kVertexSubset);
+        for (const auto& [u, v] : g.edges())
+          if (!s.bits[u] && !s.bits[v]) return false;
+        return true;
+      },
+      // v accepts iff every edge incident to v is covered.
+      [](const Graph& g, const Solution& s, Vertex v) {
+        if (s.bits[v]) return true;
+        for (Vertex u : g.neighbors(v))
+          if (!s.bits[u]) return false;
+        return true;
+      }};
+  return p;
+}
+
+const Problem& edge_cover() {
+  static const Problem p{
+      "minimum edge cover", Goal::kMinimise, Kind::kEdgeSubset, 1,
+      [](const Graph& g, const Solution& s) {
+        check_sizes(g, s, Kind::kEdgeSubset);
+        for (Vertex v = 0; v < g.num_vertices(); ++v)
+          if (g.degree(v) > 0 && !has_selected_incident(g, s, v)) return false;
+        return true;
+      },
+      // v accepts iff it is covered (isolated nodes accept vacuously).
+      [](const Graph& g, const Solution& s, Vertex v) {
+        return g.degree(v) == 0 || has_selected_incident(g, s, v);
+      }};
+  return p;
+}
+
+const Problem& maximum_matching() {
+  static const Problem p{
+      "maximum matching", Goal::kMaximise, Kind::kEdgeSubset, 1,
+      [](const Graph& g, const Solution& s) {
+        check_sizes(g, s, Kind::kEdgeSubset);
+        for (Vertex v = 0; v < g.num_vertices(); ++v)
+          if (selected_incident_count(g, s, v) > 1) return false;
+        return true;
+      },
+      [](const Graph& g, const Solution& s, Vertex v) {
+        return selected_incident_count(g, s, v) <= 1;
+      }};
+  return p;
+}
+
+const Problem& independent_set() {
+  static const Problem p{
+      "maximum independent set", Goal::kMaximise, Kind::kVertexSubset, 1,
+      [](const Graph& g, const Solution& s) {
+        check_sizes(g, s, Kind::kVertexSubset);
+        for (const auto& [u, v] : g.edges())
+          if (s.bits[u] && s.bits[v]) return false;
+        return true;
+      },
+      [](const Graph& g, const Solution& s, Vertex v) {
+        if (!s.bits[v]) return true;
+        for (Vertex u : g.neighbors(v))
+          if (s.bits[u]) return false;
+        return true;
+      }};
+  return p;
+}
+
+const Problem& dominating_set() {
+  static const Problem p{
+      "minimum dominating set", Goal::kMinimise, Kind::kVertexSubset, 1,
+      [](const Graph& g, const Solution& s) {
+        check_sizes(g, s, Kind::kVertexSubset);
+        for (Vertex v = 0; v < g.num_vertices(); ++v) {
+          if (s.bits[v]) continue;
+          bool dominated = false;
+          for (Vertex u : g.neighbors(v))
+            if (s.bits[u]) {
+              dominated = true;
+              break;
+            }
+          if (!dominated) return false;
+        }
+        return true;
+      },
+      [](const Graph& g, const Solution& s, Vertex v) {
+        if (s.bits[v]) return true;
+        for (Vertex u : g.neighbors(v))
+          if (s.bits[u]) return true;
+        return false;
+      }};
+  return p;
+}
+
+const Problem& edge_dominating_set() {
+  static const Problem p{
+      "minimum edge dominating set", Goal::kMinimise, Kind::kEdgeSubset,
+      /*checker_radius=*/2,
+      [](const Graph& g, const Solution& s) {
+        check_sizes(g, s, Kind::kEdgeSubset);
+        for (EdgeId e = 0; e < static_cast<EdgeId>(g.num_edges()); ++e) {
+          if (s.bits[e]) continue;
+          const auto [u, v] = g.edge(e);
+          if (!has_selected_incident(g, s, u) &&
+              !has_selected_incident(g, s, v))
+            return false;
+        }
+        return true;
+      },
+      // v accepts iff every edge incident to v is dominated; this reads the
+      // incident bits of v's neighbours, i.e. radius-2 data.
+      [](const Graph& g, const Solution& s, Vertex v) {
+        for (Vertex u : g.neighbors(v)) {
+          const EdgeId e = g.edge_id(v, u);
+          if (s.bits[e]) continue;
+          if (!has_selected_incident(g, s, v) &&
+              !has_selected_incident(g, s, u))
+            return false;
+        }
+        return true;
+      }};
+  return p;
+}
+
+std::vector<const Problem*> all_problems() {
+  return {&vertex_cover(),    &edge_cover(),      &maximum_matching(),
+          &independent_set(), &dominating_set(),  &edge_dominating_set()};
+}
+
+bool locally_checkable_accepts(const Problem& p, const graph::Graph& g,
+                               const Solution& s) {
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (!p.local_check(g, s, v)) return false;
+  return true;
+}
+
+double approximation_ratio(const Problem& p, std::size_t solution_size,
+                           std::size_t optimum) {
+  if (p.goal == Goal::kMinimise) {
+    if (optimum == 0)
+      return solution_size == 0 ? 1.0
+                                : std::numeric_limits<double>::infinity();
+    return static_cast<double>(solution_size) / static_cast<double>(optimum);
+  }
+  if (solution_size == 0)
+    return optimum == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  return static_cast<double>(optimum) / static_cast<double>(solution_size);
+}
+
+}  // namespace lapx::problems

@@ -1,0 +1,63 @@
+#include "lapx/runtime/engine.hpp"
+
+#include <stdexcept>
+
+namespace lapx::runtime {
+
+RunResult run_synchronous(const graph::Graph& g,
+                          const graph::PortNumbering& pn,
+                          const graph::Orientation& orient,
+                          const ProgramFactory& factory,
+                          const std::vector<std::int64_t>& inputs,
+                          int rounds) {
+  const graph::Vertex n = g.num_vertices();
+  if (static_cast<graph::Vertex>(inputs.size()) != n)
+    throw std::invalid_argument("inputs size mismatch");
+  if (!pn.valid_for(g)) throw std::invalid_argument("invalid port numbering");
+
+  // Port topology: for (v, p), the neighbour and its return port.
+  std::vector<std::vector<std::pair<graph::Vertex, int>>> link(n);
+  std::vector<std::vector<bool>> outgoing(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    link[v].resize(pn.ports[v].size());
+    outgoing[v].resize(pn.ports[v].size());
+    for (std::size_t p = 0; p < pn.ports[v].size(); ++p) {
+      const graph::Vertex u = pn.ports[v][p];
+      link[v][p] = {u, pn.port_of(u, v)};
+      const auto [tail, head] = orient.directed(g, g.edge_id(v, u));
+      outgoing[v][p] = (tail == v);
+    }
+  }
+
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (graph::Vertex v = 0; v < n; ++v) {
+    programs.push_back(factory());
+    NodeEnv env{g.degree(v), outgoing[v], inputs[v]};
+    programs.back()->init(env);
+  }
+
+  RunResult result;
+  result.rounds = rounds;
+  std::vector<std::vector<Message>> inbox(n);
+  for (int round = 0; round < rounds; ++round) {
+    for (graph::Vertex v = 0; v < n; ++v)
+      inbox[v].assign(pn.ports[v].size(), Message{});
+    for (graph::Vertex v = 0; v < n; ++v) {
+      for (std::size_t p = 0; p < pn.ports[v].size(); ++p) {
+        Message msg = programs[v]->message_for_port(static_cast<int>(p));
+        const auto [u, q] = link[v][p];
+        result.bytes_delivered += msg.size();
+        ++result.messages_delivered;
+        inbox[u][q] = std::move(msg);
+      }
+    }
+    for (graph::Vertex v = 0; v < n; ++v) programs[v]->receive(inbox[v]);
+  }
+  result.outputs.resize(static_cast<std::size_t>(n));
+  for (graph::Vertex v = 0; v < n; ++v)
+    result.outputs[v] = programs[v]->output();
+  return result;
+}
+
+}  // namespace lapx::runtime

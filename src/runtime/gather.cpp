@@ -1,0 +1,330 @@
+#include "lapx/runtime/gather.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "lapx/graph/port_numbering.hpp"
+
+namespace lapx::runtime {
+
+namespace {
+
+// Grammar: K := '{' degree ';' port* '}'
+//          port := ('+' | '-') remote ';' ( '(' K ')' | '_' ) ';'
+// remote is -1 while unknown.
+void serialize_into(const Knowledge& k, std::ostringstream& os) {
+  os << '{' << k.degree << ';';
+  for (int p = 0; p < k.degree; ++p) {
+    os << (k.outgoing[p] ? '+' : '-') << k.remote_port[p] << ';';
+    if (k.neighbor[p]) {
+      os << '(';
+      serialize_into(*k.neighbor[p], os);
+      os << ')';
+    } else {
+      os << '_';
+    }
+    os << ';';
+  }
+  os << '}';
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& data) : data_(data) {}
+
+  Knowledge parse() {
+    Knowledge k = parse_knowledge();
+    if (pos_ != data_.size()) throw std::invalid_argument("trailing data");
+    return k;
+  }
+
+ private:
+  char peek() const {
+    if (pos_ >= data_.size()) throw std::invalid_argument("truncated");
+    return data_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) throw std::invalid_argument("unexpected character");
+  }
+  int parse_int() {
+    bool negative = false;
+    if (peek() == '-') {
+      negative = true;
+      take();
+    }
+    int value = 0;
+    bool any = false;
+    while (pos_ < data_.size() && std::isdigit(static_cast<unsigned char>(
+                                      data_[pos_]))) {
+      value = value * 10 + (take() - '0');
+      any = true;
+    }
+    if (!any) throw std::invalid_argument("expected integer");
+    return negative ? -value : value;
+  }
+
+  Knowledge parse_knowledge() {
+    expect('{');
+    Knowledge k;
+    k.degree = parse_int();
+    expect(';');
+    k.outgoing.resize(k.degree);
+    k.remote_port.resize(k.degree);
+    k.neighbor.resize(k.degree);
+    for (int p = 0; p < k.degree; ++p) {
+      const char dir = take();
+      if (dir != '+' && dir != '-') throw std::invalid_argument("bad dir");
+      k.outgoing[p] = dir == '+';
+      k.remote_port[p] = parse_int();
+      expect(';');
+      if (peek() == '(') {
+        take();
+        k.neighbor[p] = std::make_shared<Knowledge>(parse_knowledge());
+        expect(')');
+      } else {
+        expect('_');
+      }
+      expect(';');
+    }
+    expect('}');
+    return k;
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Knowledge::serialize() const {
+  std::ostringstream os;
+  serialize_into(*this, os);
+  return os.str();
+}
+
+Knowledge Knowledge::parse(const std::string& data) {
+  return Parser(data).parse();
+}
+
+void FullInfoProgram::init(const NodeEnv& env) {
+  state_.degree = env.degree;
+  state_.outgoing = env.port_outgoing;
+  state_.remote_port.assign(env.degree, -1);
+  state_.neighbor.assign(env.degree, nullptr);
+}
+
+Message FullInfoProgram::message_for_port(int port) const {
+  return std::to_string(port) + '#' + state_.serialize();
+}
+
+void FullInfoProgram::receive(const std::vector<Message>& inbox_by_port) {
+  Knowledge next = state_;
+  for (std::size_t p = 0; p < inbox_by_port.size(); ++p) {
+    const std::string& msg = inbox_by_port[p];
+    const auto hash = msg.find('#');
+    if (hash == std::string::npos)
+      throw std::invalid_argument("malformed message");
+    next.remote_port[p] = std::stoi(msg.substr(0, hash));
+    next.neighbor[p] =
+        std::make_shared<Knowledge>(Knowledge::parse(msg.substr(hash + 1)));
+  }
+  state_ = std::move(next);
+}
+
+std::vector<Knowledge> gather_full_information(const graph::Graph& g,
+                                               const graph::PortNumbering& pn,
+                                               const graph::Orientation& orient,
+                                               int rounds) {
+  // We need the final program states, so run the engine manually through a
+  // factory that records the program pointers.
+  std::vector<FullInfoProgram*> instances;
+  auto factory = [&instances]() {
+    auto program = std::make_unique<FullInfoProgram>();
+    instances.push_back(program.get());
+    return program;
+  };
+  // run_synchronous owns the programs for its whole scope, so the recorded
+  // raw pointers stay valid until it returns; copy the knowledge out via
+  // outputs -- instead we re-run with a local engine inline:
+  std::vector<Knowledge> result;
+  {
+    const std::vector<std::int64_t> inputs(g.num_vertices(), 0);
+    // The engine destroys programs when it returns, so we snapshot inside a
+    // custom copy of the final states by wrapping the factory outputs.
+    // Simplest correct approach: replicate run_synchronous's lifetime by
+    // collecting knowledge right before the programs die -- we do that by
+    // running the engine and reading `instances` *before* scope exit:
+    // run_synchronous returns after its last receive(), with programs alive
+    // only inside.  Hence we inline a small engine here instead.
+    const graph::Vertex n = g.num_vertices();
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    std::vector<std::vector<std::pair<graph::Vertex, int>>> link(n);
+    std::vector<std::vector<bool>> outgoing(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      link[v].resize(pn.ports[v].size());
+      outgoing[v].resize(pn.ports[v].size());
+      for (std::size_t p = 0; p < pn.ports[v].size(); ++p) {
+        const graph::Vertex u = pn.ports[v][p];
+        link[v][p] = {u, pn.port_of(u, v)};
+        const auto [tail, head] = orient.directed(g, g.edge_id(v, u));
+        outgoing[v][p] = (tail == v);
+      }
+    }
+    for (graph::Vertex v = 0; v < n; ++v) {
+      programs.push_back(factory());
+      NodeEnv env{g.degree(v), outgoing[v], 0};
+      programs.back()->init(env);
+    }
+    std::vector<std::vector<Message>> inbox(n);
+    for (int round = 0; round < rounds; ++round) {
+      for (graph::Vertex v = 0; v < n; ++v)
+        inbox[v].assign(pn.ports[v].size(), Message{});
+      for (graph::Vertex v = 0; v < n; ++v)
+        for (std::size_t p = 0; p < pn.ports[v].size(); ++p) {
+          const auto [u, q] = link[v][p];
+          inbox[u][q] = programs[v]->message_for_port(static_cast<int>(p));
+        }
+      for (graph::Vertex v = 0; v < n; ++v) programs[v]->receive(inbox[v]);
+    }
+    result.reserve(instances.size());
+    for (FullInfoProgram* program : instances)
+      result.push_back(program->knowledge());
+  }
+  return result;
+}
+
+namespace {
+
+struct ChildEntry {
+  bool outgoing;
+  graph::Label label;
+  const Knowledge* knowledge;  // may be null at the frontier
+  int back_port;               // port on the child leading back to us
+};
+
+void view_serialize(const Knowledge& k, int arrived_port, int depth_left,
+                    int delta, std::ostringstream& os) {
+  os << '(';
+  if (depth_left <= 0) {
+    os << ')';
+    return;
+  }
+  std::vector<ChildEntry> children;
+  for (int p = 0; p < k.degree; ++p) {
+    if (p == arrived_port) continue;
+    if (k.remote_port[p] < 0)
+      throw std::logic_error("knowledge too shallow for requested radius");
+    ChildEntry entry;
+    entry.outgoing = k.outgoing[p];
+    entry.label =
+        k.outgoing[p]
+            ? graph::encode_port_label(p, k.remote_port[p], delta)
+            : graph::encode_port_label(k.remote_port[p], p, delta);
+    entry.knowledge = k.neighbor[p] ? k.neighbor[p].get() : nullptr;
+    entry.back_port = k.remote_port[p];
+    children.push_back(entry);
+  }
+  std::sort(children.begin(), children.end(),
+            [](const ChildEntry& a, const ChildEntry& b) {
+              return std::pair(a.outgoing, a.label) <
+                     std::pair(b.outgoing, b.label);
+            });
+  for (const ChildEntry& c : children) {
+    os << (c.outgoing ? '+' : '-') << c.label;
+    if (depth_left == 1) {
+      // Leaf level: the subtree is empty regardless of deeper knowledge.
+      os << "()";
+    } else {
+      if (!c.knowledge)
+        throw std::logic_error("knowledge too shallow for requested radius");
+      view_serialize(*c.knowledge, c.back_port, depth_left - 1, delta, os);
+    }
+  }
+  os << ')';
+}
+
+}  // namespace
+
+std::string knowledge_view_type(const Knowledge& k, int radius, int delta) {
+  std::ostringstream os;
+  os << "r=" << radius << ';';
+  view_serialize(k, -1, radius, delta, os);
+  return os.str();
+}
+
+core::ViewTree knowledge_to_view(const Knowledge& k, int radius, int delta) {
+  core::ViewTree t;
+  t.alphabet = static_cast<graph::Label>(delta * delta);
+  t.radius = radius;
+  struct Frame {
+    const Knowledge* knowledge;
+    int arrived_port;
+    int node;
+    int depth;
+  };
+  t.nodes.push_back(core::ViewTree::Node{-1, -1, core::Move{}, 0});
+  t.children.emplace_back();
+  std::vector<Frame> queue{Frame{&k, -1, 0, 0}};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Frame frame = queue[head];
+    if (frame.depth == radius) continue;
+    std::vector<ChildEntry> entries;
+    for (int p = 0; p < frame.knowledge->degree; ++p) {
+      if (p == frame.arrived_port) continue;
+      if (frame.knowledge->remote_port[p] < 0)
+        throw std::logic_error("knowledge too shallow for requested radius");
+      ChildEntry entry;
+      entry.outgoing = frame.knowledge->outgoing[p];
+      entry.label = entry.outgoing
+                        ? graph::encode_port_label(
+                              p, frame.knowledge->remote_port[p], delta)
+                        : graph::encode_port_label(
+                              frame.knowledge->remote_port[p], p, delta);
+      entry.knowledge = frame.knowledge->neighbor[p]
+                            ? frame.knowledge->neighbor[p].get()
+                            : nullptr;
+      entry.back_port = frame.knowledge->remote_port[p];
+      entries.push_back(entry);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const ChildEntry& a, const ChildEntry& b) {
+                return std::pair(a.outgoing, a.label) <
+                       std::pair(b.outgoing, b.label);
+              });
+    for (const ChildEntry& entry : entries) {
+      const int child = static_cast<int>(t.nodes.size());
+      t.nodes.push_back(core::ViewTree::Node{
+          -1, frame.node, core::Move{entry.outgoing, entry.label},
+          frame.depth + 1});
+      t.children.emplace_back();
+      t.children[frame.node].push_back(child);
+      if (frame.depth + 1 < radius) {
+        if (!entry.knowledge)
+          throw std::logic_error("knowledge too shallow for requested radius");
+        queue.push_back(
+            Frame{entry.knowledge, entry.back_port, child, frame.depth + 1});
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<bool> run_po_via_messages(const graph::Graph& g,
+                                      const graph::PortNumbering& pn,
+                                      const graph::Orientation& orient,
+                                      const core::VertexPoAlgorithm& algo,
+                                      int r, int delta) {
+  const auto knowledge = gather_full_information(g, pn, orient, r);
+  std::vector<bool> out(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    out[v] = algo(knowledge_to_view(knowledge[v], r, delta)) != 0;
+  return out;
+}
+
+}  // namespace lapx::runtime

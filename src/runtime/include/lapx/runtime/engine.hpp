@@ -1,0 +1,73 @@
+#pragma once
+// Synchronous message-passing runtime over port-numbered networks.
+//
+// This grounds the "local algorithm = function of the r-neighbourhood"
+// shortcut used everywhere else in the library: Section 2 of the paper
+// defines algorithms operationally, as r rounds of synchronous message
+// passing, and then identifies them with functions of tau(G, v) / the
+// truncated view.  The engine executes genuine per-node state machines that
+// can only exchange opaque byte strings through their ports; the
+// full-information program in gather.hpp then demonstrates the equivalence
+// exactly (experiment E11).
+//
+// Round structure (standard synchronous LOCAL model):
+//   for each round: every node emits one message per port, all messages are
+//   delivered, every node updates its state from the received messages.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lapx/graph/graph.hpp"
+#include "lapx/graph/port_numbering.hpp"
+
+namespace lapx::runtime {
+
+using Message = std::string;
+
+/// Static local information available to a node before any communication:
+/// its degree, the orientation of each incident edge, and its local input
+/// (identifier, or 0 in anonymous networks).
+struct NodeEnv {
+  int degree = 0;
+  std::vector<bool> port_outgoing;  ///< per port: edge points away from us
+  std::int64_t input = 0;
+};
+
+/// A per-node state machine.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  virtual void init(const NodeEnv& env) = 0;
+
+  /// Message to send through `port` this round (may be empty).
+  virtual Message message_for_port(int port) const = 0;
+
+  /// Delivery of this round's messages, one slot per port.
+  virtual void receive(const std::vector<Message>& inbox_by_port) = 0;
+
+  /// The node's local output (meaning depends on the algorithm).
+  virtual std::int64_t output() const = 0;
+};
+
+using ProgramFactory = std::function<std::unique_ptr<NodeProgram>()>;
+
+struct RunResult {
+  std::vector<std::int64_t> outputs;
+  int rounds = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t bytes_delivered = 0;
+};
+
+/// Runs `rounds` synchronous rounds of the program on the port-numbered,
+/// oriented network.  inputs[v] is node v's local input.
+RunResult run_synchronous(const graph::Graph& g,
+                          const graph::PortNumbering& pn,
+                          const graph::Orientation& orient,
+                          const ProgramFactory& factory,
+                          const std::vector<std::int64_t>& inputs, int rounds);
+
+}  // namespace lapx::runtime

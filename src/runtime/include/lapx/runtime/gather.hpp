@@ -1,0 +1,79 @@
+#pragma once
+// The full-information protocol: after r rounds of "send everything you
+// know", a node's state determines exactly the truncated view tau(T(G, v))
+// -- the operational justification for treating local PO-algorithms as
+// functions of the view (Section 2.5).
+//
+// Messages carry (sender's port index, serialized knowledge).  Knowledge
+// after round t is the node's degree and orientations plus, per port, the
+// neighbour's knowledge after round t-1.  knowledge_view_type() folds this
+// into the same canonical string that lapx::core::view_type produces from
+// the graph directly; experiment E11 checks the two are identical at every
+// node.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lapx/runtime/engine.hpp"
+
+namespace lapx::runtime {
+
+/// What a node knows after t rounds of full-information exchange.
+struct Knowledge {
+  int degree = 0;
+  std::vector<bool> outgoing;    ///< per port
+  std::vector<int> remote_port;  ///< per port; -1 until learned (round 1)
+  std::vector<std::shared_ptr<const Knowledge>> neighbor;  ///< t-1 knowledge
+
+  std::string serialize() const;
+  static Knowledge parse(const std::string& data);
+};
+
+/// The node program implementing the protocol.  output() is unused (0);
+/// retrieve the final knowledge with FullInfoProgram::knowledge().
+class FullInfoProgram : public NodeProgram {
+ public:
+  void init(const NodeEnv& env) override;
+  Message message_for_port(int port) const override;
+  void receive(const std::vector<Message>& inbox_by_port) override;
+  std::int64_t output() const override { return 0; }
+
+  const Knowledge& knowledge() const { return state_; }
+
+ private:
+  Knowledge state_;
+};
+
+/// Runs the protocol for `rounds` rounds and returns each node's knowledge.
+std::vector<Knowledge> gather_full_information(const graph::Graph& g,
+                                               const graph::PortNumbering& pn,
+                                               const graph::Orientation& orient,
+                                               int rounds);
+
+/// Folds knowledge into the canonical truncated-view encoding, identical to
+/// lapx::core::view_type(view(to_ldigraph(g, pn, orient, delta), v, radius)).
+/// `delta` must match the one used to build the L-digraph.
+std::string knowledge_view_type(const Knowledge& k, int radius, int delta);
+
+}  // namespace lapx::runtime
+
+#include "lapx/core/model.hpp"
+
+namespace lapx::runtime {
+
+/// Reconstructs the actual ViewTree from gathered knowledge (images are
+/// unknown to an anonymous node and are set to -1).
+core::ViewTree knowledge_to_view(const Knowledge& k, int radius, int delta);
+
+/// Runs a PO vertex algorithm through genuine message passing: r rounds of
+/// the full-information protocol, then the algorithm applied to each node's
+/// reconstructed view.  Provably equal to core::run_po on the corresponding
+/// L-digraph (tested as such) -- the operational semantics of Section 2.
+std::vector<bool> run_po_via_messages(const graph::Graph& g,
+                                      const graph::PortNumbering& pn,
+                                      const graph::Orientation& orient,
+                                      const core::VertexPoAlgorithm& algo,
+                                      int r, int delta);
+
+}  // namespace lapx::runtime

@@ -1,0 +1,210 @@
+// Tests for the concrete local algorithms in the three models: feasibility
+// on random instances and the classical approximation guarantees.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "lapx/algorithms/id.hpp"
+#include "lapx/algorithms/oi.hpp"
+#include "lapx/algorithms/po.hpp"
+#include "lapx/core/model.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/lift.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/problems/exact.hpp"
+#include "lapx/problems/problem.hpp"
+
+namespace {
+
+using namespace lapx;
+using core::run_id;
+using core::run_oi;
+using core::run_oi_edges;
+using core::run_po;
+using core::run_po_edges;
+using graph::Graph;
+using order::Keys;
+
+Keys shuffled_keys(int n, unsigned seed) {
+  Keys keys(n);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  return keys;
+}
+
+class RegularGraphAlgorithms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegularGraphAlgorithms, MarkFirstEdgeIsEdgeCover) {
+  const int d = GetParam();
+  std::mt19937_64 rng(d);
+  const Graph g = graph::random_regular(20, d, rng);
+  const auto ld = graph::to_ldigraph(g);
+  const auto bits = run_po_edges(ld, algorithms::mark_first_edge_po(), 1);
+  const auto sol = problems::edge_solution(bits);
+  ASSERT_TRUE(problems::edge_cover().feasible(g, sol));
+  const std::size_t opt = problems::min_edge_cover_size(g);
+  EXPECT_LE(problems::approximation_ratio(problems::edge_cover(), sol.size(),
+                                          opt),
+            2.0 + 1e-9);
+}
+
+TEST_P(RegularGraphAlgorithms, MarkFirstEdgeIsEdgeDominatingSet) {
+  const int d = GetParam();
+  std::mt19937_64 rng(100 + d);
+  const Graph g = graph::random_regular(16, d, rng);
+  const auto ld = graph::to_ldigraph(g);
+  const auto bits = run_po_edges(ld, algorithms::eds_mark_first_po(), 1);
+  const auto sol = problems::edge_solution(bits);
+  ASSERT_TRUE(problems::edge_dominating_set().feasible(g, sol));
+  const std::size_t opt = problems::min_edge_dominating_set_size(g);
+  const int dprime = 2 * (d / 2);
+  const double bound = dprime >= 2 ? 4.0 - 2.0 / dprime : 4.0;
+  EXPECT_LE(problems::approximation_ratio(problems::edge_dominating_set(),
+                                          sol.size(), opt),
+            bound + 1e-9)
+      << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RegularGraphAlgorithms,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(PoAlgorithms, TakeAllIsDominatingSet) {
+  const Graph g = graph::petersen();
+  const auto ld = graph::to_ldigraph(g);
+  const auto bits = run_po(ld, algorithms::take_all_po(), 0);
+  EXPECT_TRUE(problems::dominating_set().feasible(
+      g, problems::vertex_solution(bits)));
+  // ratio <= Delta + 1 always.
+  const std::size_t opt = problems::min_dominating_set_size(g);
+  EXPECT_LE(problems::approximation_ratio(problems::dominating_set(),
+                                          g.num_vertices(), opt),
+            g.max_degree() + 1 + 1e-9);
+}
+
+TEST(OiAlgorithms, LocalMinIsIndependent) {
+  for (unsigned seed : {1u, 2u, 3u}) {
+    std::mt19937_64 rng(seed);
+    const Graph g = graph::random_regular(24, 3, rng);
+    const auto bits =
+        run_oi(g, shuffled_keys(24, seed), algorithms::local_min_is_oi(), 1);
+    EXPECT_TRUE(problems::independent_set().feasible(
+        g, problems::vertex_solution(bits)));
+    const problems::Solution is_sol = problems::vertex_solution(bits);
+    EXPECT_GT(is_sol.size(), 0u);
+  }
+}
+
+TEST(OiAlgorithms, NonLocalMinIsVertexCover) {
+  for (unsigned seed : {5u, 6u}) {
+    std::mt19937_64 rng(seed);
+    const Graph g = graph::random_regular(24, 4, rng);
+    const auto bits = run_oi(g, shuffled_keys(24, seed),
+                             algorithms::non_local_min_vc_oi(), 1);
+    EXPECT_TRUE(problems::vertex_cover().feasible(
+        g, problems::vertex_solution(bits)));
+  }
+}
+
+TEST(OiAlgorithms, GreedyMatchingIsAMatching) {
+  // Consistency across nodes: simultaneous local simulations must agree on
+  // which edges are matched (requires radius >= 2 * rounds).
+  for (unsigned seed : {7u, 8u, 9u}) {
+    std::mt19937_64 rng(seed);
+    const Graph g = graph::random_regular(20, 3, rng);
+    const auto bits = run_oi_edges(g, shuffled_keys(20, seed),
+                                   algorithms::greedy_matching_oi(2), 4);
+    EXPECT_TRUE(problems::maximum_matching().feasible(
+        g, problems::edge_solution(bits)));
+    const auto one_round = run_oi_edges(g, shuffled_keys(20, seed),
+                                        algorithms::greedy_matching_oi(1), 2);
+    EXPECT_TRUE(problems::maximum_matching().feasible(
+        g, problems::edge_solution(one_round)));
+  }
+}
+
+TEST(OiAlgorithms, EdsGreedyFallbackIsFeasible) {
+  for (unsigned seed : {11u, 12u}) {
+    std::mt19937_64 rng(seed);
+    const Graph g = graph::random_regular(18, 4, rng);
+    const auto bits = run_oi_edges(g, shuffled_keys(18, seed),
+                                   algorithms::eds_greedy_fallback_oi(2), 3);
+    EXPECT_TRUE(problems::edge_dominating_set().feasible(
+        g, problems::edge_solution(bits)));
+  }
+}
+
+TEST(OiAlgorithms, EdsOnRandomOrderBeatsThePoBoundOnCycles) {
+  // With a random order the greedy matching kicks in and the ratio is well
+  // below the tight PO bound of 3 (Delta' = 2); this is the "identifiers
+  // seem to help" side of the story.
+  const int n = 120;
+  const Graph g = graph::cycle(n);
+  double total_ratio = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const auto bits = run_oi_edges(g, shuffled_keys(n, 40 + t),
+                                   algorithms::eds_greedy_fallback_oi(2), 3);
+    problems::Solution sol = problems::edge_solution(bits);
+    EXPECT_TRUE(problems::edge_dominating_set().feasible(g, sol));
+    total_ratio += static_cast<double>(sol.size()) /
+                   problems::cycle_min_edge_dominating_set(n);
+  }
+  EXPECT_LT(total_ratio / trials, 2.7);
+}
+
+TEST(OiAlgorithms, MarkFirstNeighborIsEdgeCover) {
+  std::mt19937_64 rng(17);
+  const Graph g = graph::random_regular(20, 3, rng);
+  const auto bits = run_oi_edges(g, shuffled_keys(20, 17),
+                                 algorithms::mark_first_neighbor_oi(), 1);
+  EXPECT_TRUE(
+      problems::edge_cover().feasible(g, problems::edge_solution(bits)));
+}
+
+TEST(OiAlgorithms, DsLocalMinCoverIsDominating) {
+  for (unsigned seed : {21u, 22u}) {
+    std::mt19937_64 rng(seed);
+    const Graph g = graph::random_regular(20, 4, rng);
+    const auto bits = run_oi(g, shuffled_keys(20, seed),
+                             algorithms::ds_local_min_cover_oi(), 2);
+    EXPECT_TRUE(problems::dominating_set().feasible(
+        g, problems::vertex_solution(bits)));
+  }
+}
+
+TEST(IdAlgorithms, EvenMinIsIndependent) {
+  const Graph g = graph::cycle(15);
+  const auto bits = run_id(g, shuffled_keys(15, 23),
+                           lapx::algorithms::even_min_is_id(), 1);
+  EXPECT_TRUE(problems::independent_set().feasible(
+      g, problems::vertex_solution(bits)));
+}
+
+TEST(IdAlgorithms, DsEvenPreferenceIsDominating) {
+  for (unsigned seed : {31u, 32u}) {
+    std::mt19937_64 rng(seed);
+    const Graph g = graph::random_regular(18, 3, rng);
+    const auto bits = run_id(g, shuffled_keys(18, seed),
+                             lapx::algorithms::ds_even_preference_id(), 2);
+    EXPECT_TRUE(problems::dominating_set().feasible(
+        g, problems::vertex_solution(bits)));
+  }
+}
+
+TEST(PoAlgorithms, OutputsAreLiftInvariant) {
+  // Any PO algorithm run through the framework is invariant under lifts.
+  std::mt19937_64 rng(37);
+  const auto base = graph::directed_torus({3, 4});
+  const auto lift = graph::random_lift(base, 3, rng);
+  EXPECT_TRUE(core::po_outputs_lift_invariant(
+      lift.graph, base, lift.phi, algorithms::take_all_po(), 1));
+  const auto type_match = algorithms::match_view_type_po(
+      core::view_type(core::view(base, 0, 2)));
+  EXPECT_TRUE(core::po_outputs_lift_invariant(lift.graph, base, lift.phi,
+                                              type_match, 2));
+}
+
+}  // namespace

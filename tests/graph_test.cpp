@@ -1,0 +1,259 @@
+// Unit tests for the graph substrate: Graph, LDigraph, port numberings,
+// generators, structural properties and lifts.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lapx/graph/digraph.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/graph.hpp"
+#include "lapx/graph/lift.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/graph/properties.hpp"
+
+namespace {
+
+using namespace lapx::graph;
+
+TEST(Graph, BasicConstruction) {
+  Graph g(4);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 0u);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(2, 1);
+  EXPECT_EQ(e0, 0);
+  EXPECT_EQ(e1, 1);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.edge(1), (Edge{1, 2}));
+  EXPECT_EQ(g.edge_id(2, 1), 1);
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallelEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 3u);
+}
+
+TEST(Graph, IncidentEdges) {
+  Graph g = cycle(5);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.incident_edges(v).size(), 2u);
+}
+
+TEST(Generators, CycleAndPath) {
+  EXPECT_TRUE(cycle(7).is_regular(2));
+  EXPECT_EQ(cycle(7).num_edges(), 7u);
+  EXPECT_EQ(path(7).num_edges(), 6u);
+  EXPECT_EQ(girth(cycle(7)), 7);
+  EXPECT_EQ(girth(path(7)), kInfiniteGirth);
+}
+
+TEST(Generators, CompleteAndBipartite) {
+  EXPECT_EQ(complete(5).num_edges(), 10u);
+  EXPECT_EQ(girth(complete(4)), 3);
+  EXPECT_EQ(complete_bipartite(3, 4).num_edges(), 12u);
+  EXPECT_EQ(girth(complete_bipartite(2, 2)), 4);
+  EXPECT_TRUE(is_bipartite(complete_bipartite(3, 4)));
+  EXPECT_FALSE(is_bipartite(complete(3)));
+}
+
+TEST(Generators, Hypercube) {
+  const Graph q3 = hypercube(3);
+  EXPECT_EQ(q3.num_vertices(), 8);
+  EXPECT_TRUE(q3.is_regular(3));
+  EXPECT_EQ(girth(q3), 4);
+  EXPECT_TRUE(is_bipartite(q3));
+}
+
+TEST(Generators, Petersen) {
+  const Graph p = petersen();
+  EXPECT_EQ(p.num_vertices(), 10);
+  EXPECT_TRUE(p.is_regular(3));
+  EXPECT_EQ(girth(p), 5);
+  EXPECT_EQ(diameter(p), 2);
+}
+
+TEST(Generators, Torus) {
+  const Graph t = torus({6, 6});
+  EXPECT_EQ(t.num_vertices(), 36);
+  EXPECT_TRUE(t.is_regular(4));
+  EXPECT_EQ(girth(t), 4);
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(Generators, RandomRegularIsRegular) {
+  std::mt19937_64 rng(42);
+  for (int d : {2, 3, 4}) {
+    const Graph g = random_regular(20, d, rng);
+    EXPECT_TRUE(g.is_regular(d)) << "d=" << d;
+  }
+}
+
+TEST(Generators, BinaryTreeIsForest) {
+  const Graph t = binary_tree(4);
+  EXPECT_EQ(t.num_vertices(), 15);
+  EXPECT_TRUE(is_forest(t));
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(Properties, BfsAndBall) {
+  const Graph g = cycle(10);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[5], 5);
+  EXPECT_EQ(dist[9], 1);
+  const auto b = ball(g, 0, 2);
+  EXPECT_EQ(b.size(), 5u);  // 8, 9, 0, 1, 2
+}
+
+TEST(Properties, Components) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Properties, InducedSubgraph) {
+  const Graph g = complete(5);
+  auto [sub, map] = induced_subgraph(g, {1, 2, 4});
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 3u);
+  EXPECT_EQ(map[0], 1);
+}
+
+TEST(LDigraph, ProperLabelling) {
+  LDigraph d(3, 2);
+  d.add_arc(0, 1, 0);
+  d.add_arc(0, 2, 1);
+  // duplicate outgoing label at 0:
+  EXPECT_THROW(d.add_arc(0, 1, 1), std::invalid_argument);
+  // duplicate incoming label at 1:
+  EXPECT_THROW(d.add_arc(2, 1, 0), std::invalid_argument);
+  EXPECT_EQ(d.out_neighbor(0, 0), std::optional<Vertex>(1));
+  EXPECT_EQ(d.in_neighbor(1, 0), std::optional<Vertex>(0));
+  EXPECT_EQ(d.out_neighbor(1, 0), std::nullopt);
+}
+
+TEST(LDigraph, UnderlyingGraph) {
+  const LDigraph d = directed_cycle(5);
+  const Graph g = d.underlying_graph();
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_TRUE(d.is_k_in_k_out_regular(1));
+}
+
+TEST(LDigraph, GirthDetectsAntiparallelPairs) {
+  LDigraph d(2, 2);
+  d.add_arc(0, 1, 0);
+  d.add_arc(1, 0, 1);
+  EXPECT_EQ(girth(d), 2);
+}
+
+TEST(PortNumbering, RoundTripLabels) {
+  const Graph g = petersen();
+  const auto pn = PortNumbering::default_for(g);
+  EXPECT_TRUE(pn.valid_for(g));
+  const LDigraph d = to_ldigraph(g);
+  EXPECT_EQ(d.num_arcs(), g.num_edges());
+  // Every arc label decodes to matching ports.
+  for (const Arc& a : d.arcs()) {
+    const auto [i, j] = decode_port_label(a.label, g.max_degree());
+    EXPECT_EQ(pn.ports[a.from][i], a.to);
+    EXPECT_EQ(pn.ports[a.to][j], a.from);
+  }
+  EXPECT_EQ(d.underlying_graph().num_edges(), g.num_edges());
+}
+
+TEST(PortNumbering, DirectedTorusMatchesTorus) {
+  const LDigraph d = directed_torus({4, 4});
+  EXPECT_TRUE(d.is_k_in_k_out_regular(2));
+  EXPECT_EQ(d.underlying_graph().num_edges(), torus({4, 4}).num_edges());
+}
+
+TEST(Lift, DisjointCopiesIsCoveringMap) {
+  const LDigraph g = directed_cycle(5);
+  const Lift lift = disjoint_copies(g, 3);
+  std::string why;
+  EXPECT_TRUE(is_covering_map(lift.graph, g, lift.phi, &why)) << why;
+  const auto sizes = fibre_sizes(lift.phi, g.num_vertices());
+  for (int s : sizes) EXPECT_EQ(s, 3);
+}
+
+TEST(Lift, RandomLiftIsCoveringMap) {
+  std::mt19937_64 rng(7);
+  const LDigraph g = directed_torus({3, 4});
+  for (int l : {2, 3, 5}) {
+    const Lift lift = random_lift(g, l, rng);
+    std::string why;
+    EXPECT_TRUE(is_covering_map(lift.graph, g, lift.phi, &why)) << why;
+    EXPECT_TRUE(is_covering_map(lift.graph.underlying_graph(),
+                                g.underlying_graph(), lift.phi, &why))
+        << why;
+  }
+}
+
+TEST(Lift, CoveringMapRejectsWrongMaps) {
+  const LDigraph g = directed_cycle(4);
+  const Lift lift = disjoint_copies(g, 2);
+  std::vector<Vertex> bad = lift.phi;
+  bad[0] = (bad[0] + 1) % 4;
+  EXPECT_FALSE(is_covering_map(lift.graph, g, bad));
+}
+
+TEST(Lift, ProductLiftProjectsBothWays) {
+  // Template: directed 6-cycle (complete on a 1-letter alphabet).
+  const LDigraph h = directed_cycle(6);
+  const LDigraph g = directed_cycle(4);
+  const ProductLift product = product_lift(h, g);
+  EXPECT_EQ(product.graph.num_vertices(), 24);
+  std::string why;
+  EXPECT_TRUE(is_covering_map(product.graph, g, product.phi, &why)) << why;
+  // phi_h is a homomorphism: arcs project to arcs with equal labels.
+  for (const Arc& a : product.graph.arcs()) {
+    const auto to = h.out_neighbor(product.phi_h[a.from], a.label);
+    ASSERT_TRUE(to.has_value());
+    EXPECT_EQ(*to, product.phi_h[a.to]);
+  }
+}
+
+TEST(Lift, FigureThreeExample) {
+  // Figure 3 of the paper: a 2-lift of a 4-vertex graph; fibres of equal
+  // size and the covering map checked structurally.
+  LDigraph g(4, 3);  // a--b, b--c, c--a (triangle) plus a--d
+  g.add_arc(0, 1, 0);
+  g.add_arc(1, 2, 0);
+  g.add_arc(2, 0, 1);
+  g.add_arc(0, 3, 2);
+  std::mt19937_64 rng(3);
+  const Lift lift = random_lift(g, 2, rng);
+  std::string why;
+  ASSERT_TRUE(is_covering_map(lift.graph, g, lift.phi, &why)) << why;
+  for (int s : fibre_sizes(lift.phi, 4)) EXPECT_EQ(s, 2);
+}
+
+TEST(Properties, ComponentOfLDigraph) {
+  const LDigraph g = directed_cycle(6);
+  const Lift two_copies = disjoint_copies(g, 2);
+  auto [comp, members] = component_of(two_copies.graph, 0);
+  EXPECT_EQ(comp.num_vertices(), 6);
+  EXPECT_EQ(members.size(), 6u);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the Theorem 3.2 pipeline: construction of finite 2k-regular
+// (1 - eps, r)-homogeneous graphs of girth > 2r + 1.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lapx/graph/properties.hpp"
+#include "lapx/group/homogeneous.hpp"
+#include "lapx/order/homogeneity.hpp"
+
+namespace {
+
+using namespace lapx::group;
+
+HomogeneousSpec designed(int k, int r, int m, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  auto spec = design_homogeneous(k, r, 4, rng);
+  EXPECT_TRUE(spec.has_value()) << "no generators found for k=" << k
+                                << " r=" << r;
+  spec->m = m;
+  return *spec;
+}
+
+TEST(Homogeneous, DesignFindsCertifiedGenerators) {
+  for (const auto& [k, r] : {std::pair{1, 1}, {1, 2}, {2, 1}}) {
+    std::mt19937_64 rng(7);
+    const auto spec = design_homogeneous(k, r, 4, rng);
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(static_cast<int>(spec->generators.size()), k);
+    EXPECT_TRUE(girth_exceeds(WreathGroup(spec->level, 2), spec->generators,
+                              2 * r + 1));
+  }
+}
+
+TEST(Homogeneous, MaterializedPropertiesK1R2) {
+  // k = 1, r = 2: 2-regular, girth > 5.
+  auto spec = designed(1, 2, 4, 11);
+  const auto h = materialize_homogeneous(spec, 1 << 20, /*take_component=*/true);
+  EXPECT_TRUE(h.digraph.is_k_in_k_out_regular(1));
+  EXPECT_GT(lapx::graph::girth(h.digraph), 2 * spec.r + 1);
+  EXPECT_TRUE(lapx::graph::is_connected(h.digraph.underlying_graph()));
+}
+
+TEST(Homogeneous, MaterializedPropertiesK2R1) {
+  // k = 2, r = 1: 4-regular, girth > 3 (triangle-free).
+  auto spec = designed(2, 1, 4, 13);
+  const auto h = materialize_homogeneous(spec, 1 << 20, /*take_component=*/true);
+  EXPECT_TRUE(h.digraph.is_k_in_k_out_regular(2));
+  EXPECT_GT(lapx::graph::girth(h.digraph), 3);
+}
+
+TEST(Homogeneous, TauStarIsIndependentOfM) {
+  // Theorem 3.2 claim (1): the homogeneity type does not depend on eps
+  // (i.e. on the cut modulus m).
+  auto spec = designed(1, 1, 4, 17);
+  const std::string tau4 = tau_star_type(spec);
+  spec.m = 8;
+  EXPECT_EQ(tau_star_type(spec), tau4);  // tau* never reads m
+  // Inner vertices of H(m) have type tau* for every m: an element with all
+  // coordinates well inside [r, m - 1 - r].
+  for (int m : {6, 8}) {
+    spec.m = m;
+    Elem center(static_cast<std::size_t>(spec.finite_group().dimension()),
+                m / 2);
+    EXPECT_EQ(local_type(spec, center), tau4) << "m=" << m;
+  }
+}
+
+TEST(Homogeneous, SampledFractionBeatsInnerBound) {
+  auto spec = designed(1, 1, 8, 19);
+  std::mt19937_64 rng(23);
+  const double sampled = sampled_homogeneity(spec, 400, rng);
+  // The analytic bound is (1 - 2r/m)^d; sampling error is well below the
+  // slack here because the true fraction is at least the bound.
+  EXPECT_GE(sampled, inner_fraction_bound(spec) - 0.12);
+  EXPECT_GT(sampled, 0.0);
+}
+
+TEST(Homogeneous, FractionGrowsWithM) {
+  // eps -> 0 as m grows: the sampled tau* fraction increases.
+  std::mt19937_64 rng(29);
+  auto spec = designed(1, 1, 0, 31);
+  std::vector<double> fractions;
+  for (int m : {4, 8, 16, 32}) {
+    spec.m = m;
+    fractions.push_back(sampled_homogeneity(spec, 300, rng));
+  }
+  EXPECT_LT(fractions.front(), fractions.back());
+  EXPECT_GT(fractions.back(), 0.8);
+}
+
+TEST(Homogeneous, MaterializedOrderedHomogeneityMatchesSampling) {
+  // The ordered-graph homogeneity of the materialised instance agrees with
+  // the tau*-fraction measured by local group arithmetic.
+  auto spec = designed(1, 1, 6, 37);
+  const auto h = materialize_homogeneous(spec, 1 << 20, /*take_component=*/false);
+  const auto report =
+      lapx::order::measure_homogeneity(h.digraph, h.keys, spec.r);
+  const std::string tau = tau_star_type(spec);
+  std::int64_t tau_count = 0;
+  const std::int64_t n = spec.finite_group().size();
+  for (std::int64_t i = 0; i < n; ++i)
+    if (local_type(spec, h.elements[i]) == tau) ++tau_count;
+  EXPECT_NEAR(report.fraction, static_cast<double>(tau_count) / n, 1e-9);
+}
+
+TEST(Homogeneous, InnerFractionBoundFormula) {
+  HomogeneousSpec spec;
+  spec.k = 1;
+  spec.r = 1;
+  spec.level = 1;
+  spec.m = 10;
+  EXPECT_NEAR(inner_fraction_bound(spec), 0.8, 1e-12);  // (10-2)/10, d=1
+  spec.level = 2;
+  EXPECT_NEAR(inner_fraction_bound(spec), 0.512, 1e-12);  // 0.8^3
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// End-to-end integration tests: the full lower-bound pipelines of the paper
+// exercised across all modules at once.
+//
+//  * Theorem 1.6 on cycles (Delta' = 2): every OI edge-dominating-set
+//    algorithm, pushed through the OI -> PO simulation, lands at ratio >= 3
+//    on the symmetric cycle -- and 3 = 4 - 2/Delta' is exactly the PO bound.
+//  * The exhaustive "typical type" adversary: on a symmetric cycle a PO
+//    algorithm has only 4 possible behaviours for its incident-edge marks;
+//    the best feasible one has ratio 3.
+//  * ID = OI = PO chained: Ramsey-forcing an ID algorithm, then simulating
+//    the resulting OI algorithm in PO, preserves feasibility on the base.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "lapx/algorithms/oi.hpp"
+#include "lapx/core/ramsey.hpp"
+#include "lapx/core/simulate.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/properties.hpp"
+#include "lapx/problems/exact.hpp"
+#include "lapx/problems/problem.hpp"
+
+namespace {
+
+using namespace lapx;
+using core::TStarOrder;
+using graph::directed_cycle;
+using graph::Graph;
+using graph::LDigraph;
+
+TEST(Integration, EdsSimulationHitsTheTightBoundOnCycles) {
+  // A = OI greedy matching + fallback (a good algorithm under random
+  // orders); B = oi_to_po(A).  On the symmetric n-cycle, B's solution has
+  // ratio exactly 3 = 4 - 2/Delta' against OPT = ceil(n/3).
+  const int r = 3;
+  const auto ord = TStarOrder::abelian(1, r);
+  const auto b = core::oi_to_po_edges(
+      algorithms::eds_greedy_fallback_oi(r - 1), ord);
+  for (int n : {12, 30, 60}) {
+    const LDigraph g = directed_cycle(n);
+    const auto bits = core::run_po_edges(g, b, r);
+    const Graph underlying = g.underlying_graph();
+    const auto sol = problems::edge_solution(bits);
+    ASSERT_TRUE(problems::edge_dominating_set().feasible(underlying, sol));
+    const double ratio =
+        static_cast<double>(sol.size()) /
+        static_cast<double>(problems::cycle_min_edge_dominating_set(n));
+    EXPECT_NEAR(ratio, 3.0, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Integration, ExhaustiveTypicalTypeAdversaryOnCycles) {
+  // On the completely symmetric directed cycle every node has the same
+  // view, so a PO edge algorithm is determined by one mark vector in
+  // {0,1}^2 (predecessor edge, successor edge).  Enumerate all four:
+  // the empty one is infeasible, and every feasible one has ratio >= 3.
+  const int n = 30;
+  const LDigraph g = directed_cycle(n);
+  const Graph underlying = g.underlying_graph();
+  const std::size_t opt = problems::cycle_min_edge_dominating_set(n);
+  double best_ratio = 1e18;
+  int feasible_count = 0;
+  for (bool mark_in : {false, true}) {
+    for (bool mark_out : {false, true}) {
+      const core::EdgePoAlgorithm algo =
+          [mark_in, mark_out](const core::ViewTree&) {
+            core::EdgeMarksPo marks;
+            marks.emplace_back(core::Move{false, 0}, mark_in);
+            marks.emplace_back(core::Move{true, 0}, mark_out);
+            return marks;
+          };
+      const auto bits = core::run_po_edges(g, algo, 1);
+      const auto sol = problems::edge_solution(bits);
+      if (!problems::edge_dominating_set().feasible(underlying, sol))
+        continue;
+      ++feasible_count;
+      best_ratio = std::min(
+          best_ratio, static_cast<double>(sol.size()) / static_cast<double>(opt));
+    }
+  }
+  EXPECT_EQ(feasible_count, 3);        // only the empty marking fails
+  EXPECT_NEAR(best_ratio, 3.0, 1e-9);  // the PO optimum: 4 - 2/Delta'
+}
+
+TEST(Integration, VertexCoverSimulationHitsFactorTwoOnCycles) {
+  // A = complement-of-local-minima (a (2 - eps')-ish algorithm under random
+  // orders); B = oi_to_po(A) marks every node on the symmetric cycle:
+  // ratio -> 2, matching the tight vertex-cover bound.
+  const auto ord = TStarOrder::abelian(1, 1);
+  const auto b = core::oi_to_po(algorithms::non_local_min_vc_oi(), ord);
+  const int n = 40;
+  const LDigraph g = directed_cycle(n);
+  const auto bits = core::run_po(g, b, 1);
+  const Graph underlying = g.underlying_graph();
+  const auto sol = problems::vertex_solution(bits);
+  ASSERT_TRUE(problems::vertex_cover().feasible(underlying, sol));
+  EXPECT_NEAR(static_cast<double>(sol.size()) /
+                  static_cast<double>(problems::cycle_min_vertex_cover(n)),
+              2.0, 1e-9);
+}
+
+TEST(Integration, RamseyThenSimulationPreservesFeasibility) {
+  // Chain ID -> OI -> PO: force an id-dependent dominating-set algorithm
+  // into an OI rule, then verify the OI rule is feasible under arbitrary
+  // orders on a cycle (radius-2 balls).
+  const Graph g = graph::cycle(8);
+  order::Keys keys(8);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::vector<core::Ball> structures;
+  {
+    std::set<std::string> seen;
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+      core::Ball b = core::canonicalize_oi(core::extract_ball(g, keys, v, 2));
+      if (seen.insert(core::oi_ball_type(b)).second) structures.push_back(b);
+    }
+  }
+  const auto algo = [](const core::Ball& b) {
+    // id-dependent DS rule: join iff even id, or no even id in the closed
+    // neighbourhood and minimal there.
+    bool any_even = b.keys[b.root] % 2 == 0;
+    bool minimal = true;
+    for (graph::Vertex u : b.g.neighbors(b.root)) {
+      if (b.keys[u] % 2 == 0) any_even = true;
+      if (b.keys[u] < b.keys[b.root]) minimal = false;
+    }
+    if (b.keys[b.root] % 2 == 0) return 1;
+    return (!any_even && minimal) ? 1 : 0;
+  };
+  const auto forcing = core::force_order_invariance(algo, structures, 40, 13);
+  ASSERT_TRUE(forcing.has_value());
+  EXPECT_DOUBLE_EQ(core::forcing_agreement(*forcing, algo, g, keys, 2), 1.0);
+}
+
+TEST(Integration, MainTheoremInequalityOnLiftedCycles) {
+  // The quantitative heart of Theorem 4.1:
+  //   |B(G)| / OPT(G) <= (1 - eps |G|)^{-1} * ratio(A on the lift).
+  // We verify the measured chain of inequalities on cycles.
+  const int r = 2;
+  const auto ord = TStarOrder::abelian(1, r);
+  const auto a = algorithms::eds_greedy_fallback_oi(r - 1);
+  const auto b = core::oi_to_po_edges(a, ord);
+  const int n = 9;
+  const LDigraph g = directed_cycle(n);
+  for (int m : {30, 90}) {
+    const auto lift = core::ordered_product_lift(
+        directed_cycle(m), order::Keys{[&] {
+          order::Keys k(m);
+          std::iota(k.begin(), k.end(), 0);
+          return k;
+        }()},
+        g);
+    // A's solution on the lift vs B's solution on the lift: B's per-fibre
+    // counts scale down to the base.
+    const Graph lifted_underlying = lift.graph.underlying_graph();
+    const auto a_bits = core::run_oi_edges(lifted_underlying, lift.keys, a, r);
+    const auto b_bits_lift = core::run_po_edges(lift.graph, b, r);
+    const auto b_bits_base = core::run_po_edges(g, b, r);
+    // Lift invariance: |B(lift)| = l * |B(G)|.
+    const std::size_t b_lift_count =
+        problems::edge_solution(b_bits_lift).size();
+    const std::size_t b_base_count =
+        problems::edge_solution(b_bits_base).size();
+    EXPECT_EQ(b_lift_count, static_cast<std::size_t>(m) * b_base_count);
+    // Agreement: |A(lift)| >= (1 - eps) |B(lift)| with eps ~ 2r/m per seam.
+    const std::size_t a_count = problems::edge_solution(a_bits).size();
+    EXPECT_GE(a_count + 4 * r * n, b_lift_count);
+  }
+}
+
+}  // namespace

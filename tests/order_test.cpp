@@ -1,0 +1,133 @@
+// Tests for ordered graphs and (alpha, r)-homogeneity, including the
+// paper's exact quantitative claims in Figure 6(b).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lapx/graph/generators.hpp"
+#include "lapx/order/homogeneity.hpp"
+
+namespace {
+
+using namespace lapx::order;
+using lapx::graph::cycle;
+using lapx::graph::directed_cycle;
+using lapx::graph::Graph;
+using lapx::graph::torus;
+
+TEST(Order, RanksFromKeys) {
+  EXPECT_EQ(ranks_from_keys({30, 10, 20}), (std::vector<int>{2, 0, 1}));
+  EXPECT_THROW(ranks_from_keys({1, 1}), std::invalid_argument);
+}
+
+TEST(Order, BallTypeDetectsRootPosition) {
+  // On an ordered path a-b-c the middle and end vertices have different
+  // rooted types even though the graphs are isomorphic.
+  const Graph p = lapx::graph::path(3);
+  const Keys keys = identity_keys(3);
+  EXPECT_NE(ordered_ball_type(p, keys, 0, 1), ordered_ball_type(p, keys, 1, 1));
+}
+
+TEST(Order, BallTypeInvariantUnderOrderPreservingRelabelling) {
+  // Types depend on the *relative* order only.
+  const Graph g = cycle(8);
+  const Keys base = identity_keys(8);
+  Keys stretched;
+  for (auto k : base) stretched.push_back(1000 + 7 * k);
+  for (lapx::graph::Vertex v = 0; v < 8; ++v)
+    EXPECT_EQ(ordered_ball_type(g, base, v, 2),
+              ordered_ball_type(g, stretched, v, 2));
+}
+
+TEST(Order, CycleHomogeneityFraction) {
+  // An ordered n-cycle (order along the cycle) has exactly n - 2r vertices
+  // with the common "inner" type: the 2r vertices nearest the seam differ.
+  for (int n : {12, 24, 48}) {
+    for (int r : {1, 2, 3}) {
+      const auto report = measure_homogeneity(cycle(n), identity_keys(n), r);
+      EXPECT_NEAR(report.fraction, static_cast<double>(n - 2 * r) / n, 1e-9)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(Order, FigureSixTorusClaims) {
+  // Figure 6(b): the 6x6 toroidal grid (product of two *directed* 6-cycles)
+  // under the lexicographic order is (4/9, 1)-homogeneous and
+  // (1/9, 2)-homogeneous.  The figure's graph carries directions and
+  // labels; the L-digraph type class of the inner nodes has exactly
+  // (6-2r)^2 members.
+  const auto d = lapx::graph::directed_torus({6, 6});
+  const Keys keys = identity_keys(36);
+  const auto r1 = measure_homogeneity(d, keys, 1);
+  EXPECT_NEAR(r1.fraction, 4.0 / 9.0, 1e-9);
+  const auto r2 = measure_homogeneity(d, keys, 2);
+  EXPECT_NEAR(r2.fraction, 1.0 / 9.0, 1e-9);
+  // Forgetting directions merges two corner vertices into the inner class
+  // (their undirected ordered stars coincide), so the plain-graph fraction
+  // is slightly *larger* -- measured 18/36 at r = 1.
+  const auto undirected = measure_homogeneity(torus({6, 6}), keys, 1);
+  EXPECT_GE(undirected.fraction + 1e-12, r1.fraction);
+  EXPECT_NEAR(undirected.fraction, 0.5, 1e-9);
+}
+
+TEST(Order, TorusInnerFractionLaw) {
+  // General law: the directed m x m torus has exactly (m - 2r)^2 inner
+  // vertices of the common tau* type (for m > 4r); the undirected version
+  // is at least as homogeneous.
+  for (int m : {6, 8, 10}) {
+    const auto d = lapx::graph::directed_torus({m, m});
+    const auto report = measure_homogeneity(d, identity_keys(m * m), 1);
+    EXPECT_NEAR(report.fraction,
+                static_cast<double>((m - 2) * (m - 2)) / (m * m), 1e-9)
+        << "m=" << m;
+    const auto undirected =
+        measure_homogeneity(torus({m, m}), identity_keys(m * m), 1);
+    EXPECT_GE(undirected.fraction + 1e-12, report.fraction);
+  }
+}
+
+TEST(Order, DigraphTypesSeeLabelsAndDirections) {
+  // The L-digraph type distinguishes structures the plain type cannot:
+  // reversing every arc of a directed cycle flips in/out at each node.
+  const auto fwd = directed_cycle(8);
+  lapx::graph::LDigraph bwd(8, 1);
+  for (int i = 0; i < 8; ++i) bwd.add_arc((i + 1) % 8, i, 0);
+  const Keys keys = identity_keys(8);
+  // Node 3 is an inner node in both; its plain ordered ball type matches,
+  // but the digraph types differ.
+  EXPECT_EQ(ordered_ball_type(fwd.underlying_graph(), keys, 3, 1),
+            ordered_ball_type(bwd.underlying_graph(), keys, 3, 1));
+  EXPECT_NE(ordered_ball_type(fwd, keys, 3, 1),
+            ordered_ball_type(bwd, keys, 3, 1));
+}
+
+TEST(Order, RandomOrderIsLessHomogeneous) {
+  // A random order on a cycle should (with overwhelming probability) have a
+  // much smaller largest type class than the aligned order.
+  std::mt19937_64 rng(5);
+  const int n = 60;
+  Keys random_keys = identity_keys(n);
+  std::shuffle(random_keys.begin(), random_keys.end(), rng);
+  const auto aligned = measure_homogeneity(cycle(n), identity_keys(n), 2);
+  const auto shuffled = measure_homogeneity(cycle(n), random_keys, 2);
+  EXPECT_GT(aligned.fraction, shuffled.fraction);
+}
+
+TEST(Order, HistogramAccountsForAllVertices) {
+  const Graph g = torus({6, 6});
+  const auto report = measure_homogeneity(g, identity_keys(36), 1);
+  int total = 0;
+  for (const auto& [type, count] : report.histogram) total += count;
+  EXPECT_EQ(total, 36);
+  EXPECT_GE(report.distinct_types, 2u);
+}
+
+TEST(Order, IsHomogeneousThreshold) {
+  const Graph g = cycle(20);
+  EXPECT_TRUE(is_homogeneous(g, identity_keys(20), 0.8, 1));
+  EXPECT_FALSE(is_homogeneous(g, identity_keys(20), 0.95, 1));
+}
+
+}  // namespace

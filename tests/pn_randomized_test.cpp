@@ -1,0 +1,160 @@
+// Tests for the PN model (Section 6.1) and randomised algorithms
+// (Section 6.5): the strict PN < PO separation and the expected behaviour
+// of the randomised primitives.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "lapx/algorithms/oi.hpp"
+#include "lapx/algorithms/po.hpp"
+#include "lapx/algorithms/randomized.hpp"
+#include "lapx/core/pn_view.hpp"
+#include "lapx/core/view.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/problems/exact.hpp"
+#include "lapx/problems/problem.hpp"
+
+namespace {
+
+using namespace lapx;
+
+TEST(PnView, EdgeColoringPortsValidate) {
+  const auto q3 = graph::hypercube(3);
+  const auto coloring = graph::hypercube_edge_coloring(q3, 3);
+  const auto pn = graph::ports_from_edge_coloring(q3, coloring);
+  EXPECT_TRUE(pn.valid_for(q3));
+  // Mutual ports: port c of v leads to a node whose port c leads back.
+  for (graph::Vertex v = 0; v < q3.num_vertices(); ++v)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_EQ(pn.ports[pn.ports[v][c]][c], v);
+}
+
+TEST(PnView, K33ColoringIsProper) {
+  const auto k33 = graph::complete_bipartite(3, 3);
+  const auto pn =
+      graph::ports_from_edge_coloring(k33, graph::k33_edge_coloring(k33));
+  EXPECT_TRUE(pn.valid_for(k33));
+}
+
+TEST(PnView, AllViewsIsomorphicUnderColorPorts) {
+  for (int which : {0, 1}) {
+    const graph::Graph g = which == 0 ? graph::hypercube(3)
+                                      : graph::complete_bipartite(3, 3);
+    const auto coloring = which == 0 ? graph::hypercube_edge_coloring(g, 3)
+                                     : graph::k33_edge_coloring(g);
+    const auto pn = graph::ports_from_edge_coloring(g, coloring);
+    for (int r : {1, 2, 3}) {
+      std::map<std::string, int> types;
+      for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+        ++types[core::pn_view_type(core::pn_view(g, pn, v, r))];
+      EXPECT_EQ(types.size(), 1u) << "which=" << which << " r=" << r;
+    }
+  }
+}
+
+TEST(PnView, DefaultPortsDoBreakSymmetry) {
+  // With arbitrary (non-colour) ports the views differ -- PN symmetry is a
+  // property of the crafted numbering, not of the graph.
+  const auto g = graph::hypercube(3);
+  const auto pn = graph::PortNumbering::default_for(g);
+  std::map<std::string, int> types;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    ++types[core::pn_view_type(core::pn_view(g, pn, v, 2))];
+  EXPECT_GT(types.size(), 1u);
+}
+
+TEST(PnView, EveryOrientationBreaksPoSymmetry) {
+  // The Section 6.1 argument: a colour class is a perfect matching, so no
+  // orientation makes all PO views equal.  Exhaust all 2^12 orientations
+  // of Q3 and check.
+  const auto g = graph::hypercube(3);
+  const auto pn =
+      graph::ports_from_edge_coloring(g, graph::hypercube_edge_coloring(g, 3));
+  for (int mask = 0; mask < (1 << 12); mask += 37) {  // dense sample
+    graph::Orientation orient;
+    orient.u_to_v.resize(12);
+    for (int e = 0; e < 12; ++e) orient.u_to_v[e] = (mask >> e) & 1;
+    const auto ld = graph::to_ldigraph(g, pn, orient, 3);
+    std::map<std::string, int> types;
+    for (graph::Vertex v = 0; v < 8; ++v)
+      ++types[core::view_type(core::view(ld, v, 1))];
+    EXPECT_GT(types.size(), 1u) << "mask=" << mask;
+  }
+}
+
+TEST(PnView, WeakColoringAndDominatingSet) {
+  std::mt19937_64 rng(5);
+  const auto g = graph::complete_bipartite(3, 3);
+  const auto pn =
+      graph::ports_from_edge_coloring(g, graph::k33_edge_coloring(g));
+  for (int trial = 0; trial < 16; ++trial) {
+    graph::Orientation orient;
+    orient.u_to_v.resize(g.num_edges());
+    for (std::size_t e = 0; e < g.num_edges(); ++e)
+      orient.u_to_v[e] = rng() & 1;
+    const auto ld = graph::to_ldigraph(g, pn, orient, 3);
+    const auto colors = core::run_po(ld, algorithms::weak_coloring_po(3), 1);
+    // Weakly proper: every node has an oppositely coloured neighbour.
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+      bool opposite = false;
+      for (graph::Vertex u : g.neighbors(v))
+        if (colors[u] != colors[v]) opposite = true;
+      EXPECT_TRUE(opposite);
+    }
+    const auto ds =
+        core::run_po(ld, algorithms::ds_from_weak_coloring_po(3), 2);
+    const auto sol = problems::vertex_solution(ds);
+    EXPECT_TRUE(problems::dominating_set().feasible(g, sol));
+    EXPECT_LE(sol.size(), 3u);  // exactly one side-ish: at most half
+  }
+}
+
+TEST(Randomized, IndependentSetIsIndependentAndNonTrivial) {
+  std::mt19937_64 rng(7);
+  const auto g = graph::random_regular(40, 4, rng);
+  double total = 0;
+  for (int t = 0; t < 30; ++t) {
+    const auto bits = algorithms::randomized_independent_set(g, rng);
+    const auto sol = problems::vertex_solution(bits);
+    ASSERT_TRUE(problems::independent_set().feasible(g, sol));
+    total += static_cast<double>(sol.size());
+  }
+  // E|I| = n/(d+1) = 8; allow generous sampling slack.
+  EXPECT_GT(total / 30, 4.0);
+}
+
+TEST(Randomized, ProposalMatchingIsAMatchingAndGrows) {
+  std::mt19937_64 rng(9);
+  const auto g = graph::random_regular(40, 3, rng);
+  double one = 0, eight = 0;
+  for (int t = 0; t < 30; ++t) {
+    const auto b1 = algorithms::randomized_proposal_matching(g, 1, rng);
+    const auto b8 = algorithms::randomized_proposal_matching(g, 8, rng);
+    ASSERT_TRUE(
+        problems::maximum_matching().feasible(g, problems::edge_solution(b1)));
+    ASSERT_TRUE(
+        problems::maximum_matching().feasible(g, problems::edge_solution(b8)));
+    one += static_cast<double>(problems::edge_solution(b1).size());
+    eight += static_cast<double>(problems::edge_solution(b8).size());
+  }
+  EXPECT_GT(one, 0.0);
+  EXPECT_GT(eight, one);  // more rounds, bigger matching (in expectation)
+}
+
+TEST(Randomized, RandomOrderAdaptorMatchesRunOiDistribution) {
+  // with_random_order must produce feasible solutions for feasibility-
+  // preserving OI algorithms, trial after trial.
+  std::mt19937_64 rng(11);
+  const auto g = graph::cycle(30);
+  for (int t = 0; t < 10; ++t) {
+    const auto bits = algorithms::with_random_order_edges(
+        g, algorithms::eds_greedy_fallback_oi(1), 2, rng);
+    EXPECT_TRUE(problems::edge_dominating_set().feasible(
+        g, problems::edge_solution(bits)));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Tests for the Ramsey machinery (Section 4.2): monochromatic-subset search
+// and the ID -> OI forcing of concrete identifier-dependent algorithms.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "lapx/algorithms/id.hpp"
+#include "lapx/core/ramsey.hpp"
+#include "lapx/graph/generators.hpp"
+
+namespace {
+
+using namespace lapx::core;
+using lapx::graph::cycle;
+using lapx::graph::Graph;
+using lapx::order::Keys;
+
+// Validates that every t-subset of `subset` has one colour.
+void expect_monochromatic(const std::vector<std::int64_t>& subset, int t,
+                          const SubsetColouring& colouring) {
+  std::set<std::string> colours;
+  std::vector<int> index(t);
+  std::function<void(int, int)> rec = [&](int pos, int start) {
+    if (pos == t) {
+      std::vector<std::int64_t> s;
+      for (int i : index) s.push_back(subset[i]);
+      colours.insert(colouring(s));
+      return;
+    }
+    for (int i = start; i < static_cast<int>(subset.size()); ++i) {
+      index[pos] = i;
+      rec(pos + 1, i + 1);
+    }
+  };
+  rec(0, 0);
+  EXPECT_LE(colours.size(), 1u);
+}
+
+TEST(Ramsey, ParityColouringPairs) {
+  // c({a, b}) = (a + b) mod 2: same-parity sets are monochromatic.
+  const SubsetColouring parity = [](const std::vector<std::int64_t>& s) {
+    return std::to_string((s[0] + s[1]) % 2);
+  };
+  const auto mono = find_monochromatic_subset(2, 20, 6, parity);
+  ASSERT_TRUE(mono.has_value());
+  EXPECT_EQ(mono->size(), 6u);
+  expect_monochromatic(*mono, 2, parity);
+}
+
+TEST(Ramsey, TripleSumColouring) {
+  const SubsetColouring c = [](const std::vector<std::int64_t>& s) {
+    return std::to_string((s[0] + s[1] + s[2]) % 3);
+  };
+  const auto mono = find_monochromatic_subset(3, 20, 5, c);
+  ASSERT_TRUE(mono.has_value());
+  expect_monochromatic(*mono, 3, c);
+}
+
+TEST(Ramsey, ImpossibleTargetReturnsNullopt) {
+  // A colouring where every pair gets a fresh colour: no mono triple exists.
+  const SubsetColouring rainbow = [](const std::vector<std::int64_t>& s) {
+    return std::to_string(s[0] * 1000 + s[1]);
+  };
+  EXPECT_EQ(find_monochromatic_subset(2, 8, 3, rainbow), std::nullopt);
+  // But pairs themselves (target == t) are fine.
+  EXPECT_TRUE(find_monochromatic_subset(2, 8, 2, rainbow).has_value());
+}
+
+TEST(Ramsey, TargetBelowTIsVacuous) {
+  const SubsetColouring rainbow = [](const std::vector<std::int64_t>& s) {
+    return std::to_string(s[0]);
+  };
+  const auto mono = find_monochromatic_subset(3, 5, 2, rainbow);
+  ASSERT_TRUE(mono.has_value());
+  EXPECT_EQ(mono->size(), 2u);
+}
+
+// Collects the distinct canonical balls of a graph under a key assignment.
+std::vector<Ball> collect_structures(const Graph& g, const Keys& keys, int r) {
+  std::vector<Ball> structures;
+  std::set<std::string> seen;
+  for (lapx::graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    Ball b = canonicalize_oi(extract_ball(g, keys, v, r));
+    if (seen.insert(oi_ball_type(b)).second) structures.push_back(b);
+  }
+  return structures;
+}
+
+TEST(Ramsey, ForcesResidueAlgorithmOnCycle) {
+  // residue_id(2, 0) is maximally id-dependent; on a monochromatic set its
+  // behaviour becomes order-invariant and the forced OI algorithm
+  // reproduces it exactly.
+  const Graph g = cycle(6);
+  Keys keys(6);
+  std::iota(keys.begin(), keys.end(), 0);
+  const auto structures = collect_structures(g, keys, 1);
+  const auto algo = lapx::algorithms::residue_id(2, 0);
+  const auto forcing = force_order_invariance(algo, structures, 40, 10);
+  ASSERT_TRUE(forcing.has_value());
+  EXPECT_GE(forcing->mono_set.size(), 6u);
+  EXPECT_DOUBLE_EQ(forcing_agreement(*forcing, algo, g, keys, 1), 1.0);
+}
+
+TEST(Ramsey, ForcesEvenMinIndependentSet) {
+  const Graph g = cycle(7);
+  std::mt19937_64 rng(3);
+  Keys keys(7);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  const auto structures = collect_structures(g, keys, 1);
+  const auto algo = lapx::algorithms::even_min_is_id();
+  const auto forcing = force_order_invariance(algo, structures, 60, 12);
+  ASSERT_TRUE(forcing.has_value());
+  EXPECT_DOUBLE_EQ(forcing_agreement(*forcing, algo, g, keys, 1), 1.0);
+}
+
+TEST(Ramsey, ForcedAlgorithmIsOrderInvariant) {
+  // The forced algorithm gives the same output on order-isomorphic balls
+  // regardless of the key values used to build them.
+  const Graph g = cycle(6);
+  Keys keys(6);
+  std::iota(keys.begin(), keys.end(), 0);
+  const auto structures = collect_structures(g, keys, 1);
+  const auto algo = lapx::algorithms::residue_id(3, 1);
+  const auto forcing = force_order_invariance(algo, structures, 60, 10);
+  ASSERT_TRUE(forcing.has_value());
+  Ball a = canonicalize_oi(extract_ball(g, keys, 2, 1));
+  Keys other{100, 200, 300, 400, 500, 600};
+  Ball b = canonicalize_oi(extract_ball(g, other, 2, 1));
+  EXPECT_EQ(forcing->forced(a), forcing->forced(b));
+}
+
+}  // namespace

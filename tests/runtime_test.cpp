@@ -1,0 +1,193 @@
+// Tests for the synchronous message-passing engine and the full-information
+// protocol, including the central equivalence: r rounds of full-information
+// exchange reconstruct exactly the truncated view tau(T(G, v)).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lapx/algorithms/cole_vishkin.hpp"
+#include "lapx/core/model.hpp"
+#include "lapx/core/view.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/runtime/engine.hpp"
+#include "lapx/runtime/gather.hpp"
+
+namespace {
+
+using namespace lapx::runtime;
+using lapx::graph::Graph;
+using lapx::graph::Orientation;
+using lapx::graph::PortNumbering;
+
+// A toy program: floods the minimum input seen so far.
+class MinFlood : public NodeProgram {
+ public:
+  void init(const NodeEnv& env) override { min_ = env.input; }
+  Message message_for_port(int) const override { return std::to_string(min_); }
+  void receive(const std::vector<Message>& inbox) override {
+    for (const Message& m : inbox)
+      min_ = std::min(min_, static_cast<std::int64_t>(std::stoll(m)));
+  }
+  std::int64_t output() const override { return min_; }
+
+ private:
+  std::int64_t min_ = 0;
+};
+
+TEST(Engine, MinFloodConvergesInDiameterRounds) {
+  const Graph g = lapx::graph::cycle(10);
+  const auto pn = PortNumbering::default_for(g);
+  const auto orient = Orientation::default_for(g);
+  std::vector<std::int64_t> inputs{9, 4, 7, 1, 8, 6, 2, 5, 3, 0};
+  const auto result = run_synchronous(
+      g, pn, orient, [] { return std::make_unique<MinFlood>(); }, inputs, 5);
+  EXPECT_EQ(result.rounds, 5);
+  // diameter of C10 is 5: everyone must know the global minimum 0.
+  for (auto out : result.outputs) EXPECT_EQ(out, 0);
+  EXPECT_EQ(result.messages_delivered, 10u * 2u * 5u);
+}
+
+TEST(Engine, ZeroRoundsMeansLocalInputOnly) {
+  const Graph g = lapx::graph::path(4);
+  const auto result = run_synchronous(
+      g, PortNumbering::default_for(g), Orientation::default_for(g),
+      [] { return std::make_unique<MinFlood>(); }, {3, 2, 1, 0}, 0);
+  EXPECT_EQ(result.outputs, (std::vector<std::int64_t>{3, 2, 1, 0}));
+}
+
+TEST(Knowledge, SerializationRoundTrip) {
+  Knowledge k;
+  k.degree = 2;
+  k.outgoing = {true, false};
+  k.remote_port = {1, -1};
+  k.neighbor = {nullptr, nullptr};
+  const Knowledge parsed = Knowledge::parse(k.serialize());
+  EXPECT_EQ(parsed.degree, 2);
+  EXPECT_EQ(parsed.outgoing, k.outgoing);
+  EXPECT_EQ(parsed.remote_port, k.remote_port);
+}
+
+// The headline equivalence of experiment E11.
+class FullInfoEquivalence
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(FullInfoEquivalence, KnowledgeEqualsView) {
+  const auto [family, r] = GetParam();
+  std::mt19937_64 rng(101);
+  Graph g = std::string(family) == "cycle"   ? lapx::graph::cycle(11)
+            : std::string(family) == "petersen" ? lapx::graph::petersen()
+                                               : lapx::graph::random_regular(
+                                                     14, 3, rng);
+  const auto pn = PortNumbering::default_for(g);
+  const auto orient = Orientation::default_for(g);
+  const int delta = g.max_degree();
+  const auto ld = lapx::graph::to_ldigraph(g, pn, orient, delta);
+  const auto knowledge = gather_full_information(g, pn, orient, r);
+  for (lapx::graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(knowledge_view_type(knowledge[v], r, delta),
+              lapx::core::view_type(lapx::core::view(ld, v, r)))
+        << family << " v=" << v << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndRadii, FullInfoEquivalence,
+    ::testing::Values(std::pair{"cycle", 0}, std::pair{"cycle", 1},
+                      std::pair{"cycle", 3}, std::pair{"petersen", 1},
+                      std::pair{"petersen", 2}, std::pair{"random", 1},
+                      std::pair{"random", 2}, std::pair{"random", 3}));
+
+TEST(ColeVishkin, ProducesProper3Coloring) {
+  std::mt19937_64 rng(5);
+  for (int n : {3, 10, 100, 1000}) {
+    std::vector<std::int64_t> ids(n);
+    std::iota(ids.begin(), ids.end(), 1);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    const auto result = lapx::algorithms::cole_vishkin_3coloring(ids);
+    EXPECT_TRUE(lapx::algorithms::is_proper_cycle_coloring(result.colors))
+        << n;
+    for (int c : result.colors) EXPECT_LT(c, 3);
+  }
+}
+
+TEST(ColeVishkin, RoundsGrowAsLogStar) {
+  // The bit trick halves the bit length each round: rounds stay tiny even
+  // for huge identifier spaces.
+  std::mt19937_64 rng(9);
+  std::vector<std::int64_t> ids(1 << 14);
+  std::iota(ids.begin(), ids.end(), 1);
+  for (auto& id : ids) id *= 1000003;  // spread over ~44 bits
+  std::shuffle(ids.begin(), ids.end(), rng);
+  const auto result = lapx::algorithms::cole_vishkin_3coloring(ids);
+  EXPECT_TRUE(lapx::algorithms::is_proper_cycle_coloring(result.colors));
+  EXPECT_LE(result.rounds, 10);  // ~ log* + constant
+}
+
+TEST(ColeVishkin, MisFromColoringIsMaximalIndependent) {
+  std::mt19937_64 rng(13);
+  std::vector<std::int64_t> ids(200);
+  std::iota(ids.begin(), ids.end(), 7);
+  std::shuffle(ids.begin(), ids.end(), rng);
+  const auto coloring = lapx::algorithms::cole_vishkin_3coloring(ids);
+  int rounds = coloring.rounds;
+  const auto mis =
+      lapx::algorithms::mis_from_coloring(coloring.colors, &rounds);
+  EXPECT_TRUE(lapx::algorithms::is_cycle_mis(mis));
+  EXPECT_EQ(rounds, coloring.rounds + 3);
+}
+
+TEST(ColeVishkin, LogStarValues) {
+  EXPECT_EQ(lapx::algorithms::log_star(1), 0);
+  EXPECT_EQ(lapx::algorithms::log_star(2), 1);
+  EXPECT_EQ(lapx::algorithms::log_star(4), 2);
+  EXPECT_EQ(lapx::algorithms::log_star(16), 3);
+  EXPECT_EQ(lapx::algorithms::log_star(65536), 4);
+}
+
+}  // namespace
+
+namespace {
+
+// run_po_via_messages must equal run_po on the corresponding L-digraph for
+// any PO algorithm -- message passing and the neighbourhood oracle are the
+// same model (Section 2).
+TEST(RunPoViaMessages, EqualsOracleEvaluation) {
+  std::mt19937_64 rng(303);
+  for (int which = 0; which < 3; ++which) {
+    const Graph g = which == 0   ? lapx::graph::cycle(12)
+                    : which == 1 ? lapx::graph::petersen()
+                                 : lapx::graph::random_regular(16, 3, rng);
+    const auto pn = PortNumbering::default_for(g);
+    const auto orient = Orientation::default_for(g);
+    const int delta = g.max_degree();
+    const auto ld = lapx::graph::to_ldigraph(g, pn, orient, delta);
+    // A discriminating PO algorithm: hash of the canonical view type.
+    const lapx::core::VertexPoAlgorithm algo =
+        [](const lapx::core::ViewTree& t) {
+          return static_cast<int>(
+              std::hash<std::string>{}(lapx::core::view_type(t)) % 2);
+        };
+    for (int r : {0, 1, 2, 3}) {
+      EXPECT_EQ(run_po_via_messages(g, pn, orient, algo, r, delta),
+                lapx::core::run_po(ld, algo, r))
+          << "which=" << which << " r=" << r;
+    }
+  }
+}
+
+TEST(RunPoViaMessages, ReconstructedViewsAreExact) {
+  const Graph g = lapx::graph::petersen();
+  const auto pn = PortNumbering::default_for(g);
+  const auto orient = Orientation::default_for(g);
+  const auto ld = lapx::graph::to_ldigraph(g, pn, orient, 3);
+  const auto knowledge = gather_full_information(g, pn, orient, 2);
+  for (lapx::graph::Vertex v = 0; v < 10; ++v) {
+    const auto reconstructed = knowledge_to_view(knowledge[v], 2, 3);
+    EXPECT_EQ(lapx::core::view_type(reconstructed),
+              lapx::core::view_type(lapx::core::view(ld, v, 2)));
+  }
+}
+
+}  // namespace

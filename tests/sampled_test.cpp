@@ -1,0 +1,110 @@
+// Tests for the sampled (non-materialised) lift evaluation: consistency
+// with the exact materialised computation on small templates, and the
+// eps -> 0 behaviour on huge ones.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "lapx/algorithms/oi.hpp"
+#include "lapx/core/sampled.hpp"
+#include "lapx/core/simulate.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/properties.hpp"
+#include "lapx/group/homogeneous.hpp"
+
+namespace {
+
+using namespace lapx;
+using core::LiftNode;
+
+group::HomogeneousSpec small_spec(int k, int r, int m, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  auto spec = group::design_homogeneous(k, r, 4, rng);
+  EXPECT_TRUE(spec.has_value());
+  spec->m = m;
+  return *spec;
+}
+
+TEST(Sampled, BallMatchesMaterializedLift) {
+  // Small template: compare the sampled ball of (h, g) with the ball in
+  // the fully materialised ordered product lift.
+  const auto spec = small_spec(1, 1, 4, 3);
+  const auto h = group::materialize_homogeneous(spec, 1 << 15, false);
+  const auto g = graph::directed_cycle(5);
+  const auto lift = core::ordered_product_lift(h.digraph, h.keys, g);
+  const auto underlying = lift.graph.underlying_graph();
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const graph::Vertex lifted =
+        static_cast<graph::Vertex>(rng() % lift.graph.num_vertices());
+    LiftNode node{h.elements[lift.phi_h[lifted]], lift.phi[lifted]};
+    const auto sampled = core::canonicalize_oi(
+        core::sampled_lift_ball(spec, g, node, spec.r));
+    const auto exact = core::canonicalize_oi(
+        core::extract_ball(underlying, lift.keys, lifted, spec.r));
+    EXPECT_EQ(core::oi_ball_type(sampled), core::oi_ball_type(exact))
+        << "trial " << trial;
+  }
+}
+
+TEST(Sampled, AgreementMatchesExactMeasurement) {
+  const auto spec = small_spec(1, 1, 6, 5);
+  const auto h = group::materialize_homogeneous(spec, 1 << 15, false);
+  const auto g = graph::directed_cycle(4);
+  const auto lift = core::ordered_product_lift(h.digraph, h.keys, g);
+  const auto ord = core::TStarOrder::wreath(spec);
+  const auto exact = core::measure_agreement(
+      lift.graph, lift.keys, algorithms::local_min_is_oi(), ord, spec.r);
+  std::mt19937_64 rng(11);
+  const double sampled = core::sampled_agreement(
+      spec, g, algorithms::local_min_is_oi(), ord, spec.r, 600, rng);
+  EXPECT_NEAR(sampled, exact.agreement, 0.08);
+}
+
+TEST(Sampled, AgreementTendsToOneOnHugeTemplates) {
+  // The genuine Section 5 construction at sizes that cannot be
+  // materialised: m = 64 gives |H| = 64^7 ~ 4 * 10^12 template vertices.
+  auto spec = small_spec(1, 2, 0, 13);
+  const auto g = graph::directed_cycle(5);
+  std::mt19937_64 rng(17);
+  double prev = -1.0;
+  for (int m : {8, 64}) {
+    spec.m = m;
+    const auto ord = core::TStarOrder::wreath(spec);
+    const double agreement = core::sampled_agreement(
+        spec, g, algorithms::local_min_is_oi(), ord, spec.r, 250, rng);
+    EXPECT_GE(agreement + 0.1, prev);  // grows (modulo sampling noise)
+    prev = agreement;
+  }
+  EXPECT_GT(prev, 0.85);
+}
+
+TEST(Sampled, ViewEqualsBaseView) {
+  const auto spec = small_spec(1, 1, 4, 19);
+  const auto g = graph::directed_torus({3, 3});
+  // directed_torus has 2 labels; the k = 1 template cannot host it.
+  EXPECT_THROW(core::sampled_lift_ball(
+                   spec, g, LiftNode{spec.finite_group().identity(), 0}, 1),
+               std::invalid_argument);
+  const auto cyc = graph::directed_cycle(7);
+  const LiftNode node{spec.finite_group().identity(), 3};
+  EXPECT_EQ(core::view_type(core::sampled_lift_view(spec, cyc, node, 1)),
+            core::view_type(core::view(cyc, 3, 1)));
+}
+
+TEST(Sampled, BallIsTreeForTypicalNodes) {
+  // A node whose H component sits deep inside the inner cube has a
+  // tree-shaped ordered ball (girth > 2r + 1 locally).
+  auto spec = small_spec(1, 2, 16, 23);
+  const auto g = graph::directed_cycle(9);
+  LiftNode node;
+  node.h.assign(static_cast<std::size_t>(spec.finite_group().dimension()), 8);
+  node.g = 4;
+  const auto ball = core::sampled_lift_ball(spec, g, node, spec.r);
+  EXPECT_TRUE(graph::is_forest(ball.g));
+  EXPECT_EQ(ball.g.num_vertices(), 2 * spec.r + 1);  // a path for k = 1
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// lapx command-line tool.
+//
+//   lapx_cli generate <family> [args...]     print a graph as an edge list
+//   lapx_cli analyze                         structural report (stdin)
+//   lapx_cli homogeneity <r>                 ordered-homogeneity report
+//   lapx_cli optimum <problem>               exact optimum (small graphs)
+//   lapx_cli run <algorithm> [r]             run a local algorithm
+//   lapx_cli fractional                      nu, nu_f, tau_f, tau report
+//   lapx_cli dot                             Graphviz DOT of stdin graph
+//
+// Graphs are read from stdin in the edge-list format of lapx/graph/io.hpp.
+// Families: cycle N | path N | complete N | torus A B | hypercube D |
+//           petersen | gp N K | grid R C | regular N D SEED
+// Problems: vc | ec | mm | is | ds | eds
+// Algorithms: eds-mark-first | edge-cover | local-min-is | vc-non-min |
+//             eds-greedy
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <numeric>
+#include <random>
+#include <string>
+
+#include "lapx/algorithms/oi.hpp"
+#include "lapx/algorithms/po.hpp"
+#include "lapx/core/model.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/io.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/graph/properties.hpp"
+#include "lapx/order/homogeneity.hpp"
+#include "lapx/problems/exact.hpp"
+#include "lapx/problems/fractional.hpp"
+#include "lapx/problems/problem.hpp"
+
+namespace {
+
+using namespace lapx;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lapx_cli generate <family> [args] | analyze | dot |\n"
+               "       homogeneity <r> | optimum <problem> | run <alg> [r]\n");
+  return 2;
+}
+
+graph::Graph make_graph(int argc, char** argv) {
+  const std::string family = argv[0];
+  auto arg = [&](int i) { return std::stoi(argv[i]); };
+  if (family == "cycle") return graph::cycle(arg(1));
+  if (family == "path") return graph::path(arg(1));
+  if (family == "complete") return graph::complete(arg(1));
+  if (family == "torus") return graph::torus({arg(1), arg(2)});
+  if (family == "hypercube") return graph::hypercube(arg(1));
+  if (family == "petersen") return graph::petersen();
+  if (family == "gp") return graph::generalized_petersen(arg(1), arg(2));
+  if (family == "grid") return graph::grid(arg(1), arg(2));
+  if (family == "regular") {
+    std::mt19937_64 rng(argc > 3 ? arg(3) : 1);
+    return graph::random_regular(arg(1), arg(2), rng);
+  }
+  throw std::invalid_argument("unknown family: " + family);
+}
+
+const problems::Problem& problem_by_name(const std::string& name) {
+  if (name == "vc") return problems::vertex_cover();
+  if (name == "ec") return problems::edge_cover();
+  if (name == "mm") return problems::maximum_matching();
+  if (name == "is") return problems::independent_set();
+  if (name == "ds") return problems::dominating_set();
+  if (name == "eds") return problems::edge_dominating_set();
+  throw std::invalid_argument("unknown problem: " + name);
+}
+
+int cmd_analyze(const graph::Graph& g) {
+  std::printf("%s\n", g.summary().c_str());
+  std::printf("girth:      %d\n", graph::girth(g));
+  std::printf("connected:  %s\n", graph::is_connected(g) ? "yes" : "no");
+  std::printf("bipartite:  %s\n", graph::is_bipartite(g) ? "yes" : "no");
+  std::printf("forest:     %s\n", graph::is_forest(g) ? "yes" : "no");
+  if (graph::is_connected(g) && g.num_vertices() <= 4096)
+    std::printf("diameter:   %d\n", graph::diameter(g));
+  return 0;
+}
+
+int cmd_homogeneity(const graph::Graph& g, int r) {
+  order::Keys keys(g.num_vertices());
+  std::iota(keys.begin(), keys.end(), 0);
+  const auto report = order::measure_homogeneity(g, keys, r);
+  std::printf("radius %d, identity order:\n", r);
+  std::printf("  largest type class: %.4f of %d vertices\n", report.fraction,
+              g.num_vertices());
+  std::printf("  distinct types:     %zu\n", report.distinct_types);
+  return 0;
+}
+
+int cmd_optimum(const graph::Graph& g, const std::string& name) {
+  const auto& p = problem_by_name(name);
+  if (g.num_vertices() > 64) {
+    std::fprintf(stderr, "instance too large for exact search\n");
+    return 1;
+  }
+  std::printf("%s: OPT = %zu\n", p.name.c_str(),
+              problems::exact_optimum(p, g));
+  return 0;
+}
+
+int cmd_fractional(const graph::Graph& g) {
+  if (g.num_vertices() > 2000) {
+    std::fprintf(stderr, "instance too large\n");
+    return 1;
+  }
+  const std::size_t nu2 = problems::fractional_matching_doubled(g);
+  std::printf("nu    (max matching):            %zu\n",
+              problems::max_matching_size(g));
+  std::printf("nu_f  (fractional matching):     %.1f\n", nu2 / 2.0);
+  std::printf("tau_f (fractional vertex cover): %.1f\n", nu2 / 2.0);
+  if (g.num_vertices() <= 64)
+    std::printf("tau   (min vertex cover):        %zu\n",
+                problems::min_vertex_cover_size(g));
+  return 0;
+}
+
+int cmd_run(const graph::Graph& g, const std::string& alg, int r) {
+  order::Keys keys(g.num_vertices());
+  std::iota(keys.begin(), keys.end(), 0);
+  const auto ld = graph::to_ldigraph(g);
+  problems::Solution sol;
+  const problems::Problem* p = nullptr;
+  if (alg == "eds-mark-first") {
+    sol = problems::edge_solution(
+        core::run_po_edges(ld, algorithms::eds_mark_first_po(), 1));
+    p = &problems::edge_dominating_set();
+  } else if (alg == "edge-cover") {
+    sol = problems::edge_solution(
+        core::run_po_edges(ld, algorithms::mark_first_edge_po(), 1));
+    p = &problems::edge_cover();
+  } else if (alg == "local-min-is") {
+    sol = problems::vertex_solution(
+        core::run_oi(g, keys, algorithms::local_min_is_oi(), 1));
+    p = &problems::independent_set();
+  } else if (alg == "vc-non-min") {
+    sol = problems::vertex_solution(
+        core::run_oi(g, keys, algorithms::non_local_min_vc_oi(), 1));
+    p = &problems::vertex_cover();
+  } else if (alg == "eds-greedy") {
+    sol = problems::edge_solution(core::run_oi_edges(
+        g, keys, algorithms::eds_greedy_fallback_oi(r > 0 ? r / 2 : 1),
+        r > 0 ? r : 2));
+    p = &problems::edge_dominating_set();
+  } else {
+    throw std::invalid_argument("unknown algorithm: " + alg);
+  }
+  std::printf("%s via %s:\n", p->name.c_str(), alg.c_str());
+  std::printf("  size:     %zu\n", sol.size());
+  std::printf("  feasible: %s\n", p->feasible(g, sol) ? "yes" : "no");
+  if (g.num_vertices() <= 64) {
+    const std::size_t opt = problems::exact_optimum(*p, g);
+    std::printf("  OPT:      %zu   ratio %.4f\n", opt,
+                problems::approximation_ratio(*p, sol.size(), opt));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") {
+      if (argc < 3) return usage();
+      graph::write_edge_list(std::cout, make_graph(argc - 2, argv + 2));
+      return 0;
+    }
+    const graph::Graph g = graph::read_edge_list(std::cin);
+    if (cmd == "analyze") return cmd_analyze(g);
+    if (cmd == "dot") {
+      std::cout << graph::to_dot(g);
+      return 0;
+    }
+    if (cmd == "homogeneity")
+      return cmd_homogeneity(g, argc > 2 ? std::stoi(argv[2]) : 1);
+    if (cmd == "fractional") return cmd_fractional(g);
+    if (cmd == "optimum") {
+      if (argc < 3) return usage();
+      return cmd_optimum(g, argv[2]);
+    }
+    if (cmd == "run") {
+      if (argc < 3) return usage();
+      return cmd_run(g, argv[2], argc > 3 ? std::stoi(argv[3]) : 0);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
