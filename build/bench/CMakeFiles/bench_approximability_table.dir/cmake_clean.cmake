@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approximability_table.dir/bench_approximability_table.cpp.o"
+  "CMakeFiles/bench_approximability_table.dir/bench_approximability_table.cpp.o.d"
+  "bench_approximability_table"
+  "bench_approximability_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approximability_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edge_dominating_set.dir/bench_edge_dominating_set.cpp.o"
+  "CMakeFiles/bench_edge_dominating_set.dir/bench_edge_dominating_set.cpp.o.d"
+  "bench_edge_dominating_set"
+  "bench_edge_dominating_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_dominating_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

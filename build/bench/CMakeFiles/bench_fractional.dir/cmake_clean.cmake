@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fractional.dir/bench_fractional.cpp.o"
+  "CMakeFiles/bench_fractional.dir/bench_fractional.cpp.o.d"
+  "bench_fractional"
+  "bench_fractional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fractional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

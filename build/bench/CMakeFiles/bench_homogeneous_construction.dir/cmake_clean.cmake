@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_homogeneous_construction.dir/bench_homogeneous_construction.cpp.o"
+  "CMakeFiles/bench_homogeneous_construction.dir/bench_homogeneous_construction.cpp.o.d"
+  "bench_homogeneous_construction"
+  "bench_homogeneous_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_homogeneous_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

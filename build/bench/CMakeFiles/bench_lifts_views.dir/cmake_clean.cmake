@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lifts_views.dir/bench_lifts_views.cpp.o"
+  "CMakeFiles/bench_lifts_views.dir/bench_lifts_views.cpp.o.d"
+  "bench_lifts_views"
+  "bench_lifts_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lifts_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oi_to_po.dir/bench_oi_to_po.cpp.o"
+  "CMakeFiles/bench_oi_to_po.dir/bench_oi_to_po.cpp.o.d"
+  "bench_oi_to_po"
+  "bench_oi_to_po.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oi_to_po.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

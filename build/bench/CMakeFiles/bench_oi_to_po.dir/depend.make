@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_oi_to_po.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pn_separation.dir/bench_pn_separation.cpp.o"
+  "CMakeFiles/bench_pn_separation.dir/bench_pn_separation.cpp.o.d"
+  "bench_pn_separation"
+  "bench_pn_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pn_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ramsey.dir/bench_ramsey.cpp.o"
+  "CMakeFiles/bench_ramsey.dir/bench_ramsey.cpp.o.d"
+  "bench_ramsey"
+  "bench_ramsey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ramsey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symmetry_breaking.dir/bench_symmetry_breaking.cpp.o"
+  "CMakeFiles/bench_symmetry_breaking.dir/bench_symmetry_breaking.cpp.o.d"
+  "bench_symmetry_breaking"
+  "bench_symmetry_breaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symmetry_breaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

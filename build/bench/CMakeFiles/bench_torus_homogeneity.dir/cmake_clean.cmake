@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_torus_homogeneity.dir/bench_torus_homogeneity.cpp.o"
+  "CMakeFiles/bench_torus_homogeneity.dir/bench_torus_homogeneity.cpp.o.d"
+  "bench_torus_homogeneity"
+  "bench_torus_homogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_torus_homogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

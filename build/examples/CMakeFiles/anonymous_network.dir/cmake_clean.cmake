@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_network.dir/anonymous_network.cpp.o"
+  "CMakeFiles/anonymous_network.dir/anonymous_network.cpp.o.d"
+  "anonymous_network"
+  "anonymous_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

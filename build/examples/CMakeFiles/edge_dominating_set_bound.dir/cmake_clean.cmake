@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_dominating_set_bound.dir/edge_dominating_set_bound.cpp.o"
+  "CMakeFiles/edge_dominating_set_bound.dir/edge_dominating_set_bound.cpp.o.d"
+  "edge_dominating_set_bound"
+  "edge_dominating_set_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_dominating_set_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

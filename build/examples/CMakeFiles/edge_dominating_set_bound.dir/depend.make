@@ -1,0 +1,2 @@
+# Empty dependencies file for edge_dominating_set_bound.
+# This may be replaced when dependencies are built.

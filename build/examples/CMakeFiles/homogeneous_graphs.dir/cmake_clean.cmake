@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homogeneous_graphs.dir/homogeneous_graphs.cpp.o"
+  "CMakeFiles/homogeneous_graphs.dir/homogeneous_graphs.cpp.o.d"
+  "homogeneous_graphs"
+  "homogeneous_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homogeneous_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_algorithm_synthesis.dir/optimal_algorithm_synthesis.cpp.o"
+  "CMakeFiles/optimal_algorithm_synthesis.dir/optimal_algorithm_synthesis.cpp.o.d"
+  "optimal_algorithm_synthesis"
+  "optimal_algorithm_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_algorithm_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

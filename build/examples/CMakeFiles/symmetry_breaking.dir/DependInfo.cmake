@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/symmetry_breaking.cpp" "examples/CMakeFiles/symmetry_breaking.dir/symmetry_breaking.cpp.o" "gcc" "examples/CMakeFiles/symmetry_breaking.dir/symmetry_breaking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lapx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/lapx_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/lapx_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lapx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lapx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/lapx_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/lapx_algorithms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

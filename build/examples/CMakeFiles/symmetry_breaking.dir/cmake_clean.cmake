@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry_breaking.dir/symmetry_breaking.cpp.o"
+  "CMakeFiles/symmetry_breaking.dir/symmetry_breaking.cpp.o.d"
+  "symmetry_breaking"
+  "symmetry_breaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry_breaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/cole_vishkin.cpp" "src/algorithms/CMakeFiles/lapx_algorithms.dir/cole_vishkin.cpp.o" "gcc" "src/algorithms/CMakeFiles/lapx_algorithms.dir/cole_vishkin.cpp.o.d"
+  "/root/repo/src/algorithms/id.cpp" "src/algorithms/CMakeFiles/lapx_algorithms.dir/id.cpp.o" "gcc" "src/algorithms/CMakeFiles/lapx_algorithms.dir/id.cpp.o.d"
+  "/root/repo/src/algorithms/oi.cpp" "src/algorithms/CMakeFiles/lapx_algorithms.dir/oi.cpp.o" "gcc" "src/algorithms/CMakeFiles/lapx_algorithms.dir/oi.cpp.o.d"
+  "/root/repo/src/algorithms/po.cpp" "src/algorithms/CMakeFiles/lapx_algorithms.dir/po.cpp.o" "gcc" "src/algorithms/CMakeFiles/lapx_algorithms.dir/po.cpp.o.d"
+  "/root/repo/src/algorithms/randomized.cpp" "src/algorithms/CMakeFiles/lapx_algorithms.dir/randomized.cpp.o" "gcc" "src/algorithms/CMakeFiles/lapx_algorithms.dir/randomized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lapx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lapx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/lapx_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/lapx_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/lapx_problems.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

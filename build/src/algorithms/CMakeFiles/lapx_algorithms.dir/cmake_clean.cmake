@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapx_algorithms.dir/cole_vishkin.cpp.o"
+  "CMakeFiles/lapx_algorithms.dir/cole_vishkin.cpp.o.d"
+  "CMakeFiles/lapx_algorithms.dir/id.cpp.o"
+  "CMakeFiles/lapx_algorithms.dir/id.cpp.o.d"
+  "CMakeFiles/lapx_algorithms.dir/oi.cpp.o"
+  "CMakeFiles/lapx_algorithms.dir/oi.cpp.o.d"
+  "CMakeFiles/lapx_algorithms.dir/po.cpp.o"
+  "CMakeFiles/lapx_algorithms.dir/po.cpp.o.d"
+  "CMakeFiles/lapx_algorithms.dir/randomized.cpp.o"
+  "CMakeFiles/lapx_algorithms.dir/randomized.cpp.o.d"
+  "liblapx_algorithms.a"
+  "liblapx_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapx_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ball.cpp" "src/core/CMakeFiles/lapx_core.dir/ball.cpp.o" "gcc" "src/core/CMakeFiles/lapx_core.dir/ball.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/lapx_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/lapx_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/pn_view.cpp" "src/core/CMakeFiles/lapx_core.dir/pn_view.cpp.o" "gcc" "src/core/CMakeFiles/lapx_core.dir/pn_view.cpp.o.d"
+  "/root/repo/src/core/ramsey.cpp" "src/core/CMakeFiles/lapx_core.dir/ramsey.cpp.o" "gcc" "src/core/CMakeFiles/lapx_core.dir/ramsey.cpp.o.d"
+  "/root/repo/src/core/sampled.cpp" "src/core/CMakeFiles/lapx_core.dir/sampled.cpp.o" "gcc" "src/core/CMakeFiles/lapx_core.dir/sampled.cpp.o.d"
+  "/root/repo/src/core/simulate.cpp" "src/core/CMakeFiles/lapx_core.dir/simulate.cpp.o" "gcc" "src/core/CMakeFiles/lapx_core.dir/simulate.cpp.o.d"
+  "/root/repo/src/core/synthesis.cpp" "src/core/CMakeFiles/lapx_core.dir/synthesis.cpp.o" "gcc" "src/core/CMakeFiles/lapx_core.dir/synthesis.cpp.o.d"
+  "/root/repo/src/core/tstar.cpp" "src/core/CMakeFiles/lapx_core.dir/tstar.cpp.o" "gcc" "src/core/CMakeFiles/lapx_core.dir/tstar.cpp.o.d"
+  "/root/repo/src/core/view.cpp" "src/core/CMakeFiles/lapx_core.dir/view.cpp.o" "gcc" "src/core/CMakeFiles/lapx_core.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lapx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/lapx_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/lapx_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/lapx_problems.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapx_core.dir/ball.cpp.o"
+  "CMakeFiles/lapx_core.dir/ball.cpp.o.d"
+  "CMakeFiles/lapx_core.dir/model.cpp.o"
+  "CMakeFiles/lapx_core.dir/model.cpp.o.d"
+  "CMakeFiles/lapx_core.dir/pn_view.cpp.o"
+  "CMakeFiles/lapx_core.dir/pn_view.cpp.o.d"
+  "CMakeFiles/lapx_core.dir/ramsey.cpp.o"
+  "CMakeFiles/lapx_core.dir/ramsey.cpp.o.d"
+  "CMakeFiles/lapx_core.dir/sampled.cpp.o"
+  "CMakeFiles/lapx_core.dir/sampled.cpp.o.d"
+  "CMakeFiles/lapx_core.dir/simulate.cpp.o"
+  "CMakeFiles/lapx_core.dir/simulate.cpp.o.d"
+  "CMakeFiles/lapx_core.dir/synthesis.cpp.o"
+  "CMakeFiles/lapx_core.dir/synthesis.cpp.o.d"
+  "CMakeFiles/lapx_core.dir/tstar.cpp.o"
+  "CMakeFiles/lapx_core.dir/tstar.cpp.o.d"
+  "CMakeFiles/lapx_core.dir/view.cpp.o"
+  "CMakeFiles/lapx_core.dir/view.cpp.o.d"
+  "liblapx_core.a"
+  "liblapx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/lapx_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/lapx_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/lapx_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/lapx_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/lapx_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/lapx_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/lapx_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/lapx_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/graph/CMakeFiles/lapx_graph.dir/isomorphism.cpp.o" "gcc" "src/graph/CMakeFiles/lapx_graph.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/graph/lift.cpp" "src/graph/CMakeFiles/lapx_graph.dir/lift.cpp.o" "gcc" "src/graph/CMakeFiles/lapx_graph.dir/lift.cpp.o.d"
+  "/root/repo/src/graph/port_numbering.cpp" "src/graph/CMakeFiles/lapx_graph.dir/port_numbering.cpp.o" "gcc" "src/graph/CMakeFiles/lapx_graph.dir/port_numbering.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/graph/CMakeFiles/lapx_graph.dir/properties.cpp.o" "gcc" "src/graph/CMakeFiles/lapx_graph.dir/properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapx_graph.dir/digraph.cpp.o"
+  "CMakeFiles/lapx_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/lapx_graph.dir/generators.cpp.o"
+  "CMakeFiles/lapx_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/lapx_graph.dir/graph.cpp.o"
+  "CMakeFiles/lapx_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/lapx_graph.dir/io.cpp.o"
+  "CMakeFiles/lapx_graph.dir/io.cpp.o.d"
+  "CMakeFiles/lapx_graph.dir/isomorphism.cpp.o"
+  "CMakeFiles/lapx_graph.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/lapx_graph.dir/lift.cpp.o"
+  "CMakeFiles/lapx_graph.dir/lift.cpp.o.d"
+  "CMakeFiles/lapx_graph.dir/port_numbering.cpp.o"
+  "CMakeFiles/lapx_graph.dir/port_numbering.cpp.o.d"
+  "CMakeFiles/lapx_graph.dir/properties.cpp.o"
+  "CMakeFiles/lapx_graph.dir/properties.cpp.o.d"
+  "liblapx_graph.a"
+  "liblapx_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapx_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

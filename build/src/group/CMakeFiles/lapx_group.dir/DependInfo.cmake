@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/group/cayley.cpp" "src/group/CMakeFiles/lapx_group.dir/cayley.cpp.o" "gcc" "src/group/CMakeFiles/lapx_group.dir/cayley.cpp.o.d"
+  "/root/repo/src/group/homogeneous.cpp" "src/group/CMakeFiles/lapx_group.dir/homogeneous.cpp.o" "gcc" "src/group/CMakeFiles/lapx_group.dir/homogeneous.cpp.o.d"
+  "/root/repo/src/group/wreath.cpp" "src/group/CMakeFiles/lapx_group.dir/wreath.cpp.o" "gcc" "src/group/CMakeFiles/lapx_group.dir/wreath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lapx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/lapx_order.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

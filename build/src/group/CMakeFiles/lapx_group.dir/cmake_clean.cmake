@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapx_group.dir/cayley.cpp.o"
+  "CMakeFiles/lapx_group.dir/cayley.cpp.o.d"
+  "CMakeFiles/lapx_group.dir/homogeneous.cpp.o"
+  "CMakeFiles/lapx_group.dir/homogeneous.cpp.o.d"
+  "CMakeFiles/lapx_group.dir/wreath.cpp.o"
+  "CMakeFiles/lapx_group.dir/wreath.cpp.o.d"
+  "liblapx_group.a"
+  "liblapx_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapx_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lapx_group.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapx_order.dir/homogeneity.cpp.o"
+  "CMakeFiles/lapx_order.dir/homogeneity.cpp.o.d"
+  "liblapx_order.a"
+  "liblapx_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapx_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblapx_order.a"
+)

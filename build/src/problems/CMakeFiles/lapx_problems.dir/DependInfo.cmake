@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/problems/exact.cpp" "src/problems/CMakeFiles/lapx_problems.dir/exact.cpp.o" "gcc" "src/problems/CMakeFiles/lapx_problems.dir/exact.cpp.o.d"
+  "/root/repo/src/problems/fractional.cpp" "src/problems/CMakeFiles/lapx_problems.dir/fractional.cpp.o" "gcc" "src/problems/CMakeFiles/lapx_problems.dir/fractional.cpp.o.d"
+  "/root/repo/src/problems/lcl.cpp" "src/problems/CMakeFiles/lapx_problems.dir/lcl.cpp.o" "gcc" "src/problems/CMakeFiles/lapx_problems.dir/lcl.cpp.o.d"
+  "/root/repo/src/problems/matching.cpp" "src/problems/CMakeFiles/lapx_problems.dir/matching.cpp.o" "gcc" "src/problems/CMakeFiles/lapx_problems.dir/matching.cpp.o.d"
+  "/root/repo/src/problems/problem.cpp" "src/problems/CMakeFiles/lapx_problems.dir/problem.cpp.o" "gcc" "src/problems/CMakeFiles/lapx_problems.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lapx_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapx_problems.dir/exact.cpp.o"
+  "CMakeFiles/lapx_problems.dir/exact.cpp.o.d"
+  "CMakeFiles/lapx_problems.dir/fractional.cpp.o"
+  "CMakeFiles/lapx_problems.dir/fractional.cpp.o.d"
+  "CMakeFiles/lapx_problems.dir/lcl.cpp.o"
+  "CMakeFiles/lapx_problems.dir/lcl.cpp.o.d"
+  "CMakeFiles/lapx_problems.dir/matching.cpp.o"
+  "CMakeFiles/lapx_problems.dir/matching.cpp.o.d"
+  "CMakeFiles/lapx_problems.dir/problem.cpp.o"
+  "CMakeFiles/lapx_problems.dir/problem.cpp.o.d"
+  "liblapx_problems.a"
+  "liblapx_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapx_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

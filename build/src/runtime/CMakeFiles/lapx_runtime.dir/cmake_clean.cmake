@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapx_runtime.dir/engine.cpp.o"
+  "CMakeFiles/lapx_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/lapx_runtime.dir/gather.cpp.o"
+  "CMakeFiles/lapx_runtime.dir/gather.cpp.o.d"
+  "liblapx_runtime.a"
+  "liblapx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

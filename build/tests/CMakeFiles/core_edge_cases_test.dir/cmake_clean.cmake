@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_edge_cases_test.dir/core_edge_cases_test.cpp.o"
+  "CMakeFiles/core_edge_cases_test.dir/core_edge_cases_test.cpp.o.d"
+  "core_edge_cases_test"
+  "core_edge_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractional_io_test.dir/fractional_io_test.cpp.o"
+  "CMakeFiles/fractional_io_test.dir/fractional_io_test.cpp.o.d"
+  "fractional_io_test"
+  "fractional_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractional_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homogeneous_test.dir/homogeneous_test.cpp.o"
+  "CMakeFiles/homogeneous_test.dir/homogeneous_test.cpp.o.d"
+  "homogeneous_test"
+  "homogeneous_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homogeneous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_extra_test.dir/lift_extra_test.cpp.o"
+  "CMakeFiles/lift_extra_test.dir/lift_extra_test.cpp.o.d"
+  "lift_extra_test"
+  "lift_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

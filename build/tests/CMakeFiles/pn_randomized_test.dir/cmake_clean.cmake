@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_randomized_test.dir/pn_randomized_test.cpp.o"
+  "CMakeFiles/pn_randomized_test.dir/pn_randomized_test.cpp.o.d"
+  "pn_randomized_test"
+  "pn_randomized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_randomized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

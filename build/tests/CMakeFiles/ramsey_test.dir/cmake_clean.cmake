@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramsey_test.dir/ramsey_test.cpp.o"
+  "CMakeFiles/ramsey_test.dir/ramsey_test.cpp.o.d"
+  "ramsey_test"
+  "ramsey_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramsey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

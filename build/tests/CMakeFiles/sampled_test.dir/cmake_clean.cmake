@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampled_test.dir/sampled_test.cpp.o"
+  "CMakeFiles/sampled_test.dir/sampled_test.cpp.o.d"
+  "sampled_test"
+  "sampled_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapx_cli.dir/lapx_cli.cpp.o"
+  "CMakeFiles/lapx_cli.dir/lapx_cli.cpp.o.d"
+  "lapx_cli"
+  "lapx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
