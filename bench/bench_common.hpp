@@ -4,13 +4,18 @@
 // Every bench binary prints its reproduction table first (the paper claim
 // next to the measured value) and then runs google-benchmark timings for
 // the performance axis.  Pass --table-only to skip the timing runs (the
-// repo-level driver uses the full mode; CI uses --table-only).
+// repo-level driver uses the full mode; CI uses --table-only).  Pass
+// --json <path> to additionally write the table's wall-clock time and every
+// check() verdict as a JSON record, so successive PRs can track the speedup
+// trajectory of each experiment.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lapx::bench {
@@ -34,18 +39,87 @@ inline std::string fmt(double x, int digits = 4) {
   return buf;
 }
 
+/// Every check() verdict of the current process, in call order (recorded
+/// for the --json report).
+inline std::vector<std::pair<std::string, bool>>& check_log() {
+  static std::vector<std::pair<std::string, bool>> log;
+  return log;
+}
+
 inline bool check(bool ok, const std::string& what) {
   std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what.c_str());
+  check_log().emplace_back(what, ok);
   return ok;
 }
 
-/// Standard main body: print the table, then (unless --table-only) run the
-/// registered google-benchmark timings.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+inline void write_json_report(const std::string& path, const std::string& name,
+                              double table_wall_seconds) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  bool all_ok = true;
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n", json_escape(name).c_str());
+  std::fprintf(f, "  \"table_wall_seconds\": %.6f,\n", table_wall_seconds);
+  std::fprintf(f, "  \"checks\": [\n");
+  const auto& log = check_log();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    all_ok = all_ok && log[i].second;
+    std::fprintf(f, "    {\"what\": \"%s\", \"ok\": %s}%s\n",
+                 json_escape(log[i].first).c_str(),
+                 log[i].second ? "true" : "false",
+                 i + 1 < log.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"all_ok\": %s\n}\n", all_ok ? "true" : "false");
+  std::fclose(f);
+}
+
+/// Standard main body: print the table (timed), write the --json report if
+/// requested, then (unless --table-only) run the registered google-benchmark
+/// timings.  --table-only and --json <path> are stripped before the
+/// remaining flags reach google-benchmark.
 inline int run_main(int argc, char** argv, void (*print_tables)()) {
+  bool table_only = false;
+  std::string json_path;
+  std::vector<char*> pass_through{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--table-only") == 0) {
+      table_only = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      pass_through.push_back(argv[i]);
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
   print_tables();
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--table-only") == 0) return 0;
-  benchmark::Initialize(&argc, argv);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!json_path.empty()) {
+    std::string name = argv[0];
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    write_json_report(json_path, name, seconds);
+  }
+  if (table_only) return 0;
+  int pass_argc = static_cast<int>(pass_through.size());
+  benchmark::Initialize(&pass_argc, pass_through.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

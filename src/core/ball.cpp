@@ -1,7 +1,6 @@
 #include "lapx/core/ball.hpp"
 
 #include <algorithm>
-#include <sstream>
 
 #include "lapx/graph/properties.hpp"
 
@@ -54,6 +53,10 @@ std::string oi_ball_type(const Ball& b) {
 
 std::string id_ball_type(const Ball& b) {
   return order::unordered_ball_type_with_ids(b.g, b.keys, b.root, b.radius);
+}
+
+TypeId oi_ball_type_id(const Ball& b, TypeInterner& interner) {
+  return order::ordered_ball_type_id(b.g, b.keys, b.root, b.radius, interner);
 }
 
 }  // namespace lapx::core

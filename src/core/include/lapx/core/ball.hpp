@@ -48,4 +48,8 @@ std::string oi_ball_type(const Ball& b);
 /// Canonical string encoding of an ID ball (keeps raw identifiers).
 std::string id_ball_type(const Ball& b);
 
+/// Interned OI-ball type; equal TypeId <=> equal oi_ball_type string.
+TypeId oi_ball_type_id(const Ball& b,
+                       TypeInterner& interner = TypeInterner::global());
+
 }  // namespace lapx::core

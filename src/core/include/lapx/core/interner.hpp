@@ -1,0 +1,87 @@
+#pragma once
+// Hash-consed canonical types: the equality oracle of the library.
+//
+// Every canonical-type comparison (view types, PN-view types, OI-ball
+// types, gathered-knowledge views) used to round-trip through string
+// serialization; the interner replaces that with dense 32-bit TypeIds.
+// The contract (DESIGN.md, "Canonical types & parallel runtime"):
+//
+//   interning is the ONLY equality oracle -- two canonical objects are
+//   equal iff they intern to the same TypeId in the same interner; the
+//   string encodings remain as a debug / serialization view only.
+//
+// Two interning modes share one table:
+//  * intern(bytes): flat canonical encodings (ordered-ball types, colour
+//    strings).  Equal byte strings <=> equal TypeId.
+//  * intern_node(tag, children): hash consing for trees (view trees,
+//    PN views, knowledge trees).  A node's TypeId is a function of its tag
+//    and its children's TypeIds, so a whole tree is identified bottom-up
+//    without ever serializing it.  Structural keys are length-prefixed and
+//    tagged, so they can never collide with flat text encodings (which are
+//    printable) or with each other.
+//
+// The table is thread-safe (shared_mutex, read-mostly) so parallel workers
+// can intern concurrently.  TypeIds are dense in insertion order; code that
+// needs a deterministic id order must intern serially (the parallel
+// consumers instead map ids back to spellings, which are order-free).
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lapx::core {
+
+/// Dense identifier of an interned canonical type.
+using TypeId = std::uint32_t;
+
+/// Sentinel: no type.
+inline constexpr TypeId kNoType = 0xFFFFFFFFu;
+
+class TypeInterner {
+ public:
+  TypeInterner() = default;
+  TypeInterner(const TypeInterner&) = delete;
+  TypeInterner& operator=(const TypeInterner&) = delete;
+
+  /// Interns a flat canonical encoding; equal bytes <=> equal id.
+  TypeId intern(std::string_view key);
+
+  /// Hash-conses a tree node from its tag and its children's ids.
+  TypeId intern_node(std::uint64_t tag, const TypeId* children,
+                     std::size_t n);
+  TypeId intern_node(std::uint64_t tag,
+                     std::initializer_list<TypeId> children) {
+    return intern_node(tag, children.begin(), children.size());
+  }
+
+  /// The interned key bytes (debug view; structural keys are binary).
+  const std::string& spelling(TypeId id) const;
+
+  /// Number of distinct types interned so far.
+  std::size_t size() const;
+
+  /// The process-wide default interner.
+  static TypeInterner& global();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string_view, TypeId> index_;
+  std::deque<std::string> keys_;  // id -> key; deque keeps references stable
+};
+
+// Node-tag namespaces for intern_node, one per canonical tree domain.
+// Layout: top byte = kind, low bytes = payload.
+namespace type_tag {
+inline constexpr std::uint64_t kind(std::uint64_t k) { return k << 56; }
+inline constexpr std::uint64_t kViewNode = kind(1);  ///< children list
+inline constexpr std::uint64_t kViewEdge = kind(2);  ///< payload: move
+inline constexpr std::uint64_t kViewRoot = kind(3);  ///< payload: radius
+inline constexpr std::uint64_t kPnNode = kind(4);
+inline constexpr std::uint64_t kPnEdge = kind(5);  ///< payload: port pair
+inline constexpr std::uint64_t kPnRoot = kind(6);  ///< payload: radius
+}  // namespace type_tag
+
+}  // namespace lapx::core

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "lapx/core/interner.hpp"
 #include "lapx/graph/graph.hpp"
 #include "lapx/graph/port_numbering.hpp"
 
@@ -46,7 +47,12 @@ PnViewTree pn_view(const graph::Graph& g, const graph::PortNumbering& pn,
                    graph::Vertex v, int r);
 
 /// Canonical serialization; equal strings <=> isomorphic PN views.
+/// Debug/serialization boundary -- hot paths compare pn_view_type_id.
 std::string pn_view_type(const PnViewTree& t);
+
+/// Hash-conses the PN view; equal TypeId <=> equal pn_view_type string.
+TypeId pn_view_type_id(const PnViewTree& t,
+                       TypeInterner& interner = TypeInterner::global());
 
 /// Output of a PN vertex algorithm at every node (function of the view).
 using VertexPnAlgorithm = std::function<int(const PnViewTree&)>;

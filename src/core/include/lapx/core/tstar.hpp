@@ -18,7 +18,7 @@
 //    finite tori).  See DESIGN.md.
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "lapx/core/view.hpp"
@@ -50,7 +50,7 @@ class TStarOrder {
 
   int radius_ = 0;
   int alphabet_ = 0;
-  std::map<Word, std::int64_t> ranks_;
+  std::unordered_map<Word, std::int64_t, WordHash> ranks_;
 };
 
 }  // namespace lapx::core

@@ -15,9 +15,11 @@
 // has a canonical string serialization: two views are isomorphic iff their
 // serializations are equal.
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "lapx/core/interner.hpp"
 #include "lapx/graph/digraph.hpp"
 
 namespace lapx::core {
@@ -42,6 +44,20 @@ struct Move {
 
 /// A walk word: the sequence of moves from the root.
 using Word = std::vector<Move>;
+
+/// FNV-1a hash over the moves of a word, for unordered containers.
+struct WordHash {
+  std::size_t operator()(const Word& w) const {
+    std::size_t h = 1469598103934665603ull;
+    for (const Move& m : w) {
+      h ^= static_cast<std::size_t>(m.outgoing ? 0x2B : 0x3D);
+      h *= 1099511628211ull;
+      h ^= static_cast<std::size_t>(m.label);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
 
 /// The radius-r truncation of the view T(G, v).
 struct ViewTree {
@@ -68,8 +84,14 @@ ViewTree view(const LDigraph& g, Vertex v, int r);
 
 /// Canonical serialization; equal strings <=> isomorphic truncated views.
 /// Covered-vertex images are not part of the encoding (PO-algorithms cannot
-/// see them).
+/// see them).  Debug/serialization boundary only -- hot paths compare
+/// view_type_id instead.
 std::string view_type(const ViewTree& t);
+
+/// Hash-conses the truncated view bottom-up; equal TypeId (within one
+/// interner) <=> equal view_type string.  No string is built.
+TypeId view_type_id(const ViewTree& t,
+                    TypeInterner& interner = TypeInterner::global());
 
 /// Number of nodes of the complete radius-r tree (T*, lambda) over an
 /// alphabet of k labels: every non-leaf has an outgoing and an incoming

@@ -1,0 +1,64 @@
+#include "lapx/core/interner.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace lapx::core {
+
+namespace {
+
+// Structural keys are framed so they can never collide with flat text
+// encodings: a leading '\x01' byte (canonical text encodings are printable)
+// followed by the 8-byte tag and the 4-byte child ids, little-endian.
+std::string node_key(std::uint64_t tag, const TypeId* children,
+                     std::size_t n) {
+  std::string key;
+  key.reserve(1 + 8 + 4 * n);
+  key.push_back('\x01');
+  for (int b = 0; b < 8; ++b)
+    key.push_back(static_cast<char>((tag >> (8 * b)) & 0xFF));
+  for (std::size_t i = 0; i < n; ++i)
+    for (int b = 0; b < 4; ++b)
+      key.push_back(static_cast<char>((children[i] >> (8 * b)) & 0xFF));
+  return key;
+}
+
+}  // namespace
+
+TypeId TypeInterner::intern(std::string_view key) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(key);  // re-check: lost the race to another writer
+  if (it != index_.end()) return it->second;
+  const TypeId id = static_cast<TypeId>(keys_.size());
+  keys_.emplace_back(key);
+  index_.emplace(std::string_view(keys_.back()), id);
+  return id;
+}
+
+TypeId TypeInterner::intern_node(std::uint64_t tag, const TypeId* children,
+                                 std::size_t n) {
+  return intern(node_key(tag, children, n));
+}
+
+const std::string& TypeInterner::spelling(TypeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (id >= keys_.size()) throw std::out_of_range("TypeInterner::spelling");
+  return keys_[id];
+}
+
+std::size_t TypeInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return keys_.size();
+}
+
+TypeInterner& TypeInterner::global() {
+  static TypeInterner* interner = new TypeInterner;  // leaked: see parallel.cpp
+  return *interner;
+}
+
+}  // namespace lapx::core

@@ -1,47 +1,72 @@
 #include "lapx/core/model.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+
+#include "lapx/runtime/parallel.hpp"
 
 namespace lapx::core {
 
+namespace {
+
+// Parallel per-vertex runner: bodies write into per-index byte slots (a
+// vector<bool> would pack adjacent vertices into one word -- a data race),
+// the result is converted once at the end.
+template <typename Body>
+std::vector<bool> run_vertices(std::int64_t n, const Body& body) {
+  std::vector<unsigned char> buf(static_cast<std::size_t>(n));
+  runtime::parallel_for(n, [&](std::int64_t v) {
+    buf[static_cast<std::size_t>(v)] = body(v) ? 1 : 0;
+  });
+  return std::vector<bool>(buf.begin(), buf.end());
+}
+
+}  // namespace
+
 std::vector<bool> run_po(const LDigraph& g, const VertexPoAlgorithm& algo,
                          int r) {
-  std::vector<bool> out(g.num_vertices());
-  for (Vertex v = 0; v < g.num_vertices(); ++v)
-    out[v] = algo(view(g, v, r)) != 0;
-  return out;
+  return run_vertices(g.num_vertices(), [&](std::int64_t v) {
+    return algo(view(g, static_cast<Vertex>(v), r)) != 0;
+  });
 }
 
 std::vector<bool> run_oi(const graph::Graph& g, const order::Keys& keys,
                          const VertexOiAlgorithm& algo, int r) {
-  std::vector<bool> out(g.num_vertices());
-  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
-    out[v] = algo(canonicalize_oi(extract_ball(g, keys, v, r))) != 0;
-  return out;
+  return run_vertices(g.num_vertices(), [&](std::int64_t v) {
+    return algo(canonicalize_oi(
+               extract_ball(g, keys, static_cast<graph::Vertex>(v), r))) != 0;
+  });
 }
 
 std::vector<bool> run_id(const graph::Graph& g, const order::Keys& ids,
                          const VertexIdAlgorithm& algo, int r) {
-  std::vector<bool> out(g.num_vertices());
-  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
-    out[v] = algo(extract_ball(g, ids, v, r)) != 0;
-  return out;
+  return run_vertices(g.num_vertices(), [&](std::int64_t v) {
+    return algo(extract_ball(g, ids, static_cast<graph::Vertex>(v), r)) != 0;
+  });
 }
 
 std::vector<bool> run_po_edges(const LDigraph& g, const EdgePoAlgorithm& algo,
                                int r) {
   const graph::Graph underlying = g.underlying_graph();
-  std::vector<bool> marks(underlying.num_edges(), false);
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+  // Two endpoints may mark the same edge, so the parallel phase only
+  // collects each vertex's marked edge ids; the bits are set serially.
+  std::vector<std::vector<std::size_t>> marked(
+      static_cast<std::size_t>(g.num_vertices()));
+  runtime::parallel_for(g.num_vertices(), [&](std::int64_t vi) {
+    const Vertex v = static_cast<Vertex>(vi);
     for (const auto& [move, selected] : algo(view(g, v, r))) {
       if (!selected) continue;
       const auto w = move.outgoing ? g.out_neighbor(v, move.label)
                                    : g.in_neighbor(v, move.label);
       if (!w)
         throw std::logic_error("PO edge algorithm marked a missing arc");
-      marks[underlying.edge_id(v, *w)] = true;
+      marked[static_cast<std::size_t>(vi)].push_back(
+          underlying.edge_id(v, *w));
     }
-  }
+  });
+  std::vector<bool> marks(underlying.num_edges(), false);
+  for (const auto& ids : marked)
+    for (std::size_t e : ids) marks[e] = true;
   return marks;
 }
 
@@ -51,17 +76,23 @@ std::vector<bool> run_edges_with_keys(const graph::Graph& g,
                                       const order::Keys& keys,
                                       const EdgeOiAlgorithm& algo, int r,
                                       bool canonicalize) {
-  std::vector<bool> marks(g.num_edges(), false);
-  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+  std::vector<std::vector<std::size_t>> marked(
+      static_cast<std::size_t>(g.num_vertices()));
+  runtime::parallel_for(g.num_vertices(), [&](std::int64_t vi) {
+    const graph::Vertex v = static_cast<graph::Vertex>(vi);
     const Ball ball = extract_ball(g, keys, v, r);
     const Ball input = canonicalize ? canonicalize_oi(ball) : ball;
     for (const auto& [neighbor_idx, selected] : algo(input)) {
       if (!selected) continue;
       if (!input.g.has_edge(input.root, neighbor_idx))
         throw std::logic_error("edge algorithm marked a non-incident edge");
-      marks[g.edge_id(v, input.original.at(neighbor_idx))] = true;
+      marked[static_cast<std::size_t>(vi)].push_back(
+          g.edge_id(v, input.original.at(neighbor_idx)));
     }
-  }
+  });
+  std::vector<bool> marks(g.num_edges(), false);
+  for (const auto& ids : marked)
+    for (std::size_t e : ids) marks[e] = true;
   return marks;
 }
 
@@ -80,10 +111,13 @@ std::vector<bool> run_id_edges(const graph::Graph& g, const order::Keys& ids,
 bool po_outputs_lift_invariant(const LDigraph& lift, const LDigraph& base,
                                const std::vector<graph::Vertex>& phi,
                                const VertexPoAlgorithm& algo, int r) {
-  for (Vertex v = 0; v < lift.num_vertices(); ++v) {
-    if (algo(view(lift, v, r)) != algo(view(base, phi.at(v), r))) return false;
-  }
-  return true;
+  return runtime::parallel_reduce(
+      lift.num_vertices(), true,
+      [&](std::int64_t v) {
+        return algo(view(lift, static_cast<Vertex>(v), r)) ==
+               algo(view(base, phi.at(static_cast<std::size_t>(v)), r));
+      },
+      [](bool a, bool b) { return a && b; });
 }
 
 }  // namespace lapx::core

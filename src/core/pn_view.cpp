@@ -2,7 +2,8 @@
 
 #include <deque>
 #include <stdexcept>
-#include <sstream>
+
+#include "lapx/runtime/parallel.hpp"
 
 namespace lapx::core {
 
@@ -37,31 +38,57 @@ PnViewTree pn_view(const graph::Graph& g, const graph::PortNumbering& pn,
 
 namespace {
 
-void serialize(const PnViewTree& t, int node, std::ostringstream& os) {
-  os << "(";
+void serialize(const PnViewTree& t, int node, std::string& out) {
+  out += '(';
   for (int child : t.children[node]) {
-    os << t.nodes[child].via_port << ":" << t.nodes[child].arrival_port;
-    serialize(t, child, os);
+    out += std::to_string(t.nodes[child].via_port);
+    out += ':';
+    out += std::to_string(t.nodes[child].arrival_port);
+    serialize(t, child, out);
   }
-  os << ")";
+  out += ')';
+}
+
+TypeId intern_subtree(const PnViewTree& t, int node, TypeInterner& interner) {
+  std::vector<TypeId> edges;
+  edges.reserve(t.children[node].size());
+  for (int child : t.children[node]) {
+    const TypeId sub = intern_subtree(t, child, interner);
+    const std::uint64_t payload =
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(t.nodes[child].via_port))
+         << 24) |
+        static_cast<std::uint32_t>(t.nodes[child].arrival_port);
+    edges.push_back(
+        interner.intern_node(type_tag::kPnEdge | payload, &sub, 1));
+  }
+  return interner.intern_node(type_tag::kPnNode, edges.data(), edges.size());
 }
 
 }  // namespace
 
 std::string pn_view_type(const PnViewTree& t) {
-  std::ostringstream os;
-  os << "r=" << t.radius << ";";
-  serialize(t, 0, os);
-  return os.str();
+  std::string out = "r=" + std::to_string(t.radius) + ";";
+  serialize(t, 0, out);
+  return out;
+}
+
+TypeId pn_view_type_id(const PnViewTree& t, TypeInterner& interner) {
+  const TypeId body = intern_subtree(t, 0, interner);
+  return interner.intern_node(
+      type_tag::kPnRoot | static_cast<std::uint32_t>(t.radius), &body, 1);
 }
 
 std::vector<bool> run_pn(const graph::Graph& g,
                          const graph::PortNumbering& pn,
                          const VertexPnAlgorithm& algo, int r) {
-  std::vector<bool> out(g.num_vertices());
-  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
-    out[v] = algo(pn_view(g, pn, v, r)) != 0;
-  return out;
+  const graph::Vertex n = g.num_vertices();
+  std::vector<unsigned char> buf(static_cast<std::size_t>(n));
+  runtime::parallel_for(n, [&](std::int64_t v) {
+    buf[static_cast<std::size_t>(v)] =
+        algo(pn_view(g, pn, static_cast<graph::Vertex>(v), r)) != 0;
+  });
+  return std::vector<bool>(buf.begin(), buf.end());
 }
 
 }  // namespace lapx::core

@@ -1,13 +1,25 @@
 #include "lapx/core/ramsey.hpp"
 
 #include <algorithm>
-#include <map>
-#include <sstream>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "lapx/core/interner.hpp"
 
 namespace lapx::core {
 
 namespace {
+
+struct SubsetHash {
+  std::size_t operator()(const std::vector<std::int64_t>& s) const {
+    std::size_t h = 1469598103934665603ull;
+    for (std::int64_t x : s) {
+      h ^= static_cast<std::size_t>(x);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
 
 // Enumerates the t-subsets of `chosen + {x}` that contain x, calling
 // `check` on each (sorted); returns false as soon as check does.
@@ -49,15 +61,19 @@ std::optional<std::vector<std::int64_t>> find_monochromatic_subset(
     return trivial;  // no t-subsets, vacuously monochromatic
   }
 
-  std::map<std::vector<std::int64_t>, std::string> memo;
-  auto colour_of = [&](const std::vector<std::int64_t>& s) -> const std::string& {
+  // Colours are interned once per distinct subset; the search compares
+  // dense TypeIds, never strings.
+  TypeInterner& interner = TypeInterner::global();
+  std::unordered_map<std::vector<std::int64_t>, TypeId, SubsetHash> memo;
+  auto colour_of = [&](const std::vector<std::int64_t>& s) -> TypeId {
     auto it = memo.find(s);
-    if (it == memo.end()) it = memo.emplace(s, colouring(s)).first;
+    if (it == memo.end())
+      it = memo.emplace(s, interner.intern(colouring(s))).first;
     return it->second;
   };
 
   std::vector<std::int64_t> chosen;
-  std::string target_colour;
+  TypeId target_colour = kNoType;
   bool colour_fixed = false;
 
   std::function<bool(std::int64_t)> extend = [&](std::int64_t start) -> bool {
@@ -68,7 +84,7 @@ std::optional<std::vector<std::int64_t>> find_monochromatic_subset(
       if (static_cast<int>(chosen.size()) + 1 >= t) {
         ok = subsets_with_x_ok(chosen, x, t,
                                [&](std::vector<std::int64_t>& s) {
-                                 const std::string& c = colour_of(s);
+                                 const TypeId c = colour_of(s);
                                  if (!colour_fixed) {
                                    target_colour = c;
                                    colour_fixed = true;
@@ -101,7 +117,7 @@ SubsetColouring behaviour_colouring(const VertexIdAlgorithm& a,
         throw std::invalid_argument("test structures must be canonical balls");
   }
   return [&a, test_structures](const std::vector<std::int64_t>& s) {
-    std::ostringstream colour;
+    std::string colour;
     for (const Ball& w : test_structures) {
       if (w.keys.size() > s.size())
         throw std::invalid_argument("t smaller than a test structure");
@@ -109,9 +125,10 @@ SubsetColouring behaviour_colouring(const VertexIdAlgorithm& a,
       // f_{W,S}: give the rank-i vertex the i-th smallest element of S.
       for (std::size_t i = 0; i < labelled.keys.size(); ++i)
         labelled.keys[i] = s[static_cast<std::size_t>(w.keys[i])];
-      colour << a(labelled) << ";";
+      colour += std::to_string(a(labelled));
+      colour += ';';
     }
-    return colour.str();
+    return colour;
   };
 }
 

@@ -1,9 +1,9 @@
 #include "lapx/core/sampled.hpp"
 
 #include <deque>
-#include <map>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "lapx/core/simulate.hpp"
 #include "lapx/group/wreath.hpp"
@@ -14,6 +14,19 @@ namespace {
 
 using group::Elem;
 using group::HomogeneousSpec;
+
+struct LiftNodeHash {
+  std::size_t operator()(const LiftNode& node) const {
+    std::size_t h = 1469598103934665603ull;
+    for (int c : node.h) {
+      h ^= static_cast<std::size_t>(static_cast<unsigned>(c));
+      h *= 1099511628211ull;
+    }
+    h ^= static_cast<std::size_t>(node.g);
+    h *= 1099511628211ull;
+    return h;
+  }
+};
 
 // Neighbour of a lift node along a move: multiply the H component by the
 // corresponding generator (or inverse) and follow the G arc.
@@ -41,8 +54,9 @@ Ball sampled_lift_ball(const HomogeneousSpec& spec, const graph::LDigraph& g,
     throw std::invalid_argument("G uses labels outside the template");
   const group::WreathGroup h_group = spec.finite_group();
 
-  // BFS over lift nodes.
-  std::map<LiftNode, int> index;
+  // BFS over lift nodes.  Discovery order is fixed by the queue, so the
+  // hashed index does not affect vertex numbering.
+  std::unordered_map<LiftNode, int, LiftNodeHash> index;
   std::vector<LiftNode> members{node};
   std::vector<int> depth{0};
   index[node] = 0;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "lapx/core/interner.hpp"
 #include "lapx/problems/exact.hpp"
+#include "lapx/runtime/parallel.hpp"
 
 namespace lapx::core {
 
@@ -23,17 +26,21 @@ struct InstanceData {
   std::vector<ViewTree> views;                     // per vertex
 };
 
+// Maps interned view TypeIds to dense per-synthesis indices.  Dense indices
+// are assigned serially in first-occurrence (instance, vertex) order, so the
+// enumeration order -- and result.view_types -- is independent of the thread
+// count; the debug spelling is produced once per distinct type.
 struct TypeIndex {
   std::vector<std::string> types;
-  std::map<std::string, int> index;
+  std::unordered_map<TypeId, int> index;
 
-  int intern(const std::string& type) {
-    auto it = index.find(type);
+  int intern(TypeId id, const ViewTree& representative) {
+    auto it = index.find(id);
     if (it != index.end()) return it->second;
-    const int id = static_cast<int>(types.size());
-    types.push_back(type);
-    index.emplace(type, id);
-    return id;
+    const int dense = static_cast<int>(types.size());
+    types.push_back(view_type(representative));
+    index.emplace(id, dense);
+    return dense;
   }
 };
 
@@ -47,12 +54,19 @@ std::vector<InstanceData> prepare(const Problem& problem,
     d.digraph = &g;
     d.underlying = g.underlying_graph();
     d.optimum = problems::exact_optimum(problem, d.underlying);
-    d.type_of_vertex.resize(g.num_vertices());
-    d.views.reserve(g.num_vertices());
-    for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
-      d.views.push_back(view(g, v, r));
-      d.type_of_vertex[v] = types.intern(view_type(d.views.back()));
-    }
+    const graph::Vertex n = g.num_vertices();
+    d.type_of_vertex.resize(n);
+    d.views.resize(static_cast<std::size_t>(n));
+    std::vector<TypeId> ids(static_cast<std::size_t>(n));
+    runtime::parallel_for(n, [&](std::int64_t v) {
+      const auto i = static_cast<std::size_t>(v);
+      d.views[i] = view(g, static_cast<graph::Vertex>(v), r);
+      ids[i] = view_type_id(d.views[i]);
+    });
+    for (graph::Vertex v = 0; v < n; ++v)
+      d.type_of_vertex[v] =
+          types.intern(ids[static_cast<std::size_t>(v)],
+                       d.views[static_cast<std::size_t>(v)]);
     data.push_back(std::move(d));
   }
   return data;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <sstream>
 
 namespace lapx::core {
 
@@ -50,23 +49,44 @@ ViewTree view(const LDigraph& g, Vertex v, int r) {
 
 namespace {
 
-void serialize(const ViewTree& t, int node, std::ostringstream& os) {
-  os << "(";
+void serialize(const ViewTree& t, int node, std::string& out) {
+  out += '(';
   for (int child : t.children[node]) {
     const Move m = t.nodes[child].via;
-    os << (m.outgoing ? "+" : "-") << m.label;
-    serialize(t, child, os);
+    out += m.outgoing ? '+' : '-';
+    out += std::to_string(m.label);
+    serialize(t, child, out);
   }
-  os << ")";
+  out += ')';
+}
+
+TypeId intern_subtree(const ViewTree& t, int node, TypeInterner& interner) {
+  std::vector<TypeId> edges;
+  edges.reserve(t.children[node].size());
+  for (int child : t.children[node]) {
+    const Move m = t.nodes[child].via;
+    const TypeId sub = intern_subtree(t, child, interner);
+    const std::uint64_t payload =
+        (static_cast<std::uint64_t>(m.outgoing ? 1 : 0) << 32) |
+        static_cast<std::uint32_t>(m.label);
+    edges.push_back(
+        interner.intern_node(type_tag::kViewEdge | payload, &sub, 1));
+  }
+  return interner.intern_node(type_tag::kViewNode, edges.data(), edges.size());
 }
 
 }  // namespace
 
 std::string view_type(const ViewTree& t) {
-  std::ostringstream os;
-  os << "r=" << t.radius << ";";
-  serialize(t, 0, os);
-  return os.str();
+  std::string out = "r=" + std::to_string(t.radius) + ";";
+  serialize(t, 0, out);
+  return out;
+}
+
+TypeId view_type_id(const ViewTree& t, TypeInterner& interner) {
+  const TypeId body = intern_subtree(t, 0, interner);
+  return interner.intern_node(
+      type_tag::kViewRoot | static_cast<std::uint32_t>(t.radius), &body, 1);
 }
 
 std::int64_t complete_tree_size(int k, int r) {

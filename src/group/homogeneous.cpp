@@ -3,23 +3,37 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
-#include <map>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "lapx/graph/properties.hpp"
+#include "lapx/runtime/parallel.hpp"
 
 namespace lapx::group {
 
 namespace {
 
-// Builds the canonical ordered type of the radius-r ball around `center` in
-// the Cayley graph of `group` w.r.t. `gens`, using only group arithmetic.
-// The linear order is the positive-cone order on representative tuples.
-std::string ball_type_by_arithmetic(const WreathGroup& group,
-                                    const std::vector<Elem>& gens,
-                                    const Elem& center, int r, int level) {
-  std::map<Elem, int> dist;
+struct ElemHash {
+  std::size_t operator()(const Elem& e) const {
+    std::size_t h = 1469598103934665603ull;
+    for (int c : e) {
+      h ^= static_cast<std::size_t>(static_cast<unsigned>(c));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+// The ordered radius-r ball around `center` in the Cayley graph of `group`
+// w.r.t. `gens`, built using only group arithmetic: the induced sub-digraph
+// on the BFS ball (discovery order fixes the vertex numbering) with
+// positive-cone keys.  The linear order is the cone order on representative
+// tuples.
+std::tuple<graph::LDigraph, order::Keys, graph::Vertex> ball_by_arithmetic(
+    const WreathGroup& group, const std::vector<Elem>& gens,
+    const Elem& center, int r, int level) {
+  std::unordered_map<Elem, int, ElemHash> dist;
   std::deque<Elem> queue{center};
   dist[center] = 0;
   std::vector<Elem> members{center};
@@ -40,7 +54,8 @@ std::string ball_type_by_arithmetic(const WreathGroup& group,
     }
   }
   // Index members; build the induced sub-digraph.
-  std::map<Elem, int> index;
+  std::unordered_map<Elem, int, ElemHash> index;
+  index.reserve(members.size());
   for (std::size_t i = 0; i < members.size(); ++i)
     index[members[i]] = static_cast<int>(i);
   graph::LDigraph mini(static_cast<graph::Vertex>(members.size()),
@@ -64,9 +79,24 @@ std::string ball_type_by_arithmetic(const WreathGroup& group,
   order::Keys keys(members.size());
   for (std::size_t pos = 0; pos < order_idx.size(); ++pos)
     keys[order_idx[pos]] = static_cast<std::int64_t>(pos);
-  return order::ordered_ball_type(mini, keys,
-                                  static_cast<graph::Vertex>(index.at(center)),
-                                  r);
+  return {std::move(mini), std::move(keys), graph::Vertex{0}};
+}
+
+std::string ball_type_by_arithmetic(const WreathGroup& group,
+                                    const std::vector<Elem>& gens,
+                                    const Elem& center, int r, int level) {
+  const auto [mini, keys, root] =
+      ball_by_arithmetic(group, gens, center, r, level);
+  return order::ordered_ball_type(mini, keys, root, r);
+}
+
+// Interned variant; equal id <=> equal ball_type_by_arithmetic string.
+core::TypeId ball_type_id_by_arithmetic(const WreathGroup& group,
+                                        const std::vector<Elem>& gens,
+                                        const Elem& center, int r, int level) {
+  const auto [mini, keys, root] =
+      ball_by_arithmetic(group, gens, center, r, level);
+  return order::ordered_ball_type_id(mini, keys, root, r);
 }
 
 }  // namespace
@@ -101,14 +131,26 @@ double sampled_homogeneity(const HomogeneousSpec& spec, int samples,
                            std::mt19937_64& rng) {
   if (spec.m <= 0) throw std::invalid_argument("spec.m not set");
   const WreathGroup h = spec.finite_group();
-  const std::string tau = tau_star_type(spec);
+  const WreathGroup u = spec.infinite_group();
+  const core::TypeId tau = ball_type_id_by_arithmetic(
+      u, spec.generators, u.identity(), spec.r, spec.level);
+  // Draw all samples serially (the rng stream must not depend on the thread
+  // count), then classify them in parallel comparing interned TypeIds.
   std::uniform_int_distribution<int> coord(0, spec.m - 1);
-  int hits = 0;
-  for (int i = 0; i < samples; ++i) {
-    Elem g(static_cast<std::size_t>(h.dimension()));
+  std::vector<Elem> centers(static_cast<std::size_t>(samples),
+                            Elem(static_cast<std::size_t>(h.dimension())));
+  for (Elem& g : centers)
     for (int& c : g) c = coord(rng);
-    if (local_type(spec, g) == tau) ++hits;
-  }
+  const int hits = runtime::parallel_reduce(
+      samples, 0,
+      [&](std::int64_t i) {
+        return ball_type_id_by_arithmetic(
+                   h, spec.generators, centers[static_cast<std::size_t>(i)],
+                   spec.r, spec.level) == tau
+                   ? 1
+                   : 0;
+      },
+      [](int a, int b) { return a + b; });
   return samples == 0 ? 0.0 : static_cast<double>(hits) / samples;
 }
 
@@ -149,16 +191,23 @@ HomogeneousGraph materialize_homogeneous(const HomogeneousSpec& spec,
 
   // Pick the component with the highest density of tau*-type vertices
   // (the averaging argument at the end of the proof of Theorem 3.2).
-  const std::string tau = tau_star_type(spec);
+  const WreathGroup u = spec.infinite_group();
+  const core::TypeId tau = ball_type_id_by_arithmetic(
+      u, spec.generators, u.identity(), spec.r, spec.level);
   order::Keys full_keys = keys_for(elements);
   const graph::Graph underlying = cg.digraph.underlying_graph();
   const std::vector<int> comp = graph::connected_components(underlying);
   const int num_comps = 1 + *std::max_element(comp.begin(), comp.end());
+  const graph::Vertex n_vertices = cg.digraph.num_vertices();
+  std::vector<core::TypeId> vids(static_cast<std::size_t>(n_vertices));
+  runtime::parallel_for(n_vertices, [&](std::int64_t v) {
+    vids[static_cast<std::size_t>(v)] = order::ordered_ball_type_id(
+        cg.digraph, full_keys, static_cast<graph::Vertex>(v), spec.r);
+  });
   std::vector<std::int64_t> total(num_comps, 0), good(num_comps, 0);
-  for (graph::Vertex v = 0; v < cg.digraph.num_vertices(); ++v) {
+  for (graph::Vertex v = 0; v < n_vertices; ++v) {
     ++total[comp[v]];
-    if (order::ordered_ball_type(cg.digraph, full_keys, v, spec.r) == tau)
-      ++good[comp[v]];
+    if (vids[static_cast<std::size_t>(v)] == tau) ++good[comp[v]];
   }
   int best = 0;
   double best_density = -1.0;

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
-#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "lapx/graph/properties.hpp"
+#include "lapx/runtime/parallel.hpp"
 
 namespace lapx::order {
 
@@ -82,14 +82,12 @@ std::vector<Vertex> digraph_ball(const LDigraph& d, Vertex v, int r) {
   return members;
 }
 
-}  // namespace
-
-std::string ordered_ball_type(const Graph& g, const Keys& keys, Vertex v,
-                              int r) {
-  const auto members = graph::ball(g, v, r);
-  const auto sb = sorted_ball(members, keys, v);
-  std::ostringstream os;
-  os << "b=" << sb.vertices.size() << ";root=" << sb.root_pos << ";e:";
+// The canonical content of an ordered ball: (size, root position, sorted
+// edge/arc list over key-rank positions).  Both the text spelling and the
+// interned binary key render exactly this tuple, so they induce the same
+// equivalence.
+std::vector<std::pair<int, int>> collect_edges(const Graph& g,
+                                               const SortedBall& sb) {
   std::vector<std::pair<int, int>> edges;
   for (std::size_t i = 0; i < sb.vertices.size(); ++i) {
     for (Vertex w : g.neighbors(sb.vertices[i])) {
@@ -99,16 +97,11 @@ std::string ordered_ball_type(const Graph& g, const Keys& keys, Vertex v,
     }
   }
   std::sort(edges.begin(), edges.end());
-  for (const auto& [a, b] : edges) os << a << "-" << b << ",";
-  return os.str();
+  return edges;
 }
 
-std::string ordered_ball_type(const LDigraph& d, const Keys& keys, Vertex v,
-                              int r) {
-  const auto members = digraph_ball(d, v, r);
-  const auto sb = sorted_ball(members, keys, v);
-  std::ostringstream os;
-  os << "b=" << sb.vertices.size() << ";root=" << sb.root_pos << ";a:";
+std::vector<std::tuple<int, int, Label>> collect_arcs(const LDigraph& d,
+                                                      const SortedBall& sb) {
   std::vector<std::tuple<int, int, Label>> arcs;
   for (std::size_t i = 0; i < sb.vertices.size(); ++i) {
     for (const auto& [l, w] : d.out_arcs(sb.vertices[i])) {
@@ -118,8 +111,46 @@ std::string ordered_ball_type(const LDigraph& d, const Keys& keys, Vertex v,
     }
   }
   std::sort(arcs.begin(), arcs.end());
-  for (const auto& [a, b, l] : arcs) os << a << ">" << b << "#" << l << ",";
-  return os.str();
+  return arcs;
+}
+
+void append_u32(std::string& key, std::uint32_t x) {
+  for (int b = 0; b < 4; ++b)
+    key.push_back(static_cast<char>((x >> (8 * b)) & 0xFF));
+}
+
+}  // namespace
+
+std::string ordered_ball_type(const Graph& g, const Keys& keys, Vertex v,
+                              int r) {
+  const auto members = graph::ball(g, v, r);
+  const auto sb = sorted_ball(members, keys, v);
+  std::string out = "b=" + std::to_string(sb.vertices.size()) +
+                    ";root=" + std::to_string(sb.root_pos) + ";e:";
+  for (const auto& [a, b] : collect_edges(g, sb)) {
+    out += std::to_string(a);
+    out += '-';
+    out += std::to_string(b);
+    out += ',';
+  }
+  return out;
+}
+
+std::string ordered_ball_type(const LDigraph& d, const Keys& keys, Vertex v,
+                              int r) {
+  const auto members = digraph_ball(d, v, r);
+  const auto sb = sorted_ball(members, keys, v);
+  std::string out = "b=" + std::to_string(sb.vertices.size()) +
+                    ";root=" + std::to_string(sb.root_pos) + ";a:";
+  for (const auto& [a, b, l] : collect_arcs(d, sb)) {
+    out += std::to_string(a);
+    out += '>';
+    out += std::to_string(b);
+    out += '#';
+    out += std::to_string(l);
+    out += ',';
+  }
+  return out;
 }
 
 std::string unordered_ball_type_with_ids(const Graph& g, const Keys& ids,
@@ -128,21 +159,56 @@ std::string unordered_ball_type_with_ids(const Graph& g, const Keys& ids,
   // two ID-neighbourhoods are "isomorphic" only if identical.
   const auto members = graph::ball(g, v, r);
   const auto sb = sorted_ball(members, ids, v);
-  std::ostringstream os;
-  os << "b=" << sb.vertices.size() << ";root=" << sb.root_pos << ";ids:";
-  for (Vertex w : sb.vertices) os << ids.at(w) << ",";
-  os << ";e:";
-  std::vector<std::pair<int, int>> edges;
-  for (std::size_t i = 0; i < sb.vertices.size(); ++i) {
-    for (Vertex w : g.neighbors(sb.vertices[i])) {
-      auto it = sb.position.find(w);
-      if (it != sb.position.end() && static_cast<int>(i) < it->second)
-        edges.emplace_back(static_cast<int>(i), it->second);
-    }
+  std::string out = "b=" + std::to_string(sb.vertices.size()) +
+                    ";root=" + std::to_string(sb.root_pos) + ";ids:";
+  for (Vertex w : sb.vertices) {
+    out += std::to_string(ids.at(w));
+    out += ',';
   }
-  std::sort(edges.begin(), edges.end());
-  for (const auto& [a, b] : edges) os << a << "-" << b << ",";
-  return os.str();
+  out += ";e:";
+  for (const auto& [a, b] : collect_edges(g, sb)) {
+    out += std::to_string(a);
+    out += '-';
+    out += std::to_string(b);
+    out += ',';
+  }
+  return out;
+}
+
+core::TypeId ordered_ball_type_id(const Graph& g, const Keys& keys, Vertex v,
+                                  int r, core::TypeInterner& interner) {
+  const auto members = graph::ball(g, v, r);
+  const auto sb = sorted_ball(members, keys, v);
+  const auto edges = collect_edges(g, sb);
+  std::string key;
+  key.reserve(1 + 8 + 8 * edges.size());
+  key.push_back('\x02');  // domain byte: ordered graph ball
+  append_u32(key, static_cast<std::uint32_t>(sb.vertices.size()));
+  append_u32(key, static_cast<std::uint32_t>(sb.root_pos));
+  for (const auto& [a, b] : edges) {
+    append_u32(key, static_cast<std::uint32_t>(a));
+    append_u32(key, static_cast<std::uint32_t>(b));
+  }
+  return interner.intern(key);
+}
+
+core::TypeId ordered_ball_type_id(const LDigraph& d, const Keys& keys,
+                                  Vertex v, int r,
+                                  core::TypeInterner& interner) {
+  const auto members = digraph_ball(d, v, r);
+  const auto sb = sorted_ball(members, keys, v);
+  const auto arcs = collect_arcs(d, sb);
+  std::string key;
+  key.reserve(1 + 8 + 12 * arcs.size());
+  key.push_back('\x03');  // domain byte: ordered L-digraph ball
+  append_u32(key, static_cast<std::uint32_t>(sb.vertices.size()));
+  append_u32(key, static_cast<std::uint32_t>(sb.root_pos));
+  for (const auto& [a, b, l] : arcs) {
+    append_u32(key, static_cast<std::uint32_t>(a));
+    append_u32(key, static_cast<std::uint32_t>(b));
+    append_u32(key, static_cast<std::uint32_t>(l));
+  }
+  return interner.intern(key);
 }
 
 namespace {
@@ -153,8 +219,28 @@ HomogeneityReport measure(const GraphT& g, const Keys& keys, int r) {
   const Vertex n = g.num_vertices();
   if (static_cast<Vertex>(keys.size()) != n)
     throw std::invalid_argument("keys size mismatch");
-  for (Vertex v = 0; v < n; ++v)
-    ++report.histogram[ordered_ball_type(g, keys, v, r)];
+  // Hot phase: one interned TypeId per vertex, in parallel.  TypeIds are
+  // only compared for equality here, so the thread-dependent interning
+  // order is invisible to the result.
+  std::vector<core::TypeId> ids(static_cast<std::size_t>(n));
+  runtime::parallel_for(n, [&](std::int64_t v) {
+    ids[static_cast<std::size_t>(v)] =
+        ordered_ball_type_id(g, keys, static_cast<Vertex>(v), r);
+  });
+  // Count the classes, then spell out one representative per class so the
+  // report's histogram keeps the canonical (sorted) text encoding.
+  std::unordered_map<core::TypeId, std::pair<int, Vertex>> classes;
+  for (Vertex v = 0; v < n; ++v) {
+    auto [it, inserted] =
+        classes.try_emplace(ids[static_cast<std::size_t>(v)], 0, v);
+    (void)inserted;
+    ++it->second.first;
+  }
+  for (const auto& [id, cls] : classes) {
+    (void)id;
+    report.histogram[ordered_ball_type(g, keys, cls.second, r)] =
+        cls.first;
+  }
   report.distinct_types = report.histogram.size();
   for (const auto& [type, count] : report.histogram) {
     const double frac = n == 0 ? 0.0 : static_cast<double>(count) / n;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "lapx/core/interner.hpp"
 #include "lapx/graph/digraph.hpp"
 #include "lapx/graph/graph.hpp"
 
@@ -58,6 +59,18 @@ std::string ordered_ball_type(const LDigraph& d, const Keys& keys, Vertex v,
 /// of a plain graph (used to compare ID/OI/PO information content).
 std::string unordered_ball_type_with_ids(const Graph& g, const Keys& ids,
                                          Vertex v, int r);
+
+/// Interned ordered-ball types: equal TypeId (within one interner) <=>
+/// equal ordered_ball_type string.  The interner keys are a fixed-width
+/// binary rendering of the same canonical tuple (size, root, edge list) --
+/// no decimal formatting in the hot path; use ordered_ball_type when a
+/// human-readable spelling is needed.
+core::TypeId ordered_ball_type_id(
+    const Graph& g, const Keys& keys, Vertex v, int r,
+    core::TypeInterner& interner = core::TypeInterner::global());
+core::TypeId ordered_ball_type_id(
+    const LDigraph& d, const Keys& keys, Vertex v, int r,
+    core::TypeInterner& interner = core::TypeInterner::global());
 
 /// Homogeneity measurement result.
 struct HomogeneityReport {

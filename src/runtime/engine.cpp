@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "lapx/runtime/parallel.hpp"
+
 namespace lapx::runtime {
 
 RunResult run_synchronous(const graph::Graph& g,
@@ -40,19 +42,32 @@ RunResult run_synchronous(const graph::Graph& g,
   RunResult result;
   result.rounds = rounds;
   std::vector<std::vector<Message>> inbox(n);
+  std::vector<std::size_t> bytes_sent(static_cast<std::size_t>(n));
   for (int round = 0; round < rounds; ++round) {
     for (graph::Vertex v = 0; v < n; ++v)
       inbox[v].assign(pn.ports[v].size(), Message{});
-    for (graph::Vertex v = 0; v < n; ++v) {
+    // Every (v, p) targets the unique pre-sized slot inbox[u][q] at the
+    // other end of its edge, so all sends run in parallel; the per-node
+    // byte counters are summed serially afterwards.
+    parallel_for(n, [&](std::int64_t vi) {
+      const auto v = static_cast<graph::Vertex>(vi);
+      std::size_t bytes = 0;
       for (std::size_t p = 0; p < pn.ports[v].size(); ++p) {
         Message msg = programs[v]->message_for_port(static_cast<int>(p));
         const auto [u, q] = link[v][p];
-        result.bytes_delivered += msg.size();
-        ++result.messages_delivered;
+        bytes += msg.size();
         inbox[u][q] = std::move(msg);
       }
+      bytes_sent[static_cast<std::size_t>(vi)] = bytes;
+    });
+    for (graph::Vertex v = 0; v < n; ++v) {
+      result.bytes_delivered += bytes_sent[v];
+      result.messages_delivered += pn.ports[v].size();
     }
-    for (graph::Vertex v = 0; v < n; ++v) programs[v]->receive(inbox[v]);
+    parallel_for(n, [&](std::int64_t v) {
+      programs[static_cast<std::size_t>(v)]->receive(
+          inbox[static_cast<std::size_t>(v)]);
+    });
   }
   result.outputs.resize(static_cast<std::size_t>(n));
   for (graph::Vertex v = 0; v < n; ++v)

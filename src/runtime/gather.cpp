@@ -1,122 +1,163 @@
 #include "lapx/runtime/gather.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <cctype>
+#include <limits>
 #include <stdexcept>
 
 #include "lapx/graph/port_numbering.hpp"
+#include "lapx/runtime/parallel.hpp"
 
 namespace lapx::runtime {
 
 namespace {
 
-// Grammar: K := '{' degree ';' port* '}'
-//          port := ('+' | '-') remote ';' ( '(' K ')' | '_' ) ';'
-// remote is -1 while unknown.
-void serialize_into(const Knowledge& k, std::ostringstream& os) {
-  os << '{' << k.degree << ';';
-  for (int p = 0; p < k.degree; ++p) {
-    os << (k.outgoing[p] ? '+' : '-') << k.remote_port[p] << ';';
-    if (k.neighbor[p]) {
-      os << '(';
-      serialize_into(*k.neighbor[p], os);
-      os << ')';
-    } else {
-      os << '_';
-    }
-    os << ';';
-  }
-  os << '}';
+char peek(std::string_view data, std::size_t pos) {
+  if (pos >= data.size()) throw std::invalid_argument("truncated");
+  return data[pos];
 }
 
-class Parser {
- public:
-  explicit Parser(const std::string& data) : data_(data) {}
+char take(std::string_view data, std::size_t& pos) {
+  const char c = peek(data, pos);
+  ++pos;
+  return c;
+}
 
-  Knowledge parse() {
-    Knowledge k = parse_knowledge();
-    if (pos_ != data_.size()) throw std::invalid_argument("trailing data");
-    return k;
-  }
+void expect(std::string_view data, std::size_t& pos, char c) {
+  if (take(data, pos) != c) throw std::invalid_argument("unexpected character");
+}
 
- private:
-  char peek() const {
-    if (pos_ >= data_.size()) throw std::invalid_argument("truncated");
-    return data_[pos_];
+int parse_int(std::string_view data, std::size_t& pos) {
+  bool negative = false;
+  if (peek(data, pos) == '-') {
+    negative = true;
+    ++pos;
   }
-  char take() {
-    const char c = peek();
-    ++pos_;
-    return c;
+  int value = 0;
+  bool any = false;
+  while (pos < data.size() &&
+         std::isdigit(static_cast<unsigned char>(data[pos]))) {
+    const int digit = take(data, pos) - '0';
+    if (value > (std::numeric_limits<int>::max() - digit) / 10)
+      throw std::invalid_argument("integer overflow");
+    value = value * 10 + digit;
+    any = true;
   }
-  void expect(char c) {
-    if (take() != c) throw std::invalid_argument("unexpected character");
-  }
-  int parse_int() {
-    bool negative = false;
-    if (peek() == '-') {
-      negative = true;
-      take();
-    }
-    int value = 0;
-    bool any = false;
-    while (pos_ < data_.size() && std::isdigit(static_cast<unsigned char>(
-                                      data_[pos_]))) {
-      value = value * 10 + (take() - '0');
-      any = true;
-    }
-    if (!any) throw std::invalid_argument("expected integer");
-    return negative ? -value : value;
-  }
-
-  Knowledge parse_knowledge() {
-    expect('{');
-    Knowledge k;
-    k.degree = parse_int();
-    expect(';');
-    k.outgoing.resize(k.degree);
-    k.remote_port.resize(k.degree);
-    k.neighbor.resize(k.degree);
-    for (int p = 0; p < k.degree; ++p) {
-      const char dir = take();
-      if (dir != '+' && dir != '-') throw std::invalid_argument("bad dir");
-      k.outgoing[p] = dir == '+';
-      k.remote_port[p] = parse_int();
-      expect(';');
-      if (peek() == '(') {
-        take();
-        k.neighbor[p] = std::make_shared<Knowledge>(parse_knowledge());
-        expect(')');
-      } else {
-        expect('_');
-      }
-      expect(';');
-    }
-    expect('}');
-    return k;
-  }
-
-  const std::string& data_;
-  std::size_t pos_ = 0;
-};
+  if (!any) throw std::invalid_argument("expected integer");
+  return negative ? -value : value;
+}
 
 }  // namespace
 
-std::string Knowledge::serialize() const {
-  std::ostringstream os;
-  serialize_into(*this, os);
-  return os.str();
+Knowledge Knowledge::initial(int degree, const std::vector<bool>& outgoing) {
+  Knowledge k;
+  k.nodes_.push_back(NodeRec{degree, 0});
+  k.ports_.resize(static_cast<std::size_t>(degree));
+  for (int p = 0; p < degree; ++p)
+    k.ports_[static_cast<std::size_t>(p)].outgoing = outgoing[p] ? 1 : 0;
+  return k;
 }
 
-Knowledge Knowledge::parse(const std::string& data) {
-  return Parser(data).parse();
+std::int32_t Knowledge::graft(const Knowledge& other) {
+  const auto node_off = static_cast<std::int32_t>(nodes_.size());
+  const auto port_off = static_cast<std::int32_t>(ports_.size());
+  for (const NodeRec& n : other.nodes_)
+    nodes_.push_back(NodeRec{n.degree, n.first_port + port_off});
+  for (const PortRec& p : other.ports_)
+    ports_.push_back(
+        PortRec{p.remote_port, p.child >= 0 ? p.child + node_off : -1,
+                p.outgoing});
+  return node_off;
+}
+
+void Knowledge::set_root_link(int port, int remote_port,
+                              const Knowledge& neighbor) {
+  const std::int32_t child = neighbor.empty() ? -1 : graft(neighbor);
+  PortRec& rec = ports_[static_cast<std::size_t>(nodes_[0].first_port + port)];
+  rec.remote_port = remote_port;
+  rec.child = child;
+}
+
+void Knowledge::serialize_node(std::int32_t node, std::string& out) const {
+  const NodeRec& n = nodes_[static_cast<std::size_t>(node)];
+  out += '{';
+  out += std::to_string(n.degree);
+  out += ';';
+  for (int p = 0; p < n.degree; ++p) {
+    const PortRec& rec = ports_[static_cast<std::size_t>(n.first_port + p)];
+    out += rec.outgoing ? '+' : '-';
+    out += std::to_string(rec.remote_port);
+    out += ';';
+    if (rec.child >= 0) {
+      out += '(';
+      serialize_node(rec.child, out);
+      out += ')';
+    } else {
+      out += '_';
+    }
+    out += ';';
+  }
+  out += '}';
+}
+
+std::string Knowledge::serialize() const {
+  std::string out;
+  serialize_node(0, out);
+  return out;
+}
+
+std::int32_t Knowledge::parse_node(std::string_view data, std::size_t& pos,
+                                   int depth) {
+  if (depth > kMaxParseDepth)
+    throw std::invalid_argument("knowledge nesting too deep");
+  expect(data, pos, '{');
+  const int degree = parse_int(data, pos);
+  expect(data, pos, ';');
+  if (degree < 0) throw std::invalid_argument("negative degree");
+  // Each port takes at least 5 bytes ("+0;_;"), so a larger degree cannot be
+  // encoded by the remaining input -- reject before allocating for it.
+  if (static_cast<std::size_t>(degree) > (data.size() - pos) / 5)
+    throw std::invalid_argument("degree larger than message");
+  const auto idx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(
+      NodeRec{degree, static_cast<std::int32_t>(ports_.size())});
+  ports_.resize(ports_.size() + static_cast<std::size_t>(degree));
+  for (int p = 0; p < degree; ++p) {
+    const char dir = take(data, pos);
+    if (dir != '+' && dir != '-') throw std::invalid_argument("bad dir");
+    const int remote = parse_int(data, pos);
+    expect(data, pos, ';');
+    std::int32_t child = -1;
+    if (peek(data, pos) == '(') {
+      ++pos;
+      child = parse_node(data, pos, depth + 1);
+      expect(data, pos, ')');
+    } else {
+      expect(data, pos, '_');
+    }
+    expect(data, pos, ';');
+    PortRec& rec = ports_[static_cast<std::size_t>(
+        nodes_[static_cast<std::size_t>(idx)].first_port + p)];
+    rec.outgoing = dir == '+' ? 1 : 0;
+    rec.remote_port = remote;
+    rec.child = child;
+  }
+  expect(data, pos, '}');
+  return idx;
+}
+
+Knowledge Knowledge::parse(std::string_view data) {
+  Knowledge k;
+  std::size_t pos = 0;
+  k.parse_node(data, pos, 0);
+  if (pos != data.size()) throw std::invalid_argument("trailing data");
+  return k;
 }
 
 void FullInfoProgram::init(const NodeEnv& env) {
-  state_.degree = env.degree;
-  state_.outgoing = env.port_outgoing;
-  state_.remote_port.assign(env.degree, -1);
-  state_.neighbor.assign(env.degree, nullptr);
+  degree_ = env.degree;
+  outgoing_ = env.port_outgoing;
+  state_ = Knowledge::initial(degree_, outgoing_);
 }
 
 Message FullInfoProgram::message_for_port(int port) const {
@@ -124,15 +165,16 @@ Message FullInfoProgram::message_for_port(int port) const {
 }
 
 void FullInfoProgram::receive(const std::vector<Message>& inbox_by_port) {
-  Knowledge next = state_;
+  Knowledge next = Knowledge::initial(degree_, outgoing_);
   for (std::size_t p = 0; p < inbox_by_port.size(); ++p) {
     const std::string& msg = inbox_by_port[p];
     const auto hash = msg.find('#');
     if (hash == std::string::npos)
       throw std::invalid_argument("malformed message");
-    next.remote_port[p] = std::stoi(msg.substr(0, hash));
-    next.neighbor[p] =
-        std::make_shared<Knowledge>(Knowledge::parse(msg.substr(hash + 1)));
+    const int remote = std::stoi(msg.substr(0, hash));
+    next.set_root_link(static_cast<int>(p), remote,
+                       Knowledge::parse(
+                           std::string_view(msg).substr(hash + 1)));
   }
   state_ = std::move(next);
 }
@@ -141,61 +183,48 @@ std::vector<Knowledge> gather_full_information(const graph::Graph& g,
                                                const graph::PortNumbering& pn,
                                                const graph::Orientation& orient,
                                                int rounds) {
-  // We need the final program states, so run the engine manually through a
-  // factory that records the program pointers.
-  std::vector<FullInfoProgram*> instances;
-  auto factory = [&instances]() {
-    auto program = std::make_unique<FullInfoProgram>();
-    instances.push_back(program.get());
-    return program;
-  };
-  // run_synchronous owns the programs for its whole scope, so the recorded
-  // raw pointers stay valid until it returns; copy the knowledge out via
-  // outputs -- instead we re-run with a local engine inline:
-  std::vector<Knowledge> result;
-  {
-    const std::vector<std::int64_t> inputs(g.num_vertices(), 0);
-    // The engine destroys programs when it returns, so we snapshot inside a
-    // custom copy of the final states by wrapping the factory outputs.
-    // Simplest correct approach: replicate run_synchronous's lifetime by
-    // collecting knowledge right before the programs die -- we do that by
-    // running the engine and reading `instances` *before* scope exit:
-    // run_synchronous returns after its last receive(), with programs alive
-    // only inside.  Hence we inline a small engine here instead.
-    const graph::Vertex n = g.num_vertices();
-    std::vector<std::unique_ptr<NodeProgram>> programs;
-    std::vector<std::vector<std::pair<graph::Vertex, int>>> link(n);
-    std::vector<std::vector<bool>> outgoing(n);
-    for (graph::Vertex v = 0; v < n; ++v) {
-      link[v].resize(pn.ports[v].size());
-      outgoing[v].resize(pn.ports[v].size());
-      for (std::size_t p = 0; p < pn.ports[v].size(); ++p) {
-        const graph::Vertex u = pn.ports[v][p];
-        link[v][p] = {u, pn.port_of(u, v)};
-        const auto [tail, head] = orient.directed(g, g.edge_id(v, u));
-        outgoing[v][p] = (tail == v);
-      }
+  const graph::Vertex n = g.num_vertices();
+  // Port topology: for (v, p), the neighbour and its return port.
+  std::vector<std::vector<std::pair<graph::Vertex, int>>> link(n);
+  std::vector<std::vector<bool>> outgoing(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    link[v].resize(pn.ports[v].size());
+    outgoing[v].resize(pn.ports[v].size());
+    for (std::size_t p = 0; p < pn.ports[v].size(); ++p) {
+      const graph::Vertex u = pn.ports[v][p];
+      link[v][p] = {u, pn.port_of(u, v)};
+      const auto [tail, head] = orient.directed(g, g.edge_id(v, u));
+      outgoing[v][p] = (tail == v);
     }
-    for (graph::Vertex v = 0; v < n; ++v) {
-      programs.push_back(factory());
-      NodeEnv env{g.degree(v), outgoing[v], 0};
-      programs.back()->init(env);
-    }
-    std::vector<std::vector<Message>> inbox(n);
-    for (int round = 0; round < rounds; ++round) {
-      for (graph::Vertex v = 0; v < n; ++v)
-        inbox[v].assign(pn.ports[v].size(), Message{});
-      for (graph::Vertex v = 0; v < n; ++v)
-        for (std::size_t p = 0; p < pn.ports[v].size(); ++p) {
-          const auto [u, q] = link[v][p];
-          inbox[u][q] = programs[v]->message_for_port(static_cast<int>(p));
-        }
-      for (graph::Vertex v = 0; v < n; ++v) programs[v]->receive(inbox[v]);
-    }
-    result.reserve(instances.size());
-    for (FullInfoProgram* program : instances)
-      result.push_back(program->knowledge());
   }
+  std::vector<FullInfoProgram> programs(static_cast<std::size_t>(n));
+  for (graph::Vertex v = 0; v < n; ++v) {
+    NodeEnv env{g.degree(v), outgoing[v], 0};
+    programs[v].init(env);
+  }
+  std::vector<std::vector<Message>> inbox(n);
+  for (int round = 0; round < rounds; ++round) {
+    for (graph::Vertex v = 0; v < n; ++v)
+      inbox[v].assign(pn.ports[v].size(), Message{});
+    // Each (v, p) writes the unique pre-sized slot inbox[u][q] of the edge
+    // end opposite to it, so the sends of all nodes can run in parallel --
+    // as can the receives, which only touch node-local state.
+    runtime::parallel_for(n, [&](std::int64_t vi) {
+      const auto v = static_cast<graph::Vertex>(vi);
+      for (std::size_t p = 0; p < pn.ports[v].size(); ++p) {
+        const auto [u, q] = link[v][p];
+        inbox[u][q] = programs[v].message_for_port(static_cast<int>(p));
+      }
+    });
+    runtime::parallel_for(n, [&](std::int64_t v) {
+      programs[static_cast<std::size_t>(v)].receive(
+          inbox[static_cast<std::size_t>(v)]);
+    });
+  }
+  std::vector<Knowledge> result;
+  result.reserve(static_cast<std::size_t>(n));
+  for (graph::Vertex v = 0; v < n; ++v)
+    result.push_back(programs[v].knowledge());
   return result;
 }
 
@@ -204,30 +233,25 @@ namespace {
 struct ChildEntry {
   bool outgoing;
   graph::Label label;
-  const Knowledge* knowledge;  // may be null at the frontier
-  int back_port;               // port on the child leading back to us
+  int port;       // port on the parent leading to this child
+  int back_port;  // port on the child leading back to us
 };
 
-void view_serialize(const Knowledge& k, int arrived_port, int depth_left,
-                    int delta, std::ostringstream& os) {
-  os << '(';
-  if (depth_left <= 0) {
-    os << ')';
-    return;
-  }
+std::vector<ChildEntry> sorted_children(const Knowledge::Node& k,
+                                        int arrived_port, int delta) {
   std::vector<ChildEntry> children;
-  for (int p = 0; p < k.degree; ++p) {
+  for (int p = 0; p < k.degree(); ++p) {
     if (p == arrived_port) continue;
-    if (k.remote_port[p] < 0)
+    if (k.remote_port(p) < 0)
       throw std::logic_error("knowledge too shallow for requested radius");
     ChildEntry entry;
-    entry.outgoing = k.outgoing[p];
+    entry.outgoing = k.outgoing(p);
     entry.label =
-        k.outgoing[p]
-            ? graph::encode_port_label(p, k.remote_port[p], delta)
-            : graph::encode_port_label(k.remote_port[p], p, delta);
-    entry.knowledge = k.neighbor[p] ? k.neighbor[p].get() : nullptr;
-    entry.back_port = k.remote_port[p];
+        entry.outgoing
+            ? graph::encode_port_label(p, k.remote_port(p), delta)
+            : graph::encode_port_label(k.remote_port(p), p, delta);
+    entry.port = p;
+    entry.back_port = k.remote_port(p);
     children.push_back(entry);
   }
   std::sort(children.begin(), children.end(),
@@ -235,27 +259,38 @@ void view_serialize(const Knowledge& k, int arrived_port, int depth_left,
               return std::pair(a.outgoing, a.label) <
                      std::pair(b.outgoing, b.label);
             });
-  for (const ChildEntry& c : children) {
-    os << (c.outgoing ? '+' : '-') << c.label;
+  return children;
+}
+
+void view_serialize(const Knowledge::Node& k, int arrived_port, int depth_left,
+                    int delta, std::string& out) {
+  out += '(';
+  if (depth_left <= 0) {
+    out += ')';
+    return;
+  }
+  for (const ChildEntry& c : sorted_children(k, arrived_port, delta)) {
+    out += c.outgoing ? '+' : '-';
+    out += std::to_string(c.label);
     if (depth_left == 1) {
       // Leaf level: the subtree is empty regardless of deeper knowledge.
-      os << "()";
+      out += "()";
     } else {
-      if (!c.knowledge)
+      if (!k.has_neighbor(c.port))
         throw std::logic_error("knowledge too shallow for requested radius");
-      view_serialize(*c.knowledge, c.back_port, depth_left - 1, delta, os);
+      view_serialize(k.neighbor(c.port), c.back_port, depth_left - 1, delta,
+                     out);
     }
   }
-  os << ')';
+  out += ')';
 }
 
 }  // namespace
 
 std::string knowledge_view_type(const Knowledge& k, int radius, int delta) {
-  std::ostringstream os;
-  os << "r=" << radius << ';';
-  view_serialize(k, -1, radius, delta, os);
-  return os.str();
+  std::string out = "r=" + std::to_string(radius) + ";";
+  view_serialize(k.root(), -1, radius, delta, out);
+  return out;
 }
 
 core::ViewTree knowledge_to_view(const Knowledge& k, int radius, int delta) {
@@ -263,41 +298,19 @@ core::ViewTree knowledge_to_view(const Knowledge& k, int radius, int delta) {
   t.alphabet = static_cast<graph::Label>(delta * delta);
   t.radius = radius;
   struct Frame {
-    const Knowledge* knowledge;
+    Knowledge::Node knowledge;
     int arrived_port;
     int node;
     int depth;
   };
   t.nodes.push_back(core::ViewTree::Node{-1, -1, core::Move{}, 0});
   t.children.emplace_back();
-  std::vector<Frame> queue{Frame{&k, -1, 0, 0}};
+  std::vector<Frame> queue{Frame{k.root(), -1, 0, 0}};
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const Frame frame = queue[head];
     if (frame.depth == radius) continue;
-    std::vector<ChildEntry> entries;
-    for (int p = 0; p < frame.knowledge->degree; ++p) {
-      if (p == frame.arrived_port) continue;
-      if (frame.knowledge->remote_port[p] < 0)
-        throw std::logic_error("knowledge too shallow for requested radius");
-      ChildEntry entry;
-      entry.outgoing = frame.knowledge->outgoing[p];
-      entry.label = entry.outgoing
-                        ? graph::encode_port_label(
-                              p, frame.knowledge->remote_port[p], delta)
-                        : graph::encode_port_label(
-                              frame.knowledge->remote_port[p], p, delta);
-      entry.knowledge = frame.knowledge->neighbor[p]
-                            ? frame.knowledge->neighbor[p].get()
-                            : nullptr;
-      entry.back_port = frame.knowledge->remote_port[p];
-      entries.push_back(entry);
-    }
-    std::sort(entries.begin(), entries.end(),
-              [](const ChildEntry& a, const ChildEntry& b) {
-                return std::pair(a.outgoing, a.label) <
-                       std::pair(b.outgoing, b.label);
-              });
-    for (const ChildEntry& entry : entries) {
+    for (const ChildEntry& entry :
+         sorted_children(frame.knowledge, frame.arrived_port, delta)) {
       const int child = static_cast<int>(t.nodes.size());
       t.nodes.push_back(core::ViewTree::Node{
           -1, frame.node, core::Move{entry.outgoing, entry.label},
@@ -305,14 +318,19 @@ core::ViewTree knowledge_to_view(const Knowledge& k, int radius, int delta) {
       t.children.emplace_back();
       t.children[frame.node].push_back(child);
       if (frame.depth + 1 < radius) {
-        if (!entry.knowledge)
+        if (!frame.knowledge.has_neighbor(entry.port))
           throw std::logic_error("knowledge too shallow for requested radius");
-        queue.push_back(
-            Frame{entry.knowledge, entry.back_port, child, frame.depth + 1});
+        queue.push_back(Frame{frame.knowledge.neighbor(entry.port),
+                              entry.back_port, child, frame.depth + 1});
       }
     }
   }
   return t;
+}
+
+core::TypeId knowledge_view_type_id(const Knowledge& k, int radius, int delta,
+                                    core::TypeInterner& interner) {
+  return core::view_type_id(knowledge_to_view(k, radius, delta), interner);
 }
 
 std::vector<bool> run_po_via_messages(const graph::Graph& g,
@@ -321,10 +339,14 @@ std::vector<bool> run_po_via_messages(const graph::Graph& g,
                                       const core::VertexPoAlgorithm& algo,
                                       int r, int delta) {
   const auto knowledge = gather_full_information(g, pn, orient, r);
-  std::vector<bool> out(g.num_vertices());
-  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
-    out[v] = algo(knowledge_to_view(knowledge[v], r, delta)) != 0;
-  return out;
+  const graph::Vertex n = g.num_vertices();
+  std::vector<unsigned char> buf(static_cast<std::size_t>(n));
+  runtime::parallel_for(n, [&](std::int64_t v) {
+    buf[static_cast<std::size_t>(v)] =
+        algo(knowledge_to_view(knowledge[static_cast<std::size_t>(v)], r,
+                               delta)) != 0;
+  });
+  return std::vector<bool>(buf.begin(), buf.end());
 }
 
 }  // namespace lapx::runtime

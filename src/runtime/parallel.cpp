@@ -1,0 +1,136 @@
+#include "lapx/runtime/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace lapx::runtime {
+
+namespace {
+
+int default_threads() {
+  if (const char* s = std::getenv("LAPX_THREADS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// True while the current thread executes chunks of some job: nested
+// parallel loops on such a thread run inline instead of re-entering the
+// pool (which would deadlock waiting for workers busy in the outer job).
+thread_local bool in_parallel_region = false;
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* pool = new Pool;  // leaked: workers may outlive statics
+    return *pool;
+  }
+
+  int threads() const { return threads_.load(std::memory_order_relaxed); }
+
+  void set_threads(int n) {
+    threads_.store(n < 1 ? default_threads() : n, std::memory_order_relaxed);
+  }
+
+  void run(std::int64_t chunks, const std::function<void(std::int64_t)>& fn) {
+    const int want = static_cast<int>(
+        std::min<std::int64_t>(threads(), chunks));
+    if (want <= 1 || in_parallel_region) {
+      for (std::int64_t c = 0; c < chunks; ++c) fn(c);
+      return;
+    }
+    ensure_workers(want - 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = &fn;
+      chunks_ = chunks;
+      next_.store(0, std::memory_order_relaxed);
+      error_ = nullptr;
+      ++generation_;
+    }
+    cv_.notify_all();
+    drain(fn);  // the calling thread participates
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  Pool() = default;
+
+  void ensure_workers(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < n)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void drain(const std::function<void(std::int64_t)>& fn) {
+    in_parallel_region = true;
+    while (true) {
+      const std::int64_t c = next_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks_) break;
+      try {
+        fn(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    in_parallel_region = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      cv_.wait(lock, [&] { return generation_ != seen; });
+      seen = generation_;
+      if (!fn_) continue;  // job already finished before we woke
+      const std::function<void(std::int64_t)>* fn = fn_;
+      ++running_;
+      lock.unlock();
+      drain(*fn);
+      lock.lock();
+      if (--running_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_, done_cv_;
+  std::vector<std::thread> workers_;
+  std::uint64_t generation_ = 0;
+  int running_ = 0;
+  const std::function<void(std::int64_t)>* fn_ = nullptr;
+  std::int64_t chunks_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  std::exception_ptr error_;
+  std::atomic<int> threads_{default_threads()};
+};
+
+}  // namespace
+
+int thread_count() { return Pool::instance().threads(); }
+
+void set_thread_count(int n) { Pool::instance().set_threads(n); }
+
+namespace detail {
+
+void run_chunks(std::int64_t chunks,
+                const std::function<void(std::int64_t)>& fn) {
+  Pool::instance().run(chunks, fn);
+}
+
+}  // namespace detail
+
+}  // namespace lapx::runtime

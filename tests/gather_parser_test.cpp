@@ -1,0 +1,72 @@
+// Hardening regression tests for the Knowledge wire-format parser: a
+// malicious or corrupted peer message must be rejected with
+// std::invalid_argument, never overflow an int, exhaust the stack, or
+// trigger a huge allocation.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "lapx/runtime/gather.hpp"
+
+namespace {
+
+using lapx::runtime::Knowledge;
+
+TEST(KnowledgeParser, AcceptsRoundTripOfLegalDeepNesting) {
+  Knowledge k = Knowledge::initial(1, {true});
+  for (int i = 0; i < 20; ++i) {
+    Knowledge outer = Knowledge::initial(1, {false});
+    outer.set_root_link(0, 0, k);
+    k = std::move(outer);
+  }
+  const std::string wire = k.serialize();
+  EXPECT_EQ(Knowledge::parse(wire).serialize(), wire);
+}
+
+TEST(KnowledgeParser, RejectsIntegerOverflow) {
+  // INT_MAX is 2147483647; one more must be rejected, not wrapped.
+  EXPECT_THROW(Knowledge::parse("{2147483648;}"), std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{99999999999999999999;}"),
+               std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{1;+2147483648;_;}"), std::invalid_argument);
+}
+
+TEST(KnowledgeParser, RejectsDegreeLargerThanMessage) {
+  // A degree claim the remaining bytes cannot possibly encode must fail
+  // before any port allocation happens.
+  EXPECT_THROW(Knowledge::parse("{1000000;}"), std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{2146000000;+0;_;}"), std::invalid_argument);
+}
+
+TEST(KnowledgeParser, RejectsExcessiveNestingDepth) {
+  const int depth = Knowledge::kMaxParseDepth + 8;
+  std::string wire;
+  for (int i = 0; i < depth; ++i) wire += "{1;+0;(";
+  wire += "{0;}";
+  for (int i = 0; i < depth; ++i) wire += ");}";
+  EXPECT_THROW(Knowledge::parse(wire), std::invalid_argument);
+}
+
+TEST(KnowledgeParser, AcceptsNestingJustBelowTheLimit) {
+  const int depth = Knowledge::kMaxParseDepth - 2;
+  std::string wire;
+  for (int i = 0; i < depth; ++i) wire += "{1;+0;(";
+  wire += "{0;}";
+  for (int i = 0; i < depth; ++i) wire += ");}";
+  EXPECT_EQ(Knowledge::parse(wire).serialize(), wire);
+}
+
+TEST(KnowledgeParser, RejectsMalformedInput) {
+  EXPECT_THROW(Knowledge::parse(""), std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{0;}x"), std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{-1;}"), std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{1;*0;_;}"), std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{1;+0;_;"), std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{1;+0;();}"), std::invalid_argument);
+  EXPECT_THROW(Knowledge::parse("{2;+0;_;}"), std::invalid_argument);
+}
+
+}  // namespace

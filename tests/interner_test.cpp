@@ -1,0 +1,271 @@
+// Tests for the type interner: TypeId equality must coincide exactly with
+// canonical-string equality for every type domain (view trees, PN views,
+// ordered balls in graphs and L-digraphs), and every parallel code path must
+// produce identical results at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "lapx/core/ball.hpp"
+#include "lapx/core/interner.hpp"
+#include "lapx/core/model.hpp"
+#include "lapx/core/pn_view.hpp"
+#include "lapx/core/view.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/lift.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/order/homogeneity.hpp"
+#include "lapx/runtime/gather.hpp"
+#include "lapx/runtime/parallel.hpp"
+
+namespace {
+
+using namespace lapx;
+using core::TypeId;
+using core::TypeInterner;
+using graph::Graph;
+using graph::Vertex;
+
+Graph random_graph(int n, double p, std::mt19937_64& rng) {
+  Graph g(n);
+  std::bernoulli_distribution coin(p);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (coin(rng)) g.add_edge(u, v);
+  return g;
+}
+
+order::Keys random_keys(int n, std::mt19937_64& rng) {
+  order::Keys keys(n);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  return keys;
+}
+
+TEST(Interner, FlatKeysAreDeduplicated) {
+  TypeInterner interner;
+  const TypeId a = interner.intern("alpha");
+  const TypeId b = interner.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.intern("alpha"), a);
+  EXPECT_EQ(interner.intern("beta"), b);
+  EXPECT_EQ(interner.spelling(a), "alpha");
+  EXPECT_EQ(interner.spelling(b), "beta");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Interner, StructuralNodesAreDeduplicated) {
+  TypeInterner interner;
+  const TypeId leaf = interner.intern("leaf");
+  const TypeId n1 = interner.intern_node(7, {leaf});
+  const TypeId n2 = interner.intern_node(7, {leaf});
+  const TypeId n3 = interner.intern_node(8, {leaf});
+  const TypeId n4 = interner.intern_node(7, {leaf, leaf});
+  EXPECT_EQ(n1, n2);
+  EXPECT_NE(n1, n3);
+  EXPECT_NE(n1, n4);
+  // A structural key never collides with a text key, even one crafted to
+  // look similar -- structural keys start with the '\x01' domain byte.
+  const TypeId text = interner.intern(interner.spelling(n1).substr(1));
+  EXPECT_NE(text, n1);
+}
+
+// The central contract: within one interner, equal TypeId <=> equal
+// canonical string, across random ordered graphs.
+class InternerSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(InternerSweep, OrderedBallIdsMatchStrings) {
+  std::mt19937_64 rng(GetParam());
+  const Graph g = random_graph(13, 0.3, rng);
+  const auto keys = random_keys(13, rng);
+  TypeInterner interner;
+  for (int r : {0, 1, 2}) {
+    std::vector<TypeId> ids(g.num_vertices());
+    std::vector<std::string> types(g.num_vertices());
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ids[v] = order::ordered_ball_type_id(g, keys, v, r, interner);
+      types[v] = order::ordered_ball_type(g, keys, v, r);
+    }
+    for (Vertex u = 0; u < g.num_vertices(); ++u)
+      for (Vertex v = 0; v < g.num_vertices(); ++v)
+        EXPECT_EQ(ids[u] == ids[v], types[u] == types[v])
+            << "r=" << r << " u=" << u << " v=" << v;
+  }
+}
+
+TEST_P(InternerSweep, LdigraphBallIdsMatchStrings) {
+  std::mt19937_64 rng(GetParam() + 100);
+  const Graph g = random_graph(12, 0.3, rng);
+  const auto keys = random_keys(12, rng);
+  const auto pn = graph::PortNumbering::default_for(g);
+  const auto orient = graph::Orientation::default_for(g);
+  const auto ld = graph::to_ldigraph(g, pn, orient, g.max_degree());
+  TypeInterner interner;
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(order::ordered_ball_type_id(ld, keys, u, 2, interner) ==
+                    order::ordered_ball_type_id(ld, keys, v, 2, interner),
+                order::ordered_ball_type(ld, keys, u, 2) ==
+                    order::ordered_ball_type(ld, keys, v, 2));
+}
+
+TEST_P(InternerSweep, OiBallIdsMatchStrings) {
+  std::mt19937_64 rng(GetParam() + 200);
+  const Graph g = random_graph(12, 0.3, rng);
+  const auto keys = random_keys(12, rng);
+  TypeInterner interner;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const auto bu = core::canonicalize_oi(core::extract_ball(g, keys, u, 2));
+      const auto bv = core::canonicalize_oi(core::extract_ball(g, keys, v, 2));
+      EXPECT_EQ(core::oi_ball_type_id(bu, interner) ==
+                    core::oi_ball_type_id(bv, interner),
+                core::oi_ball_type(bu) == core::oi_ball_type(bv));
+    }
+  }
+}
+
+TEST_P(InternerSweep, ViewIdsMatchStringsOnLifts) {
+  std::mt19937_64 rng(GetParam() + 300);
+  const auto base = graph::directed_torus({3, 3});
+  const auto lift = graph::random_lift(base, 4, rng);
+  TypeInterner interner;
+  std::vector<TypeId> ids;
+  std::vector<std::string> types;
+  for (Vertex v = 0; v < lift.graph.num_vertices(); ++v) {
+    const auto t = core::view(lift.graph, v, 2);
+    ids.push_back(core::view_type_id(t, interner));
+    types.push_back(core::view_type(t));
+  }
+  for (Vertex v = 0; v < base.num_vertices(); ++v) {
+    const auto t = core::view(base, v, 2);
+    ids.push_back(core::view_type_id(t, interner));
+    types.push_back(core::view_type(t));
+  }
+  for (std::size_t a = 0; a < ids.size(); ++a)
+    for (std::size_t b = 0; b < ids.size(); ++b)
+      EXPECT_EQ(ids[a] == ids[b], types[a] == types[b]) << a << " " << b;
+  // Fibre constancy at the TypeId level: v and phi(v) share one id.
+  for (Vertex v = 0; v < lift.graph.num_vertices(); ++v)
+    EXPECT_EQ(ids[static_cast<std::size_t>(v)],
+              ids[lift.graph.num_vertices() + lift.phi[v]]);
+}
+
+TEST_P(InternerSweep, PnViewIdsMatchStrings) {
+  std::mt19937_64 rng(GetParam() + 400);
+  const Graph g = random_graph(11, 0.35, rng);
+  const auto pn = graph::PortNumbering::default_for(g);
+  TypeInterner interner;
+  std::vector<TypeId> ids(g.num_vertices());
+  std::vector<std::string> types(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto t = core::pn_view(g, pn, v, 2);
+    ids[v] = core::pn_view_type_id(t, interner);
+    types[v] = core::pn_view_type(t);
+  }
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(ids[u] == ids[v], types[u] == types[v]);
+}
+
+TEST_P(InternerSweep, KnowledgeViewIdsMatchViewIds) {
+  // The gathered-knowledge interning must land in the same equivalence
+  // classes as interning the direct view of the L-digraph.
+  std::mt19937_64 rng(GetParam() + 500);
+  const Graph g = random_graph(10, 0.4, rng);
+  const auto pn = graph::PortNumbering::default_for(g);
+  const auto orient = graph::Orientation::default_for(g);
+  const int delta = g.max_degree();
+  const auto ld = graph::to_ldigraph(g, pn, orient, delta);
+  const auto knowledge = runtime::gather_full_information(g, pn, orient, 2);
+  TypeInterner interner;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(runtime::knowledge_view_type_id(knowledge[v], 2, delta, interner),
+              core::view_type_id(core::view(ld, v, 2), interner));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternerSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- thread-count determinism ---
+//
+// Every result the library reports must be identical under any
+// LAPX_THREADS; compare a 1-thread and an 8-thread execution in-process.
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { runtime::set_thread_count(0); }
+};
+
+TEST(Determinism, HomogeneityReportIndependentOfThreadCount) {
+  ThreadCountGuard guard;
+  std::mt19937_64 rng(77);
+  const Graph g = random_graph(40, 0.15, rng);
+  const auto keys = random_keys(40, rng);
+  runtime::set_thread_count(1);
+  const auto serial = order::measure_homogeneity(g, keys, 2);
+  runtime::set_thread_count(8);
+  const auto parallel = order::measure_homogeneity(g, keys, 2);
+  EXPECT_EQ(serial.fraction, parallel.fraction);
+  EXPECT_EQ(serial.type, parallel.type);
+  EXPECT_EQ(serial.distinct_types, parallel.distinct_types);
+  EXPECT_EQ(serial.histogram, parallel.histogram);
+}
+
+TEST(Determinism, RunPoAndRunPnIndependentOfThreadCount) {
+  ThreadCountGuard guard;
+  std::mt19937_64 rng(78);
+  const Graph g = random_graph(50, 0.1, rng);
+  const auto pn = graph::PortNumbering::default_for(g);
+  const auto orient = graph::Orientation::default_for(g);
+  const auto ld = graph::to_ldigraph(g, pn, orient, g.max_degree());
+  const core::VertexPoAlgorithm po = [](const core::ViewTree& t) {
+    return static_cast<int>(std::hash<std::string>{}(core::view_type(t)) % 2);
+  };
+  const core::VertexPnAlgorithm pa = [](const core::PnViewTree& t) {
+    return static_cast<int>(std::hash<std::string>{}(core::pn_view_type(t)) %
+                            2);
+  };
+  runtime::set_thread_count(1);
+  const auto po1 = core::run_po(ld, po, 2);
+  const auto pn1 = core::run_pn(g, pn, pa, 2);
+  runtime::set_thread_count(8);
+  EXPECT_EQ(core::run_po(ld, po, 2), po1);
+  EXPECT_EQ(core::run_pn(g, pn, pa, 2), pn1);
+}
+
+TEST(Determinism, ParallelReduceChunkingIndependentOfThreadCount) {
+  ThreadCountGuard guard;
+  // Floating-point summation: the chunk grouping (and thus rounding) must
+  // not change with the thread count.
+  const auto sum = [] {
+    return runtime::parallel_reduce(
+        10000, 0.0, [](std::int64_t i) { return 1.0 / (1.0 + i); },
+        [](double a, double b) { return a + b; });
+  };
+  runtime::set_thread_count(1);
+  const double s1 = sum();
+  runtime::set_thread_count(3);
+  const double s3 = sum();
+  runtime::set_thread_count(8);
+  const double s8 = sum();
+  EXPECT_EQ(s1, s3);
+  EXPECT_EQ(s1, s8);
+}
+
+TEST(Determinism, NestedParallelForRunsInline) {
+  ThreadCountGuard guard;
+  runtime::set_thread_count(8);
+  std::vector<int> out(64 * 64, 0);
+  runtime::parallel_for(64, [&](std::int64_t i) {
+    // Nested loop: must run serially inside the worker, not deadlock.
+    runtime::parallel_for(64,
+                          [&](std::int64_t j) { out[i * 64 + j] = 1; });
+  });
+  for (int x : out) EXPECT_EQ(x, 1);
+}
+
+}  // namespace

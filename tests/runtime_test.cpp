@@ -58,15 +58,19 @@ TEST(Engine, ZeroRoundsMeansLocalInputOnly) {
 }
 
 TEST(Knowledge, SerializationRoundTrip) {
-  Knowledge k;
-  k.degree = 2;
-  k.outgoing = {true, false};
-  k.remote_port = {1, -1};
-  k.neighbor = {nullptr, nullptr};
+  Knowledge k = Knowledge::initial(2, {true, false});
+  k.set_root_link(0, 1, Knowledge::initial(1, {false}));
   const Knowledge parsed = Knowledge::parse(k.serialize());
-  EXPECT_EQ(parsed.degree, 2);
-  EXPECT_EQ(parsed.outgoing, k.outgoing);
-  EXPECT_EQ(parsed.remote_port, k.remote_port);
+  EXPECT_EQ(parsed.serialize(), k.serialize());
+  const auto root = parsed.root();
+  EXPECT_EQ(root.degree(), 2);
+  EXPECT_TRUE(root.outgoing(0));
+  EXPECT_FALSE(root.outgoing(1));
+  EXPECT_EQ(root.remote_port(0), 1);
+  EXPECT_EQ(root.remote_port(1), -1);
+  ASSERT_TRUE(root.has_neighbor(0));
+  EXPECT_FALSE(root.has_neighbor(1));
+  EXPECT_EQ(root.neighbor(0).degree(), 1);
 }
 
 // The headline equivalence of experiment E11.
