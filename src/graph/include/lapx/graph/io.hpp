@@ -20,10 +20,23 @@ namespace lapx::graph {
 void write_edge_list(std::ostream& os, const Graph& g);
 std::string to_edge_list(const Graph& g);
 
+/// Size limits for parsing.  The defaults are permissive (local files);
+/// callers exposed to untrusted input (lapxd's `upload` request) pass
+/// tighter bounds.  Both counts are checked against the header before any
+/// allocation happens.
+struct EdgeListLimits {
+  long long max_vertices = 1LL << 24;
+  long long max_edges = 1LL << 26;
+};
+
 /// Parses the edge-list format; throws std::invalid_argument on malformed
-/// input (bad counts, out-of-range vertices, self-loops, duplicates).
-Graph read_edge_list(std::istream& is);
-Graph graph_from_edge_list(const std::string& text);
+/// input: bad or oversized counts, non-numeric or out-of-range vertex ids
+/// (checked before any narrowing cast, so overflowing ids cannot wrap into
+/// valid ones), self-loops, duplicate edges, or trailing garbage on a
+/// line (an inline `# comment` after the two fields is allowed).
+Graph read_edge_list(std::istream& is, const EdgeListLimits& limits = {});
+Graph graph_from_edge_list(const std::string& text,
+                           const EdgeListLimits& limits = {});
 
 /// Graphviz DOT of an undirected graph.
 std::string to_dot(const Graph& g);

@@ -18,6 +18,15 @@ bool next_content_line(std::istream& is, std::string& line) {
   return false;
 }
 
+// After the expected fields of a line, only whitespace or an inline
+// '#' comment may follow.
+void reject_trailing_garbage(std::istringstream& row, const char* what) {
+  std::string rest;
+  if (row >> rest && rest[0] != '#')
+    throw std::invalid_argument(std::string("edge list: trailing garbage ") +
+                                "after " + what + ": " + rest);
+}
+
 }  // namespace
 
 void write_edge_list(std::ostream& os, const Graph& g) {
@@ -31,7 +40,7 @@ std::string to_edge_list(const Graph& g) {
   return os.str();
 }
 
-Graph read_edge_list(std::istream& is) {
+Graph read_edge_list(std::istream& is, const EdgeListLimits& limits) {
   std::string line;
   if (!next_content_line(is, line))
     throw std::invalid_argument("edge list: empty input");
@@ -39,6 +48,20 @@ Graph read_edge_list(std::istream& is) {
   long long n = -1, m = -1;
   if (!(header >> n >> m) || n < 0 || m < 0)
     throw std::invalid_argument("edge list: bad header");
+  reject_trailing_garbage(header, "header");
+  if (n > limits.max_vertices)
+    throw std::invalid_argument("edge list: vertex count " +
+                                std::to_string(n) + " exceeds limit " +
+                                std::to_string(limits.max_vertices));
+  if (m > limits.max_edges)
+    throw std::invalid_argument("edge list: edge count " + std::to_string(m) +
+                                " exceeds limit " +
+                                std::to_string(limits.max_edges));
+  if (n >= 1 && m > n * (n - 1) / 2)  // n <= max_vertices: product cannot overflow
+    throw std::invalid_argument(
+        "edge list: more edges than a simple graph admits");
+  if (n == 0 && m > 0)
+    throw std::invalid_argument("edge list: edges on an empty vertex set");
   Graph g(static_cast<Vertex>(n));
   for (long long i = 0; i < m; ++i) {
     if (!next_content_line(is, line))
@@ -46,14 +69,21 @@ Graph read_edge_list(std::istream& is) {
     std::istringstream row(line);
     long long u, v;
     if (!(row >> u >> v)) throw std::invalid_argument("edge list: bad edge");
+    reject_trailing_garbage(row, "edge");
+    // Range check before the narrowing cast: a 64-bit id must not be able
+    // to wrap into a valid 32-bit vertex.
+    if (u < 0 || u >= n || v < 0 || v >= n)
+      throw std::invalid_argument("edge list: vertex out of range on edge " +
+                                  std::to_string(u) + " " + std::to_string(v));
     g.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
   }
   return g;
 }
 
-Graph graph_from_edge_list(const std::string& text) {
+Graph graph_from_edge_list(const std::string& text,
+                           const EdgeListLimits& limits) {
   std::istringstream is(text);
-  return read_edge_list(is);
+  return read_edge_list(is, limits);
 }
 
 std::string to_dot(const Graph& g) {

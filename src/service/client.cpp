@@ -1,0 +1,118 @@
+#include "lapx/service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace lapx::service {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    sys_fail("connect " + path);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    sys_fail("connect 127.0.0.1:" + std::to_string(port));
+  }
+  return Client(fd);
+}
+
+Client Client::connect(const std::string& endpoint) {
+  if (endpoint.rfind("unix:", 0) == 0)
+    return connect_unix(endpoint.substr(5));
+  if (endpoint.rfind("tcp:", 0) == 0)
+    return connect_tcp(std::stoi(endpoint.substr(4)));
+  if (endpoint.find('/') != std::string::npos) return connect_unix(endpoint);
+  return connect_tcp(std::stoi(endpoint));
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      next_id_(other.next_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::call(const std::string& request_line) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  std::string out = request_line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t k =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("send");
+    }
+    sent += static_cast<std::size_t>(k);
+  }
+  char chunk[4096];
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    const ssize_t k = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("recv");
+    }
+    if (k == 0) throw std::runtime_error("server closed the connection");
+    buffer_.append(chunk, static_cast<std::size_t>(k));
+  }
+}
+
+Json Client::call_json(Json request) {
+  request.set("id", Json::integer(next_id_++));
+  return Json::parse(call(request.dump()));
+}
+
+}  // namespace lapx::service

@@ -1,0 +1,49 @@
+#pragma once
+// lapxd client library: blocking line-protocol calls over a Unix-domain
+// or loopback TCP socket.  Used by `lapx_cli call`, the CI smoke test and
+// bench_service's socket mode; anything that can write a JSON line can be
+// a client without this helper.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "lapx/service/json.hpp"
+
+namespace lapx::service {
+
+class Client {
+ public:
+  /// Connects to a Unix-domain socket path.
+  static Client connect_unix(const std::string& path);
+
+  /// Connects to 127.0.0.1:port.
+  static Client connect_tcp(int port);
+
+  /// Parses "unix:PATH", "tcp:PORT", a bare port number, or a filesystem
+  /// path (anything containing '/') and connects accordingly.
+  static Client connect(const std::string& endpoint);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request line, waits for the one response line.
+  /// Throws std::runtime_error on transport failure.
+  std::string call(const std::string& request_line);
+
+  /// Builds the request from a Json object, stamps a fresh id, sends it,
+  /// and returns the parsed response.
+  Json call_json(Json request);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace lapx::service

@@ -1,0 +1,48 @@
+#pragma once
+// Query handlers: one pure function of (request, graph entry) per query op.
+//
+// Handlers compute the `result` payload of cacheable requests.  They must
+// be deterministic functions of the request fields and the graph content
+// -- no clocks, no global mutable state, no iteration over unordered
+// containers -- because their serialized output is stored in the result
+// cache and replayed verbatim, and because the service invariant requires
+// byte-identical responses at every LAPX_THREADS value.  Heavy per-vertex
+// work inside a handler goes through runtime/parallel, which guarantees
+// thread-count-independent results.
+
+#include <stdexcept>
+#include <string>
+
+#include "lapx/service/protocol.hpp"
+#include "lapx/service/session_store.hpp"
+
+namespace lapx::service {
+
+/// A typed failure a handler wants reported to the client.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// True for ops dispatched through cache + scheduler (analyze,
+/// homogeneity, views, optimum, run, fractional).
+bool is_query_op(const std::string& op);
+
+/// Runs one query op against a graph entry; returns the result object.
+/// Throws ServiceError for client-facing failures (unknown op, bad
+/// fields, instance too large).
+Json handle_query(const Request& req, const GraphEntry& entry);
+
+/// Builds a graph from a `generate` request (family + integer args) under
+/// service-side size limits.  Throws ServiceError on bad families/args.
+graph::Graph build_generated_graph(const Request& req);
+
+/// Parses a `upload` request's edge-list text under service-side limits.
+graph::Graph parse_uploaded_graph(const Request& req);
+
+}  // namespace lapx::service

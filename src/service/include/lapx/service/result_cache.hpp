@@ -1,0 +1,70 @@
+#pragma once
+// Content-addressed result cache: request fingerprint -> serialized result.
+//
+// Cacheable requests are pure functions of (request fields, graph
+// content), so the cache key is the canonical request fingerprint interned
+// in the global TypeInterner (service/protocol.hpp) -- a dense TypeId,
+// exactly the trick the canonical-type hot paths use.  Values are the
+// serialized `result` JSON payloads; the response envelope is rebuilt per
+// request, so a warm hit is byte-identical to the cold computation by
+// construction (the bytes ARE the cold computation's bytes).
+//
+// Bounded two ways: entry count and total payload bytes; exceeding either
+// evicts least-recently-used entries.  Hit/miss/eviction counters feed the
+// `stats` request and bench_service's hit-rate table.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "lapx/core/interner.hpp"
+
+namespace lapx::service {
+
+class ResultCache {
+ public:
+  struct Options {
+    std::size_t max_entries = 4096;
+    std::size_t max_bytes = std::size_t{1} << 26;  ///< 64 MiB of payloads
+  };
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  ResultCache() : ResultCache(Options{}) {}
+  explicit ResultCache(Options opt);
+
+  /// Looks a fingerprint up, refreshing LRU and counting hit/miss.
+  std::optional<std::string> get(core::TypeId fingerprint);
+
+  /// Inserts (or refreshes) a payload, then evicts to the bounds.
+  void put(core::TypeId fingerprint, std::string payload);
+
+  /// Drops everything (counters survive; bench uses this for cold runs).
+  void clear();
+
+  Stats stats() const;
+
+ private:
+  void evict_locked();
+
+  Options opt_;
+  mutable std::mutex mu_;
+  struct Slot {
+    core::TypeId key;
+    std::string payload;
+  };
+  std::list<Slot> lru_;  // front = most recent
+  std::unordered_map<core::TypeId, std::list<Slot>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace lapx::service

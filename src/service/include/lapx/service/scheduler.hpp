@@ -1,0 +1,104 @@
+#pragma once
+// Batch scheduler: bounded admission in front of the parallel runtime.
+//
+// Connection threads do not compute; they submit work here and wait on a
+// shared_future.  The scheduler provides the three service guarantees the
+// raw thread pool cannot:
+//
+//  * Backpressure.  The queue is bounded; submit() on a full queue fails
+//    fast with Outcome::Status::kBusy (the protocol's `busy` error, the
+//    429 analogue) instead of growing memory without bound.
+//  * Coalescing.  Concurrent requests with the same cache fingerprint
+//    share ONE execution: the second submitter gets the first job's
+//    future.  Combined with the result cache this makes a thundering herd
+//    of identical queries cost one computation.
+//  * Deadlines.  A request may carry a queue-wait budget; jobs whose
+//    budget expired before an executor picked them up complete with
+//    kDeadline and are never run.
+//
+// Executors default to a single thread: requests are *serialized* onto
+// runtime/parallel (which parallelizes inside each request via
+// parallel_for), so per-request work is never interleaved and responses
+// stay deterministic.  More executors are allowed for workloads of
+// independent requests.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "lapx/core/interner.hpp"
+
+namespace lapx::service {
+
+/// What a scheduled job produced.
+struct Outcome {
+  enum class Status { kOk, kError, kBusy, kDeadline };
+  Status status = Status::kOk;
+  std::string payload;  ///< serialized result (kOk) or message (kError)
+};
+
+class BatchScheduler {
+ public:
+  struct Options {
+    std::size_t queue_capacity = 128;
+    int executors = 1;
+  };
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t rejected_busy = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t executed = 0;
+  };
+
+  using Work = std::function<Outcome()>;
+
+  BatchScheduler() : BatchScheduler(Options{}) {}
+  explicit BatchScheduler(Options opt);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueues work (or joins an identical in-flight job when `fingerprint`
+  /// != core::kNoType).  The returned future is always valid; a full queue
+  /// yields an already-resolved kBusy outcome.  `deadline_ms < 0` means no
+  /// deadline.
+  std::shared_future<Outcome> submit(core::TypeId fingerprint, Work work,
+                                     std::int64_t deadline_ms = -1);
+
+  Stats stats() const;
+
+ private:
+  struct Job {
+    core::TypeId fingerprint = core::kNoType;
+    Work work;
+    std::promise<Outcome> promise;
+    std::shared_future<Outcome> future;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void executor_loop();
+
+  Options opt_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  // Queued or running jobs by fingerprint, for coalescing.
+  std::unordered_map<core::TypeId, std::shared_ptr<Job>> inflight_;
+  Stats stats_;
+  bool stopping_ = false;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace lapx::service

@@ -1,0 +1,64 @@
+#pragma once
+// lapxd socket front end: line-delimited JSON over a Unix-domain or
+// loopback TCP socket.
+//
+// One accept loop, one thread per connection; connection threads parse
+// nothing -- each received line goes straight to Service::handle, which
+// owns validation, caching, scheduling, and backpressure.  A `shutdown`
+// request is acknowledged on its own connection, after which the accept
+// loop closes and `serve_forever` returns; stop() does the same from
+// another thread (the CLI installs it as the signal handler's action).
+//
+// Lines are capped (max_line_bytes) so a hostile peer cannot buffer
+// unbounded garbage; an overlong line terminates that connection.
+
+#include <memory>
+#include <string>
+
+#include "lapx/service/service.hpp"
+
+namespace lapx::service {
+
+/// Where to listen.  Exactly one of `unix_path` / `tcp_port` is used:
+/// a non-empty path wins, else a TCP socket on 127.0.0.1:`tcp_port`.
+struct Endpoint {
+  std::string unix_path;
+  int tcp_port = 0;
+};
+
+class Server {
+ public:
+  struct Options {
+    Endpoint endpoint;
+    std::size_t max_line_bytes = std::size_t{1} << 24;  ///< 16 MiB
+    int listen_backlog = 64;
+  };
+
+  /// Binds and listens; throws std::runtime_error on socket failures
+  /// (address in use, bad path, ...).
+  Server(Service& service, Options opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accepts and serves connections until shutdown/stop.  Joins all
+  /// connection threads before returning.
+  void serve_forever();
+
+  /// Unblocks serve_forever from another thread or a signal context.
+  void stop();
+
+  /// The bound TCP port (after construction); useful with tcp_port = 0,
+  /// which binds an ephemeral port.  0 for Unix-domain endpoints.
+  int bound_tcp_port() const { return bound_port_; }
+
+ private:
+  struct Impl;
+  Service& service_;
+  Options opt_;
+  std::unique_ptr<Impl> impl_;
+  int bound_port_ = 0;
+};
+
+}  // namespace lapx::service

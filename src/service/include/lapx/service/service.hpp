@@ -1,0 +1,78 @@
+#pragma once
+// The lapxd service core: protocol dispatch over store + cache + scheduler.
+//
+// This is the whole daemon minus the socket: Service::handle maps one
+// request line to one response line.  The socket server (service/server.hpp)
+// and the in-process load generator (bench_service) both drive exactly
+// this object, so what the bench measures is what the daemon serves.
+//
+// Request flow for a query op:
+//   parse -> resolve graph entry (shared_ptr pins it against eviction)
+//         -> fingerprint (content-addressed; protocol.hpp)
+//         -> result cache probe  ..................... warm: O(lookup)
+//         -> batch scheduler (bounded queue, coalescing, deadline)
+//         -> handler on runtime/parallel -> cache fill
+// Mutating/admin ops (generate, upload, drop, list, stats, ping,
+// shutdown) run inline on the calling thread; they only touch the
+// mutex-guarded store.
+//
+// Determinism invariant: for every request except `stats` and `list`
+// (whose results reflect service state, not graph content), the response
+// is byte-identical across LAPX_THREADS values and across cold vs. warm
+// cache -- a warm hit replays the cold computation's exact `result`
+// bytes, and the envelope is a pure function of the request id.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lapx/service/handlers.hpp"
+#include "lapx/service/protocol.hpp"
+#include "lapx/service/result_cache.hpp"
+#include "lapx/service/scheduler.hpp"
+#include "lapx/service/session_store.hpp"
+
+namespace lapx::service {
+
+class Service {
+ public:
+  struct Options {
+    SessionStore::Options store;
+    ResultCache::Options cache;
+    BatchScheduler::Options scheduler;
+  };
+
+  Service() : Service(Options{}) {}
+  explicit Service(Options opt);
+
+  /// Handles one request line; returns one response line (no '\n').
+  /// Never throws on client input -- malformed requests come back as
+  /// bad_request envelopes.
+  std::string handle(const std::string& line);
+
+  /// True once a `shutdown` request has been acknowledged; the socket
+  /// server polls this to leave its accept loop.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Drops all cached results (the bench's cold-run switch).
+  void clear_cache() { cache_.clear(); }
+
+  SessionStore& store() { return store_; }
+  ResultCache& cache() { return cache_; }
+  const BatchScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  std::string dispatch(const Request& req);
+  std::string admin(const Request& req);
+  std::string query(const Request& req);
+
+  SessionStore store_;
+  ResultCache cache_;
+  BatchScheduler scheduler_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace lapx::service

@@ -1,0 +1,100 @@
+#pragma once
+// Session graph store: named graphs and their shared derived artifacts.
+//
+// A resident service answers many queries against the same instances, so
+// graphs live here once, together with the expensive artifacts derived
+// from them (the default port-numbered L-digraph today; anything a future
+// request type needs can join GraphEntry).  Entries are handed out as
+// shared_ptr<const GraphEntry>: the shared_ptr count IS the reference
+// count, so eviction or replacement never invalidates an in-flight
+// request -- the evicted entry simply dies when its last request drops it.
+//
+// Eviction: the store holds at most `max_graphs` named entries; inserting
+// beyond that evicts the least-recently-used name.  `content_id` is the
+// canonical edge-list text interned in the global TypeInterner -- the
+// result cache keys on it, so two names bound to identical graphs share
+// cache entries and re-uploading identical content keeps the cache warm.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lapx/core/interner.hpp"
+#include "lapx/graph/digraph.hpp"
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::service {
+
+/// A stored graph plus lazily-derived shared artifacts.
+class GraphEntry {
+ public:
+  GraphEntry(graph::Graph g, std::string edge_list, core::TypeId content);
+
+  const graph::Graph& graph() const { return graph_; }
+  const std::string& edge_list() const { return edge_list_; }
+  core::TypeId content_id() const { return content_id_; }
+
+  /// The default port-numbered L-digraph (PO substrate), built on first
+  /// use and shared by every subsequent request touching this entry.
+  const graph::LDigraph& ldigraph() const;
+
+ private:
+  graph::Graph graph_;
+  std::string edge_list_;
+  core::TypeId content_id_;
+  mutable std::once_flag ld_once_;
+  mutable std::unique_ptr<graph::LDigraph> ld_;
+};
+
+class SessionStore {
+ public:
+  struct Options {
+    std::size_t max_graphs = 64;
+  };
+  struct Stats {
+    std::uint64_t inserted = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t dropped = 0;
+    std::size_t resident = 0;
+  };
+
+  SessionStore() : SessionStore(Options{}) {}
+  explicit SessionStore(Options opt);
+
+  /// Binds `name` to the graph (replacing any previous binding) and
+  /// returns the new entry.  May evict the least-recently-used other name.
+  std::shared_ptr<const GraphEntry> put(const std::string& name,
+                                        graph::Graph g);
+
+  /// Looks up a name, refreshing its LRU position; nullptr when absent.
+  std::shared_ptr<const GraphEntry> get(const std::string& name);
+
+  /// Removes a binding; false when the name is absent.
+  bool drop(const std::string& name);
+
+  /// Bound names in lexicographic order (deterministic listing).
+  std::vector<std::string> names() const;
+
+  Stats stats() const;
+
+ private:
+  void evict_locked();
+
+  Options opt_;
+  mutable std::mutex mu_;
+  // LRU list front = most recent; map values point into the list.
+  struct Slot {
+    std::string name;
+    std::shared_ptr<const GraphEntry> entry;
+  };
+  std::list<Slot> lru_;
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace lapx::service

@@ -1,0 +1,63 @@
+#include "lapx/service/result_cache.hpp"
+
+#include <utility>
+
+namespace lapx::service {
+
+ResultCache::ResultCache(Options opt) : opt_(opt) {
+  if (opt_.max_entries == 0) opt_.max_entries = 1;
+}
+
+std::optional<std::string> ResultCache::get(core::TypeId fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  ++stats_.hits;
+  return lru_.front().payload;
+}
+
+void ResultCache::put(core::TypeId fingerprint, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(fingerprint); it != index_.end()) {
+    stats_.bytes -= it->second->payload.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  stats_.bytes += payload.size();
+  lru_.push_front(Slot{fingerprint, std::move(payload)});
+  index_[fingerprint] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > opt_.max_entries ||
+         (stats_.bytes > opt_.max_bytes && lru_.size() > 1))
+    evict_locked();
+  stats_.entries = lru_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ResultCache::evict_locked() {
+  const Slot& victim = lru_.back();
+  stats_.bytes -= victim.payload.size();
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++stats_.evictions;
+  stats_.entries = lru_.size();
+}
+
+}  // namespace lapx::service

@@ -1,0 +1,111 @@
+#include "lapx/service/scheduler.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace lapx::service {
+
+namespace {
+
+std::shared_future<Outcome> resolved(Outcome out) {
+  std::promise<Outcome> p;
+  p.set_value(std::move(out));
+  return p.get_future().share();
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(Options opt) : opt_(opt) {
+  if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+  if (opt_.executors < 1) opt_.executors = 1;
+  executors_.reserve(static_cast<std::size_t>(opt_.executors));
+  for (int i = 0; i < opt_.executors; ++i)
+    executors_.emplace_back([this] { executor_loop(); });
+}
+
+BatchScheduler::~BatchScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : executors_) t.join();
+  // Jobs still queued at teardown resolve as busy so waiters never hang.
+  for (const auto& job : queue_)
+    job->promise.set_value(Outcome{Outcome::Status::kBusy, "shutting down"});
+}
+
+std::shared_future<Outcome> BatchScheduler::submit(core::TypeId fingerprint,
+                                                   Work work,
+                                                   std::int64_t deadline_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (stopping_)
+    return resolved(Outcome{Outcome::Status::kBusy, "shutting down"});
+  if (fingerprint != core::kNoType) {
+    if (const auto it = inflight_.find(fingerprint); it != inflight_.end()) {
+      ++stats_.coalesced;
+      return it->second->future;
+    }
+  }
+  if (queue_.size() >= opt_.queue_capacity) {
+    ++stats_.rejected_busy;
+    return resolved(Outcome{Outcome::Status::kBusy, "queue full"});
+  }
+  auto job = std::make_shared<Job>();
+  job->fingerprint = fingerprint;
+  job->work = std::move(work);
+  job->future = job->promise.get_future().share();
+  if (deadline_ms >= 0) {
+    job->has_deadline = true;
+    job->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadline_ms);
+  }
+  queue_.push_back(job);
+  if (fingerprint != core::kNoType) inflight_[fingerprint] = job;
+  cv_.notify_one();
+  return job->future;
+}
+
+BatchScheduler::Stats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BatchScheduler::executor_loop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = queue_.front();
+      queue_.pop_front();
+      if (job->has_deadline &&
+          std::chrono::steady_clock::now() > job->deadline) {
+        ++stats_.expired;
+        if (job->fingerprint != core::kNoType)
+          inflight_.erase(job->fingerprint);
+        job->promise.set_value(
+            Outcome{Outcome::Status::kDeadline, "deadline expired in queue"});
+        continue;
+      }
+      ++stats_.executed;
+    }
+    Outcome out;
+    try {
+      out = job->work();
+    } catch (const std::exception& e) {
+      out = Outcome{Outcome::Status::kError, e.what()};
+    } catch (...) {
+      out = Outcome{Outcome::Status::kError, "unknown error"};
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job->fingerprint != core::kNoType) inflight_.erase(job->fingerprint);
+    }
+    job->promise.set_value(std::move(out));
+  }
+}
+
+}  // namespace lapx::service

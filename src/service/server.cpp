@@ -1,0 +1,146 @@
+#include "lapx/service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace lapx::service {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t k = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer gone; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(k);
+  }
+}
+
+}  // namespace
+
+struct Server::Impl {
+  int listen_fd = -1;
+  std::string unix_path;  // unlinked on teardown when non-empty
+  std::atomic<bool> stopping{false};
+  std::vector<std::thread> connections;
+};
+
+Server::Server(Service& service, Options opt)
+    : service_(service), opt_(std::move(opt)), impl_(new Impl) {
+  if (!opt_.endpoint.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.endpoint.unix_path.size() >= sizeof addr.sun_path)
+      throw std::runtime_error("unix socket path too long: " +
+                               opt_.endpoint.unix_path);
+    std::strncpy(addr.sun_path, opt_.endpoint.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) sys_fail("socket");
+    ::unlink(opt_.endpoint.unix_path.c_str());
+    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) < 0)
+      sys_fail("bind " + opt_.endpoint.unix_path);
+    impl_->unix_path = opt_.endpoint.unix_path;
+  } else {
+    impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) sys_fail("socket");
+    const int one = 1;
+    ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.endpoint.tcp_port));
+    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) < 0)
+      sys_fail("bind 127.0.0.1:" + std::to_string(opt_.endpoint.tcp_port));
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0)
+      bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(impl_->listen_fd, opt_.listen_backlog) < 0) sys_fail("listen");
+}
+
+Server::~Server() {
+  stop();
+  for (std::thread& t : impl_->connections)
+    if (t.joinable()) t.join();
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  if (!impl_->unix_path.empty()) ::unlink(impl_->unix_path.c_str());
+}
+
+void Server::stop() { impl_->stopping.store(true, std::memory_order_release); }
+
+void Server::serve_forever() {
+  while (!impl_->stopping.load(std::memory_order_acquire) &&
+         !service_.shutdown_requested()) {
+    pollfd pfd{impl_->listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll");
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(impl_->listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      sys_fail("accept");
+    }
+    impl_->connections.emplace_back([this, fd] {
+      std::string buffer;
+      char chunk[4096];
+      bool done = false;
+      while (!done && !impl_->stopping.load(std::memory_order_acquire)) {
+        pollfd cpfd{fd, POLLIN, 0};
+        const int cready = ::poll(&cpfd, 1, /*timeout_ms=*/100);
+        if (cready < 0 && errno != EINTR) break;
+        if (cready <= 0) continue;
+        const ssize_t k = ::recv(fd, chunk, sizeof chunk, 0);
+        if (k <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(k));
+        if (buffer.size() > opt_.max_line_bytes) break;  // hostile line
+        std::size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+          std::string line = buffer.substr(0, nl);
+          buffer.erase(0, nl + 1);
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          if (line.empty()) continue;
+          send_all(fd, service_.handle(line) + "\n");
+          if (service_.shutdown_requested()) {
+            done = true;
+            break;
+          }
+        }
+      }
+      ::close(fd);
+    });
+  }
+  // Wake connection threads (they poll `stopping`) and drain them.
+  impl_->stopping.store(true, std::memory_order_release);
+  for (std::thread& t : impl_->connections)
+    if (t.joinable()) t.join();
+  impl_->connections.clear();
+}
+
+}  // namespace lapx::service

@@ -1,0 +1,189 @@
+#include "lapx/service/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "lapx/graph/io.hpp"
+
+namespace lapx::service {
+
+namespace {
+
+Json graph_summary(const std::string& name, const GraphEntry& entry) {
+  Json out = Json::object();
+  out.set("graph", Json::string(name));
+  out.set("n", Json::integer(entry.graph().num_vertices()));
+  out.set("m",
+          Json::integer(static_cast<std::int64_t>(entry.graph().num_edges())));
+  return out;
+}
+
+std::string name_field(const Request& req) {
+  const Json* v = req.body.find("name");
+  if (v == nullptr || !v->is_string() || v->as_string().empty())
+    throw ServiceError(ErrorCode::kBadRequest,
+                       "missing non-empty string field \"name\"");
+  if (v->as_string().size() > 256)
+    throw ServiceError(ErrorCode::kBadRequest, "graph name too long");
+  return v->as_string();
+}
+
+}  // namespace
+
+Service::Service(Options opt)
+    : store_(opt.store), cache_(opt.cache), scheduler_(opt.scheduler) {}
+
+std::string Service::handle(const std::string& line) {
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    return error_response(std::nullopt, ErrorCode::kBadRequest, e.what());
+  }
+  try {
+    return dispatch(req);
+  } catch (const ServiceError& e) {
+    return error_response(req.id, e.code(), e.what());
+  } catch (const std::exception& e) {
+    return error_response(req.id, ErrorCode::kInternal, e.what());
+  }
+}
+
+std::string Service::dispatch(const Request& req) {
+  if (is_query_op(req.op)) return query(req);
+  return admin(req);
+}
+
+std::string Service::admin(const Request& req) {
+  if (req.op == "ping") {
+    Json out = Json::object();
+    out.set("pong", Json::boolean(true));
+    return ok_response(req.id, out.dump());
+  }
+  if (req.op == "generate") {
+    const std::string name = name_field(req);
+    auto entry = store_.put(name, build_generated_graph(req));
+    return ok_response(req.id, graph_summary(name, *entry).dump());
+  }
+  if (req.op == "upload") {
+    const std::string name = name_field(req);
+    auto entry = store_.put(name, parse_uploaded_graph(req));
+    return ok_response(req.id, graph_summary(name, *entry).dump());
+  }
+  if (req.op == "drop") {
+    const std::string name = name_field(req);
+    if (!store_.drop(name))
+      throw ServiceError(ErrorCode::kNotFound, "no such graph: " + name);
+    Json out = Json::object();
+    out.set("dropped", Json::string(name));
+    return ok_response(req.id, out.dump());
+  }
+  if (req.op == "list") {
+    Json graphs = Json::array();
+    for (const std::string& name : store_.names()) {
+      if (auto entry = store_.get(name))
+        graphs.push_back(graph_summary(name, *entry));
+    }
+    Json out = Json::object();
+    out.set("graphs", std::move(graphs));
+    return ok_response(req.id, out.dump());
+  }
+  if (req.op == "stats") {
+    const auto cs = cache_.stats();
+    const auto ss = scheduler_.stats();
+    const auto gs = store_.stats();
+    Json cache = Json::object();
+    cache.set("hits", Json::integer(static_cast<std::int64_t>(cs.hits)));
+    cache.set("misses", Json::integer(static_cast<std::int64_t>(cs.misses)));
+    cache.set("entries", Json::integer(static_cast<std::int64_t>(cs.entries)));
+    cache.set("bytes", Json::integer(static_cast<std::int64_t>(cs.bytes)));
+    cache.set("evictions",
+              Json::integer(static_cast<std::int64_t>(cs.evictions)));
+    Json sched = Json::object();
+    sched.set("submitted",
+              Json::integer(static_cast<std::int64_t>(ss.submitted)));
+    sched.set("coalesced",
+              Json::integer(static_cast<std::int64_t>(ss.coalesced)));
+    sched.set("rejected_busy",
+              Json::integer(static_cast<std::int64_t>(ss.rejected_busy)));
+    sched.set("expired", Json::integer(static_cast<std::int64_t>(ss.expired)));
+    sched.set("executed",
+              Json::integer(static_cast<std::int64_t>(ss.executed)));
+    Json store = Json::object();
+    store.set("resident",
+              Json::integer(static_cast<std::int64_t>(gs.resident)));
+    store.set("inserted",
+              Json::integer(static_cast<std::int64_t>(gs.inserted)));
+    store.set("evicted", Json::integer(static_cast<std::int64_t>(gs.evicted)));
+    store.set("dropped", Json::integer(static_cast<std::int64_t>(gs.dropped)));
+    Json out = Json::object();
+    out.set("cache", std::move(cache));
+    out.set("scheduler", std::move(sched));
+    out.set("store", std::move(store));
+    return ok_response(req.id, out.dump());
+  }
+  if (req.op == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    Json out = Json::object();
+    out.set("shutting_down", Json::boolean(true));
+    return ok_response(req.id, out.dump());
+  }
+  throw ServiceError(ErrorCode::kBadRequest, "unknown op: " + req.op);
+}
+
+std::string Service::query(const Request& req) {
+  const Json* graph_name = req.body.find("graph");
+  if (graph_name == nullptr || !graph_name->is_string())
+    throw ServiceError(ErrorCode::kBadRequest,
+                       "missing string field \"graph\"");
+  auto entry = store_.get(graph_name->as_string());
+  if (entry == nullptr)
+    throw ServiceError(ErrorCode::kNotFound,
+                       "no such graph: " + graph_name->as_string());
+  const core::TypeId fingerprint =
+      request_fingerprint(req, entry->content_id());
+  if (auto payload = cache_.get(fingerprint))
+    return ok_response(req.id, *payload);
+  // Miss: schedule the computation (coalescing identical concurrent
+  // requests).  The job owns a pin on the entry, so store eviction cannot
+  // invalidate it mid-computation.
+  auto future = scheduler_.submit(
+      fingerprint,
+      [req, entry] {
+        try {
+          return Outcome{Outcome::Status::kOk,
+                         handle_query(req, *entry).dump()};
+        } catch (const ServiceError& e) {
+          // Typed errors tunnel through the outcome payload; rethrown
+          // below so every coalesced waiter sees the same code.
+          return Outcome{Outcome::Status::kError,
+                         std::string(error_code_name(e.code())) + ":" +
+                             e.what()};
+        }
+      },
+      req.deadline_ms.value_or(-1));
+  const Outcome outcome = future.get();
+  switch (outcome.status) {
+    case Outcome::Status::kOk:
+      cache_.put(fingerprint, outcome.payload);
+      return ok_response(req.id, outcome.payload);
+    case Outcome::Status::kBusy:
+      throw ServiceError(ErrorCode::kBusy, outcome.payload);
+    case Outcome::Status::kDeadline:
+      throw ServiceError(ErrorCode::kDeadline, outcome.payload);
+    case Outcome::Status::kError: {
+      const auto colon = outcome.payload.find(':');
+      for (const ErrorCode code :
+           {ErrorCode::kBadRequest, ErrorCode::kNotFound, ErrorCode::kTooLarge,
+            ErrorCode::kInternal}) {
+        if (colon != std::string::npos &&
+            outcome.payload.compare(0, colon, error_code_name(code)) == 0)
+          throw ServiceError(code, outcome.payload.substr(colon + 1));
+      }
+      throw ServiceError(ErrorCode::kInternal, outcome.payload);
+    }
+  }
+  throw ServiceError(ErrorCode::kInternal, "unreachable");
+}
+
+}  // namespace lapx::service

@@ -1,0 +1,86 @@
+#include "lapx/service/session_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lapx/graph/io.hpp"
+#include "lapx/graph/port_numbering.hpp"
+
+namespace lapx::service {
+
+GraphEntry::GraphEntry(graph::Graph g, std::string edge_list,
+                       core::TypeId content)
+    : graph_(std::move(g)),
+      edge_list_(std::move(edge_list)),
+      content_id_(content) {}
+
+const graph::LDigraph& GraphEntry::ldigraph() const {
+  std::call_once(ld_once_, [this] {
+    ld_ = std::make_unique<graph::LDigraph>(graph::to_ldigraph(graph_));
+  });
+  return *ld_;
+}
+
+SessionStore::SessionStore(Options opt) : opt_(opt) {
+  if (opt_.max_graphs == 0) opt_.max_graphs = 1;
+}
+
+std::shared_ptr<const GraphEntry> SessionStore::put(const std::string& name,
+                                                    graph::Graph g) {
+  std::string text = graph::to_edge_list(g);
+  const core::TypeId content = core::TypeInterner::global().intern(text);
+  auto entry =
+      std::make_shared<const GraphEntry>(std::move(g), std::move(text),
+                                         content);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(name); it != index_.end()) lru_.erase(it->second);
+  lru_.push_front(Slot{name, entry});
+  index_[name] = lru_.begin();
+  ++stats_.inserted;
+  while (lru_.size() > opt_.max_graphs) evict_locked();
+  stats_.resident = lru_.size();
+  return entry;
+}
+
+std::shared_ptr<const GraphEntry> SessionStore::get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  return lru_.front().entry;
+}
+
+bool SessionStore::drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(name);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.dropped;
+  stats_.resident = lru_.size();
+  return true;
+}
+
+std::vector<std::string> SessionStore::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [name, it] : index_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SessionStore::Stats SessionStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SessionStore::evict_locked() {
+  const Slot& victim = lru_.back();
+  index_.erase(victim.name);
+  lru_.pop_back();
+  ++stats_.evicted;
+}
+
+}  // namespace lapx::service

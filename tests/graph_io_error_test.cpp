@@ -1,0 +1,97 @@
+// Error-path tests for the edge-list reader in lapx/graph/io.hpp.
+//
+// The reader is the upload surface of the lapxd service, so every
+// malformed input must fail with a typed exception instead of silently
+// producing a wrong graph -- in particular 64-bit vertex ids must not
+// wrap into valid 32-bit vertices through the narrowing cast.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/io.hpp"
+
+namespace {
+
+using namespace lapx::graph;
+
+Graph parse(const std::string& text) { return graph_from_edge_list(text); }
+
+TEST(EdgeListErrors, EmptyAndCommentOnlyInputs) {
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("   \n\t\n"), std::invalid_argument);
+  EXPECT_THROW(parse("# just a comment\n# another\n"), std::invalid_argument);
+}
+
+TEST(EdgeListErrors, MalformedHeader) {
+  EXPECT_THROW(parse("three 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse("3\n"), std::invalid_argument);
+  EXPECT_THROW(parse("-3 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse("3 -2\n"), std::invalid_argument);
+  EXPECT_THROW(parse("3 1 extra\n0 1\n"), std::invalid_argument);
+}
+
+TEST(EdgeListErrors, HeaderCommentIsAllowed) {
+  const Graph g = parse("3 1  # n m\n0 1\n");
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(EdgeListErrors, ImpossibleEdgeCounts) {
+  // More edges than a simple graph on n vertices admits.
+  EXPECT_THROW(parse("3 4\n0 1\n0 2\n1 2\n1 2\n"), std::invalid_argument);
+  // Edges on an empty vertex set.
+  EXPECT_THROW(parse("0 1\n0 0\n"), std::invalid_argument);
+  // Declared edges missing from the body.
+  EXPECT_THROW(parse("3 2\n0 1\n"), std::invalid_argument);
+}
+
+TEST(EdgeListErrors, MalformedEdgeLines) {
+  EXPECT_THROW(parse("3 1\n0\n"), std::invalid_argument);
+  EXPECT_THROW(parse("3 1\na b\n"), std::invalid_argument);
+  EXPECT_THROW(parse("3 1\n0 1 9\n"), std::invalid_argument);
+}
+
+TEST(EdgeListErrors, EdgeCommentIsAllowed) {
+  const Graph g = parse("2 1\n0 1 # the only edge\n");
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(EdgeListErrors, OutOfRangeVertexIds) {
+  EXPECT_THROW(parse("3 1\n0 3\n"), std::invalid_argument);
+  EXPECT_THROW(parse("3 1\n-1 2\n"), std::invalid_argument);
+  // A 64-bit id congruent to a valid vertex mod 2^32 must still be
+  // rejected: 4294967296 == 0 (mod 2^32).
+  EXPECT_THROW(parse("3 1\n4294967296 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse("3 1\n0 4294967297\n"), std::invalid_argument);
+}
+
+TEST(EdgeListErrors, SelfLoopsAndDuplicates) {
+  EXPECT_THROW(parse("3 1\n1 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse("3 2\n0 1\n1 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse("3 2\n0 1\n0 1\n"), std::invalid_argument);
+}
+
+TEST(EdgeListErrors, LimitsAreEnforced) {
+  EdgeListLimits tight;
+  tight.max_vertices = 4;
+  tight.max_edges = 2;
+  std::istringstream big_n("5 0\n");
+  EXPECT_THROW(read_edge_list(big_n, tight), std::invalid_argument);
+  std::istringstream big_m("4 3\n0 1\n1 2\n2 3\n");
+  EXPECT_THROW(read_edge_list(big_m, tight), std::invalid_argument);
+  std::istringstream ok("4 2\n0 1\n2 3\n");
+  EXPECT_EQ(read_edge_list(ok, tight).num_edges(), 2u);
+}
+
+TEST(EdgeListErrors, RoundTripStillWorks) {
+  const Graph g = petersen();
+  const Graph h = parse(to_edge_list(g));
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (const auto& [u, v] : g.edges()) EXPECT_TRUE(h.has_edge(u, v));
+}
+
+}  // namespace

@@ -1,0 +1,479 @@
+// Unit tests for the lapxd service layer: the hardened JSON parser, the
+// wire protocol and its content-addressed fingerprints, the session graph
+// store, the result cache, the batch scheduler (backpressure, deadlines,
+// coalescing), the Service dispatch core, and a socket round trip through
+// Server + Client.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lapx/core/interner.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/io.hpp"
+#include "lapx/service/client.hpp"
+#include "lapx/service/json.hpp"
+#include "lapx/service/protocol.hpp"
+#include "lapx/service/result_cache.hpp"
+#include "lapx/service/scheduler.hpp"
+#include "lapx/service/server.hpp"
+#include "lapx/service/service.hpp"
+#include "lapx/service/session_store.hpp"
+
+namespace {
+
+using namespace lapx::service;
+using lapx::core::kNoType;
+using lapx::core::TypeId;
+using lapx::core::TypeInterner;
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse(" \"x\" ").as_string(), "x");
+}
+
+TEST(Json, ParseContainers) {
+  const Json a = Json::parse(R"([1,"two",[3],{}])");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.items().size(), 4u);
+  EXPECT_EQ(a.items()[0].as_int(), 1);
+  EXPECT_EQ(a.items()[1].as_string(), "two");
+  EXPECT_EQ(a.items()[2].items()[0].as_int(), 3);
+  EXPECT_TRUE(a.items()[3].is_object());
+
+  const Json o = Json::parse(R"({"b":1,"a":{"c":[true,null]}})");
+  ASSERT_TRUE(o.is_object());
+  EXPECT_EQ(o.find("b")->as_int(), 1);
+  EXPECT_TRUE(o.find("a")->find("c")->items()[1].is_null());
+  EXPECT_EQ(o.find("missing"), nullptr);
+}
+
+TEST(Json, ParseEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(Json::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  for (const char* bad :
+       {"", "   ", "{", "[1,", "tru", "nul", "{\"a\":}", "{\"a\" 1}",
+        "[1 2]", "1 2", "\"unterminated", "\"bad\\q\"", "\"\\ud800\"",
+        "{\"dup\":1,\"dup\":2}", "01", "9223372036854775808", "--1", "+1",
+        "{1:2}", "nan", "infinity"}) {
+    EXPECT_THROW(Json::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Json, ParseGuards) {
+  // Depth guard.
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW(Json::parse(deep), std::invalid_argument);
+  Json::Limits loose;
+  loose.max_depth = 200;
+  EXPECT_NO_THROW(Json::parse(deep, loose));
+  // Size guard.
+  Json::Limits tiny;
+  tiny.max_bytes = 4;
+  EXPECT_THROW(Json::parse("\"hello\"", tiny), std::invalid_argument);
+}
+
+TEST(Json, CanonicalDump) {
+  Json o = Json::object();
+  o.set("zeta", Json::integer(1));
+  o.set("alpha", Json::number(0.5));
+  o.set("list", Json::array()).push_back(Json::string("a\nb"));
+  // Insertion order preserved; doubles fixed-format with zeros trimmed.
+  EXPECT_EQ(o.dump(), R"({"zeta":1,"alpha":0.5,"list":["a\nb"]})");
+  // Sorted copy sorts keys recursively.
+  EXPECT_EQ(o.sorted_copy().dump(), R"({"alpha":0.5,"list":["a\nb"],"zeta":1})");
+  // Round trip through the parser is stable.
+  EXPECT_EQ(Json::parse(o.dump()).dump(), o.dump());
+}
+
+TEST(Json, DeepCopySemantics) {
+  Json a = Json::object();
+  a.set("k", Json::integer(1));
+  Json b = a;  // must be a deep copy, not an aliased child
+  b.set("k", Json::integer(2));
+  EXPECT_EQ(a.find("k")->as_int(), 1);
+  EXPECT_EQ(b.find("k")->as_int(), 2);
+}
+
+// ------------------------------------------------------------ protocol --
+
+TEST(Protocol, ParseRequest) {
+  const Request r = parse_request(
+      R"({"id":9,"op":"homogeneity","graph":"g","radius":2,"deadline_ms":50})");
+  EXPECT_EQ(r.op, "homogeneity");
+  EXPECT_EQ(r.id, 9);
+  EXPECT_EQ(r.deadline_ms, 50);
+  EXPECT_THROW(parse_request("[1,2]"), std::invalid_argument);
+  EXPECT_THROW(parse_request(R"({"graph":"g"})"), std::invalid_argument);
+  EXPECT_THROW(parse_request(R"({"op":7})"), std::invalid_argument);
+}
+
+TEST(Protocol, FingerprintIgnoresIdAndDeadlineAndKeyOrder) {
+  TypeInterner interner;
+  const TypeId content = 5;
+  const TypeId a = request_fingerprint(
+      parse_request(R"({"id":1,"op":"views","graph":"g","radius":2})"),
+      content, interner);
+  const TypeId b = request_fingerprint(
+      parse_request(
+          R"({"radius":2,"op":"views","graph":"other","id":99,"deadline_ms":7})"),
+      content, interner);
+  EXPECT_EQ(a, b);  // same content id + same semantic fields
+  const TypeId c = request_fingerprint(
+      parse_request(R"({"op":"views","graph":"g","radius":3})"), content,
+      interner);
+  EXPECT_NE(a, c);  // radius is semantic
+  const TypeId d = request_fingerprint(
+      parse_request(R"({"op":"views","graph":"g","radius":2})"), content + 1,
+      interner);
+  EXPECT_NE(a, d);  // different graph content
+}
+
+TEST(Protocol, Envelopes) {
+  EXPECT_EQ(ok_response(7, R"({"n":3})"), R"({"id":7,"ok":true,"result":{"n":3}})");
+  EXPECT_EQ(ok_response(std::nullopt, "1"), R"({"ok":true,"result":1})");
+  EXPECT_EQ(error_response(7, ErrorCode::kNotFound, "no such graph: g"),
+            R"({"id":7,"ok":false,"code":"not_found","error":"no such graph: g"})");
+}
+
+// --------------------------------------------------------- SessionStore --
+
+TEST(SessionStore, PutGetDropAndContentSharing) {
+  SessionStore store;
+  auto a = store.put("a", lapx::graph::cycle(6));
+  auto b = store.put("b", lapx::graph::cycle(6));
+  auto c = store.put("c", lapx::graph::cycle(7));
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->content_id(), b->content_id());  // identical content
+  EXPECT_NE(a->content_id(), c->content_id());
+  EXPECT_EQ(store.get("a").get(), a.get());
+  EXPECT_EQ(store.names(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(store.drop("b"));
+  EXPECT_FALSE(store.drop("b"));
+  EXPECT_EQ(store.get("b"), nullptr);
+  EXPECT_EQ(store.stats().dropped, 1u);
+}
+
+TEST(SessionStore, LruEvictionNeverInvalidatesPinnedEntries) {
+  SessionStore::Options opt;
+  opt.max_graphs = 2;
+  SessionStore store(opt);
+  auto a = store.put("a", lapx::graph::cycle(4));
+  store.put("b", lapx::graph::cycle(5));
+  store.get("a");  // refresh a: b is now least recently used
+  store.put("c", lapx::graph::cycle(6));
+  EXPECT_EQ(store.get("b"), nullptr);  // evicted
+  ASSERT_NE(store.get("a"), nullptr);
+  EXPECT_EQ(store.stats().evicted, 1u);
+  // Force "a" itself out while we still hold a reference.
+  store.put("d", lapx::graph::cycle(7));
+  store.put("e", lapx::graph::cycle(8));
+  EXPECT_EQ(store.get("a"), nullptr);
+  // The pinned entry stays fully usable after eviction.
+  EXPECT_EQ(a->graph().num_vertices(), 4);
+  EXPECT_EQ(a->ldigraph().num_vertices(), 4);
+}
+
+TEST(SessionStore, RebindingReplaces) {
+  SessionStore store;
+  store.put("g", lapx::graph::cycle(4));
+  auto g2 = store.put("g", lapx::graph::cycle(9));
+  EXPECT_EQ(store.get("g")->graph().num_vertices(), 9);
+  EXPECT_EQ(store.names(), (std::vector<std::string>{"g"}));
+  EXPECT_EQ(g2->graph().num_vertices(), 9);
+}
+
+// ---------------------------------------------------------- ResultCache --
+
+TEST(ResultCache, HitMissLruAndStats) {
+  ResultCache::Options opt;
+  opt.max_entries = 2;
+  ResultCache cache(opt);
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.put(1, "one");
+  cache.put(2, "two");
+  EXPECT_EQ(cache.get(1).value(), "one");  // 1 now most recent
+  cache.put(3, "three");                   // evicts 2
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1).value(), "one");
+  EXPECT_EQ(cache.get(3).value(), "three");
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ResultCache, ByteBoundEvicts) {
+  ResultCache::Options opt;
+  opt.max_bytes = 10;
+  ResultCache cache(opt);
+  cache.put(1, "aaaa");
+  cache.put(2, "bbbb");
+  cache.put(3, "cccc");  // 12 bytes total: evicts key 1
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(2).has_value());
+  EXPECT_LE(cache.stats().bytes, 10u);
+}
+
+TEST(ResultCache, ClearKeepsCounters) {
+  ResultCache cache;
+  cache.put(1, "x");
+  EXPECT_TRUE(cache.get(1).has_value());
+  cache.clear();
+  EXPECT_FALSE(cache.get(1).has_value());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.hits, 1u);  // pre-clear history survives
+}
+
+// ------------------------------------------------------- BatchScheduler --
+
+TEST(BatchScheduler, ExecutesAndReportsErrors) {
+  BatchScheduler sched;
+  auto ok = sched.submit(kNoType, [] { return Outcome{Outcome::Status::kOk, "r"}; });
+  EXPECT_EQ(ok.get().status, Outcome::Status::kOk);
+  EXPECT_EQ(ok.get().payload, "r");
+  auto err = sched.submit(kNoType, []() -> Outcome {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_EQ(err.get().status, Outcome::Status::kError);
+  const auto s = sched.stats();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.executed, 2u);
+}
+
+TEST(BatchScheduler, BackpressureOnFullQueue) {
+  BatchScheduler::Options opt;
+  opt.queue_capacity = 1;
+  opt.executors = 1;
+  BatchScheduler sched(opt);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // Occupy the single executor...
+  auto running = sched.submit(kNoType, [gate] {
+    gate.wait();
+    return Outcome{Outcome::Status::kOk, "slow"};
+  });
+  // ...give it a moment to be picked up, then fill the queue slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto queued = sched.submit(kNoType, [] {
+    return Outcome{Outcome::Status::kOk, "queued"};
+  });
+  // The queue is now full: the next submit must fail fast with kBusy.
+  auto rejected = sched.submit(kNoType, [] {
+    return Outcome{Outcome::Status::kOk, "never"};
+  });
+  EXPECT_EQ(rejected.get().status, Outcome::Status::kBusy);
+  release.set_value();
+  EXPECT_EQ(running.get().payload, "slow");
+  EXPECT_EQ(queued.get().payload, "queued");
+  const auto s = sched.stats();
+  EXPECT_EQ(s.rejected_busy, 1u);
+  EXPECT_EQ(s.executed, 2u);
+}
+
+TEST(BatchScheduler, DeadlineExpiresQueuedWork) {
+  BatchScheduler::Options opt;
+  opt.queue_capacity = 8;
+  opt.executors = 1;
+  BatchScheduler sched(opt);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = sched.submit(kNoType, [gate] {
+    gate.wait();
+    return Outcome{Outcome::Status::kOk, "done"};
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  bool expired_ran = false;
+  auto expired = sched.submit(
+      kNoType,
+      [&expired_ran] {
+        expired_ran = true;
+        return Outcome{Outcome::Status::kOk, "late"};
+      },
+      /*deadline_ms=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.set_value();
+  EXPECT_EQ(blocker.get().status, Outcome::Status::kOk);
+  EXPECT_EQ(expired.get().status, Outcome::Status::kDeadline);
+  EXPECT_FALSE(expired_ran);  // expired work is never run
+  EXPECT_EQ(sched.stats().expired, 1u);
+}
+
+TEST(BatchScheduler, CoalescesIdenticalFingerprints) {
+  BatchScheduler sched;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> runs{0};
+  const TypeId fp = 42;
+  auto make_work = [gate, &runs] {
+    return [gate, &runs] {
+      runs.fetch_add(1);
+      gate.wait();
+      return Outcome{Outcome::Status::kOk, "shared"};
+    };
+  };
+  auto first = sched.submit(fp, make_work());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto second = sched.submit(fp, make_work());
+  release.set_value();
+  EXPECT_EQ(first.get().payload, "shared");
+  EXPECT_EQ(second.get().payload, "shared");
+  EXPECT_EQ(runs.load(), 1);  // one execution served both waiters
+  EXPECT_EQ(sched.stats().coalesced, 1u);
+}
+
+// -------------------------------------------------------------- Service --
+
+TEST(Service, AdminAndQueryRoundTrip) {
+  Service svc;
+  EXPECT_EQ(svc.handle(R"({"id":1,"op":"ping"})"),
+            R"({"id":1,"ok":true,"result":{"pong":true}})");
+  const std::string gen = svc.handle(
+      R"({"id":2,"op":"generate","name":"g","family":"cycle","args":[6]})");
+  EXPECT_NE(gen.find("\"ok\":true"), std::string::npos);
+  const Json analyze =
+      Json::parse(svc.handle(R"({"id":3,"op":"analyze","graph":"g"})"));
+  ASSERT_TRUE(analyze.find("ok")->as_bool());
+  EXPECT_EQ(analyze.find("result")->find("n")->as_int(), 6);
+  EXPECT_EQ(analyze.find("result")->find("m")->as_int(), 6);
+  EXPECT_EQ(analyze.find("result")->find("girth")->as_int(), 6);
+  // upload round trip
+  const std::string text = lapx::graph::to_edge_list(
+      lapx::graph::petersen());
+  Json up = Json::object();
+  up.set("op", Json::string("upload"));
+  up.set("name", Json::string("p"));
+  up.set("edges", Json::string(text));
+  EXPECT_NE(svc.handle(up.dump()).find("\"ok\":true"), std::string::npos);
+  const Json pa = Json::parse(svc.handle(R"({"op":"analyze","graph":"p"})"));
+  EXPECT_EQ(pa.find("result")->find("n")->as_int(), 10);
+  EXPECT_EQ(pa.find("result")->find("girth")->as_int(), 5);
+  // list reflects both graphs
+  const Json ls = Json::parse(svc.handle(R"({"op":"list"})"));
+  EXPECT_EQ(ls.find("result")->find("graphs")->items().size(), 2u);
+}
+
+TEST(Service, ErrorEnvelopes) {
+  Service svc;
+  EXPECT_NE(svc.handle("not json").find("\"code\":\"bad_request\""),
+            std::string::npos);
+  EXPECT_NE(svc.handle(R"({"op":"nope"})").find("\"code\":\"bad_request\""),
+            std::string::npos);
+  EXPECT_NE(
+      svc.handle(R"({"op":"analyze","graph":"missing"})")
+          .find("\"code\":\"not_found\""),
+      std::string::npos);
+  svc.handle(R"({"op":"generate","name":"big","family":"cycle","args":[100]})");
+  EXPECT_NE(
+      svc.handle(R"({"op":"optimum","graph":"big","problem":"vc"})")
+          .find("\"code\":\"too_large\""),
+      std::string::npos);
+}
+
+TEST(Service, CacheIsContentAddressedAcrossNames) {
+  Service svc;
+  svc.handle(R"({"op":"generate","name":"a","family":"cycle","args":[8]})");
+  svc.handle(R"({"op":"generate","name":"b","family":"cycle","args":[8]})");
+  const std::string ra = svc.handle(R"({"op":"views","graph":"a","radius":1})");
+  const auto before = svc.cache().stats();
+  const std::string rb = svc.handle(R"({"op":"views","graph":"b","radius":1})");
+  const auto after = svc.cache().stats();
+  EXPECT_EQ(after.hits, before.hits + 1);  // same content, different name
+  EXPECT_EQ(ra, rb);
+  // Dropping and regenerating identical content keeps the cache warm.
+  svc.handle(R"({"op":"drop","name":"a"})");
+  svc.handle(R"({"op":"generate","name":"a","family":"cycle","args":[8]})");
+  const auto before2 = svc.cache().stats();
+  svc.handle(R"({"op":"views","graph":"a","radius":1})");
+  EXPECT_EQ(svc.cache().stats().hits, before2.hits + 1);
+}
+
+TEST(Service, ShutdownFlag) {
+  Service svc;
+  EXPECT_FALSE(svc.shutdown_requested());
+  EXPECT_NE(svc.handle(R"({"op":"shutdown"})").find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_TRUE(svc.shutdown_requested());
+}
+
+// ------------------------------------------------------- socket round trip --
+
+TEST(ServerClient, TcpRoundTripAndShutdown) {
+  Service svc;
+  Server::Options opt;
+  opt.endpoint.tcp_port = 0;  // ephemeral
+  Server server(svc, opt);
+  ASSERT_GT(server.bound_tcp_port(), 0);
+  std::thread t([&] { server.serve_forever(); });
+  Client client = Client::connect_tcp(server.bound_tcp_port());
+  const Json pong = client.call_json([] {
+    Json r = Json::object();
+    r.set("op", Json::string("ping"));
+    return r;
+  }());
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+  client.call(
+      R"({"op":"generate","name":"g","family":"torus","args":[4,4]})");
+  const Json hom = Json::parse(
+      client.call(R"({"id":5,"op":"homogeneity","graph":"g","radius":1})"));
+  EXPECT_EQ(hom.find("id")->as_int(), 5);
+  ASSERT_TRUE(hom.find("ok")->as_bool());
+  EXPECT_GE(hom.find("result")->find("distinct_types")->as_int(), 1);
+  client.call(R"({"op":"shutdown"})");
+  t.join();  // serve_forever returns after the shutdown ack
+}
+
+TEST(ServerClient, UnixRoundTrip) {
+  const std::string path =
+      "/tmp/lapxd-test-" + std::to_string(::getpid()) + ".sock";
+  Service svc;
+  Server::Options opt;
+  opt.endpoint.unix_path = path;
+  Server server(svc, opt);
+  std::thread t([&] { server.serve_forever(); });
+  {
+    Client client = Client::connect(path);
+    const Json r = Json::parse(client.call(R"({"op":"stats"})"));
+    EXPECT_TRUE(r.find("ok")->as_bool());
+    client.call(R"({"op":"shutdown"})");
+  }
+  t.join();
+  std::remove(path.c_str());
+}
+
+TEST(ServerClient, StopUnblocksServeForever) {
+  Service svc;
+  Server::Options opt;
+  opt.endpoint.tcp_port = 0;
+  Server server(svc, opt);
+  std::thread t([&] { server.serve_forever(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  t.join();
+}
+
+}  // namespace

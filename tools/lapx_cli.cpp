@@ -7,6 +7,8 @@
 //   lapx_cli run <algorithm> [r]             run a local algorithm
 //   lapx_cli fractional                      nu, nu_f, tau_f, tau report
 //   lapx_cli dot                             Graphviz DOT of stdin graph
+//   lapx_cli serve [options]                 run the lapxd query service
+//   lapx_cli call <endpoint> [json]          send request(s) to lapxd
 //
 // Graphs are read from stdin in the edge-list format of lapx/graph/io.hpp.
 // Families: cycle N | path N | complete N | torus A B | hypercube D |
@@ -14,6 +16,9 @@
 // Problems: vc | ec | mm | is | ds | eds
 // Algorithms: eds-mark-first | edge-cover | local-min-is | vc-non-min |
 //             eds-greedy
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage (missing/unknown
+// subcommand), 3 bad argument or malformed input.
 
 #include <cstdio>
 #include <cstring>
@@ -33,16 +38,31 @@
 #include "lapx/problems/exact.hpp"
 #include "lapx/problems/fractional.hpp"
 #include "lapx/problems/problem.hpp"
+#include "lapx/runtime/parallel.hpp"
+#include "lapx/service/client.hpp"
+#include "lapx/service/server.hpp"
+#include "lapx/service/service.hpp"
 
 namespace {
 
 using namespace lapx;
 
+constexpr int kExitRuntime = 1;  // failures while computing
+constexpr int kExitUsage = 2;    // missing/unknown subcommand
+constexpr int kExitBadArg = 3;   // bad argument values / malformed input
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: lapx_cli generate <family> [args] | analyze | dot |\n"
-               "       homogeneity <r> | optimum <problem> | run <alg> [r]\n");
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage: lapx_cli generate <family> [args] | analyze | dot |\n"
+      "       homogeneity <r> | optimum <problem> | run <alg> [r] |\n"
+      "       fractional |\n"
+      "       serve [--socket PATH | --tcp PORT] [--threads N]\n"
+      "             [--cache-entries N] [--cache-bytes N]\n"
+      "             [--queue-depth N] [--max-graphs N] |\n"
+      "       call <endpoint> [json-request]\n"
+      "endpoints: unix:PATH | tcp:PORT | a /path | a bare port\n");
+  return kExitUsage;
 }
 
 graph::Graph make_graph(int argc, char** argv) {
@@ -163,12 +183,94 @@ int cmd_run(const graph::Graph& g, const std::string& alg, int r) {
   return 0;
 }
 
+// lapxd entry point: `lapx_cli serve` runs the service until a client
+// sends {"op":"shutdown"}.
+int cmd_serve(int argc, char** argv) {
+  service::Service::Options sopt;
+  service::Server::Options wopt;
+  auto int_flag = [&](const char* value) {
+    const long long v = std::stoll(value);
+    if (v < 0) throw std::invalid_argument("flag value must be >= 0");
+    return v;
+  };
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc)
+      throw std::invalid_argument("flag needs a value: " + flag);
+    const char* value = argv[++i];
+    if (flag == "--socket") {
+      wopt.endpoint.unix_path = value;
+    } else if (flag == "--tcp") {
+      wopt.endpoint.tcp_port = static_cast<int>(int_flag(value));
+    } else if (flag == "--threads") {
+      runtime::set_thread_count(static_cast<int>(int_flag(value)));
+    } else if (flag == "--cache-entries") {
+      sopt.cache.max_entries = static_cast<std::size_t>(int_flag(value));
+    } else if (flag == "--cache-bytes") {
+      sopt.cache.max_bytes = static_cast<std::size_t>(int_flag(value));
+    } else if (flag == "--queue-depth") {
+      sopt.scheduler.queue_capacity = static_cast<std::size_t>(int_flag(value));
+    } else if (flag == "--max-graphs") {
+      sopt.store.max_graphs = static_cast<std::size_t>(int_flag(value));
+    } else {
+      throw std::invalid_argument("unknown flag: " + flag);
+    }
+  }
+  if (wopt.endpoint.unix_path.empty() && wopt.endpoint.tcp_port == 0)
+    wopt.endpoint.unix_path = "/tmp/lapxd.sock";
+  service::Service svc(sopt);
+  service::Server server(svc, wopt);
+  if (!wopt.endpoint.unix_path.empty())
+    std::fprintf(stderr, "lapxd: listening on %s\n",
+                 wopt.endpoint.unix_path.c_str());
+  else
+    std::fprintf(stderr, "lapxd: listening on 127.0.0.1:%d\n",
+                 server.bound_tcp_port());
+  server.serve_forever();
+  std::fprintf(stderr, "lapxd: shut down cleanly\n");
+  return 0;
+}
+
+// `lapx_cli call ENDPOINT [json]`: one request from argv, or (without a
+// request argument) one request per stdin line.  Prints response lines;
+// exits 1 when any response has "ok":false.
+int cmd_call(int argc, char** argv) {
+  if (argc < 1) return usage();
+  service::Client client = service::Client::connect(argv[0]);
+  bool all_ok = true;
+  auto roundtrip = [&](const std::string& line) {
+    const std::string response = client.call(line);
+    std::printf("%s\n", response.c_str());
+    const service::Json parsed = service::Json::parse(response);
+    const service::Json* ok = parsed.find("ok");
+    all_ok = all_ok && ok != nullptr && ok->is_bool() && ok->as_bool();
+  };
+  if (argc >= 2) {
+    roundtrip(argv[1]);
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line))
+      if (!line.empty()) roundtrip(line);
+  }
+  return all_ok ? 0 : kExitRuntime;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  const bool known =
+      cmd == "generate" || cmd == "analyze" || cmd == "dot" ||
+      cmd == "homogeneity" || cmd == "fractional" || cmd == "optimum" ||
+      cmd == "run" || cmd == "serve" || cmd == "call";
+  if (!known) {
+    std::fprintf(stderr, "error: unknown subcommand: %s\n", cmd.c_str());
+    return usage();
+  }
   try {
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
+    if (cmd == "call") return cmd_call(argc - 2, argv + 2);
     if (cmd == "generate") {
       if (argc < 3) return usage();
       graph::write_edge_list(std::cout, make_graph(argc - 2, argv + 2));
@@ -191,9 +293,15 @@ int main(int argc, char** argv) {
       if (argc < 3) return usage();
       return cmd_run(g, argv[2], argc > 3 ? std::stoi(argv[3]) : 0);
     }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitBadArg;
+  } catch (const std::out_of_range& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitBadArg;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitRuntime;
   }
   return usage();
 }
