@@ -1,6 +1,7 @@
 #include "lapx/graph/generators.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -111,7 +112,7 @@ std::int64_t torus_size(const std::vector<int>& dims) {
   for (int d : dims) {
     if (d < 3) throw std::invalid_argument("torus side must be >= 3");
     n *= d;
-    if (n > (std::int64_t{1} << 31))
+    if (n > std::numeric_limits<Vertex>::max())
       throw std::invalid_argument("torus too large to materialise");
   }
   return n;
@@ -137,7 +138,10 @@ Graph torus(const std::vector<int>& dims) {
 
 Graph grid(int rows, int cols) {
   if (rows < 1 || cols < 1) throw std::invalid_argument("grid dimensions");
-  Graph g(rows * cols);
+  const std::int64_t total = static_cast<std::int64_t>(rows) * cols;
+  if (total > std::numeric_limits<Vertex>::max())
+    throw std::invalid_argument("grid too large to materialise");
+  Graph g(static_cast<Vertex>(total));
   auto id = [cols](int r, int c) { return static_cast<Vertex>(r * cols + c); };
   for (int r = 0; r < rows; ++r)
     for (int c = 0; c < cols; ++c) {

@@ -273,6 +273,16 @@ graph::Graph build_generated_graph(const Request& req) {
       bad("argument out of range: " + std::to_string(args[i]));
     return static_cast<int>(args[i]);
   };
+  // Per-argument caps do not bound multi-argument families: the *product*
+  // of grid/torus sides (or n*d stubs) decides the allocation, so check
+  // the resulting instance size before any generator runs.
+  auto check_instance = [](long long vertices, long long edges) {
+    if (vertices > kMaxServiceVertices || edges > kMaxServiceEdges)
+      throw ServiceError(ErrorCode::kTooLarge,
+                         "generated graph too large (" +
+                             std::to_string(vertices) + " vertices, " +
+                             std::to_string(edges) + " edges)");
+  };
   try {
     if (family == "cycle") return graph::cycle(arg(0));
     if (family == "path") return graph::path(arg(0));
@@ -281,19 +291,34 @@ graph::Graph build_generated_graph(const Request& req) {
       if (n > 2048) bad("complete graph too large (n > 2048)");
       return graph::complete(n);
     }
-    if (family == "torus") return graph::torus({arg(0), arg(1)});
+    if (family == "torus") {
+      const long long a = arg(0), b = arg(1);
+      check_instance(a * b, 2 * a * b);
+      return graph::torus({static_cast<int>(a), static_cast<int>(b)});
+    }
     if (family == "hypercube") {
       const int d = arg(0);
       if (d > 20) bad("hypercube dimension too large (d > 20)");
       return graph::hypercube(d);
     }
     if (family == "petersen") return graph::petersen();
-    if (family == "gp") return graph::generalized_petersen(arg(0), arg(1));
-    if (family == "grid") return graph::grid(arg(0), arg(1));
+    if (family == "gp") {
+      const long long n = arg(0);
+      check_instance(2 * n, 3 * n);
+      return graph::generalized_petersen(arg(0), arg(1));
+    }
+    if (family == "grid") {
+      const long long rows = arg(0), cols = arg(1);
+      check_instance(rows * cols, 2 * rows * cols);
+      return graph::grid(static_cast<int>(rows), static_cast<int>(cols));
+    }
     if (family == "regular") {
+      const long long n = arg(0), d = arg(1);
+      check_instance(n, n * d / 2);
       std::mt19937_64 rng(args.size() > 2 ? static_cast<std::uint64_t>(args[2])
                                           : 1);
-      return graph::random_regular(arg(0), arg(1), rng);
+      return graph::random_regular(static_cast<graph::Vertex>(n),
+                                   static_cast<int>(d), rng);
     }
   } catch (const ServiceError&) {
     throw;

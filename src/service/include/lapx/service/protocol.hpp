@@ -24,6 +24,9 @@
 // the interned TypeId of the graph's canonical edge-list text -- so the
 // cache is addressed by content, not by name, and identical graphs under
 // different names (or re-uploads of identical content) share entries.
+// Only whitelisted per-op fields may appear in a query request; reserved
+// or unknown keys (e.g. a client-supplied "graph#content") are rejected
+// with bad_request so they can never enter the fingerprint.
 
 #include <cstdint>
 #include <optional>
@@ -60,7 +63,8 @@ Request parse_request(const std::string& line, const Json::Limits& limits = {});
 
 /// Canonical cache fingerprint of a query request: sorted-key dump with
 /// "id"/"deadline_ms" stripped and the given content id substituted for
-/// the graph name, interned into `interner`.
+/// the graph name, interned into `interner`.  Throws std::invalid_argument
+/// if the request contains any field outside the per-op whitelist.
 core::TypeId request_fingerprint(
     const Request& req, core::TypeId graph_content,
     core::TypeInterner& interner = core::TypeInterner::global());

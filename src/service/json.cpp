@@ -42,8 +42,19 @@ void append_escaped(std::string& out, const std::string& s) {
 void append_double(std::string& out, double d) {
   if (!std::isfinite(d)) fail("non-finite number");
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", d);
-  std::string s = buf;
+  const int need = std::snprintf(buf, sizeof buf, "%.6f", d);
+  if (need < 0) fail("number format error");
+  std::string s;
+  if (static_cast<std::size_t>(need) < sizeof buf) {
+    s.assign(buf, static_cast<std::size_t>(need));
+  } else {
+    // Magnitudes around 1e57 and up need more digits than the stack
+    // buffer holds; retry with an exact-size buffer so distinct values
+    // never truncate to the same spelling.
+    s.resize(static_cast<std::size_t>(need) + 1);
+    std::snprintf(s.data(), s.size(), "%.6f", d);
+    s.resize(static_cast<std::size_t>(need));
+  }
   while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.')
     s.pop_back();
   out += s;

@@ -41,15 +41,33 @@ Request parse_request(const std::string& line, const Json::Limits& limits) {
 core::TypeId request_fingerprint(const Request& req,
                                  core::TypeId graph_content,
                                  core::TypeInterner& interner) {
+  // Only whitelisted per-op fields enter the fingerprint; anything else is
+  // rejected rather than copied.  Copying arbitrary client keys would let a
+  // request carry a literal "graph#content" field that overwrites the real
+  // substituted content id and poisons the shared content-addressed cache.
+  const auto allowed = [&](const std::string& k) {
+    if (k == "radius")
+      return req.op == "homogeneity" || req.op == "views" || req.op == "run";
+    if (k == "problem") return req.op == "optimum";
+    if (k == "algorithm") return req.op == "run";
+    return false;
+  };
   Json canonical = req.body.sorted_copy();
   Json key = Json::object();
   for (const auto& [k, v] : canonical.members()) {
     if (k == "id" || k == "deadline_ms") continue;
+    if (k == "op") {
+      key.set("op", v);
+      continue;
+    }
     if (k == "graph") {
       key.set("graph#content",
               Json::integer(static_cast<std::int64_t>(graph_content)));
       continue;
     }
+    if (!allowed(k))
+      throw std::invalid_argument("unexpected field \"" + k + "\" for op \"" +
+                                  req.op + "\"");
     key.set(k, v);
   }
   // Frame with a prefix that no canonical-type key starts with, so query

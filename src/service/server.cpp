@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -38,10 +40,36 @@ void send_all(int fd, const std::string& data) {
 }  // namespace
 
 struct Server::Impl {
+  // A connection thread flips `done` as its last action so the accept loop
+  // can join and reap it; without reaping, thread handles accumulate for
+  // the daemon's whole lifetime.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   int listen_fd = -1;
   std::string unix_path;  // unlinked on teardown when non-empty
   std::atomic<bool> stopping{false};
-  std::vector<std::thread> connections;
+  std::vector<Connection> connections;
+
+  void reap_finished() {
+    auto it = connections.begin();
+    while (it != connections.end()) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void join_all() {
+    for (Connection& c : connections)
+      if (c.thread.joinable()) c.thread.join();
+    connections.clear();
+  }
 };
 
 Server::Server(Service& service, Options opt)
@@ -84,8 +112,7 @@ Server::Server(Service& service, Options opt)
 
 Server::~Server() {
   stop();
-  for (std::thread& t : impl_->connections)
-    if (t.joinable()) t.join();
+  impl_->join_all();
   if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
   if (!impl_->unix_path.empty()) ::unlink(impl_->unix_path.c_str());
 }
@@ -95,6 +122,7 @@ void Server::stop() { impl_->stopping.store(true, std::memory_order_release); }
 void Server::serve_forever() {
   while (!impl_->stopping.load(std::memory_order_acquire) &&
          !service_.shutdown_requested()) {
+    impl_->reap_finished();
     pollfd pfd{impl_->listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready < 0) {
@@ -104,14 +132,24 @@ void Server::serve_forever() {
     if (ready == 0) continue;
     const int fd = ::accept(impl_->listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK)
+        continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion is recoverable once connections drain; back
+        // off instead of letting the exception kill the daemon.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
       sys_fail("accept");
     }
-    impl_->connections.emplace_back([this, fd] {
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread worker([this, fd, done] {
       std::string buffer;
       char chunk[4096];
-      bool done = false;
-      while (!done && !impl_->stopping.load(std::memory_order_acquire)) {
+      bool closing = false;
+      while (!closing && !impl_->stopping.load(std::memory_order_acquire)) {
         pollfd cpfd{fd, POLLIN, 0};
         const int cready = ::poll(&cpfd, 1, /*timeout_ms=*/100);
         if (cready < 0 && errno != EINTR) break;
@@ -128,19 +166,19 @@ void Server::serve_forever() {
           if (line.empty()) continue;
           send_all(fd, service_.handle(line) + "\n");
           if (service_.shutdown_requested()) {
-            done = true;
+            closing = true;
             break;
           }
         }
       }
       ::close(fd);
+      done->store(true, std::memory_order_release);
     });
+    impl_->connections.push_back({std::move(worker), std::move(done)});
   }
   // Wake connection threads (they poll `stopping`) and drain them.
   impl_->stopping.store(true, std::memory_order_release);
-  for (std::thread& t : impl_->connections)
-    if (t.joinable()) t.join();
-  impl_->connections.clear();
+  impl_->join_all();
 }
 
 }  // namespace lapx::service

@@ -140,8 +140,12 @@ std::string Service::query(const Request& req) {
   if (entry == nullptr)
     throw ServiceError(ErrorCode::kNotFound,
                        "no such graph: " + graph_name->as_string());
-  const core::TypeId fingerprint =
-      request_fingerprint(req, entry->content_id());
+  core::TypeId fingerprint;
+  try {
+    fingerprint = request_fingerprint(req, entry->content_id());
+  } catch (const std::invalid_argument& e) {
+    throw ServiceError(ErrorCode::kBadRequest, e.what());
+  }
   if (auto payload = cache_.get(fingerprint))
     return ok_response(req.id, *payload);
   // Miss: schedule the computation (coalescing identical concurrent

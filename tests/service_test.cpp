@@ -107,6 +107,17 @@ TEST(Json, CanonicalDump) {
   EXPECT_EQ(Json::parse(o.dump()).dump(), o.dump());
 }
 
+TEST(Json, LargeDoubleSerializesFully) {
+  // %.6f needs ~65 digits for 1e60; the dump must not truncate, and two
+  // distinct large values must keep distinct spellings.
+  Json big = Json::number(1e60);
+  const std::string s = big.dump();
+  EXPECT_GT(s.size(), 60u);
+  EXPECT_DOUBLE_EQ(Json::parse(s).as_double(), 1e60);
+  EXPECT_NE(Json::number(1e60).dump(), Json::number(2e60).dump());
+  EXPECT_DOUBLE_EQ(Json::parse(Json::number(-1e80).dump()).as_double(), -1e80);
+}
+
 TEST(Json, DeepCopySemantics) {
   Json a = Json::object();
   a.set("k", Json::integer(1));
@@ -148,6 +159,31 @@ TEST(Protocol, FingerprintIgnoresIdAndDeadlineAndKeyOrder) {
       parse_request(R"({"op":"views","graph":"g","radius":2})"), content + 1,
       interner);
   EXPECT_NE(a, d);  // different graph content
+}
+
+TEST(Protocol, FingerprintRejectsReservedAndUnknownKeys) {
+  TypeInterner interner;
+  // A literal "graph#content" field must never override the substituted
+  // content id (cache poisoning), and unknown fields must not silently
+  // shift the canonical dump.
+  EXPECT_THROW(
+      request_fingerprint(
+          parse_request(R"({"op":"views","graph":"g","graph#content":7})"), 5,
+          interner),
+      std::invalid_argument);
+  EXPECT_THROW(request_fingerprint(
+                   parse_request(R"({"op":"views","graph":"g","extra":1})"), 5,
+                   interner),
+               std::invalid_argument);
+  // Per-op whitelist: "problem" belongs to optimum, not views.
+  EXPECT_THROW(
+      request_fingerprint(
+          parse_request(R"({"op":"views","graph":"g","problem":"vc"})"), 5,
+          interner),
+      std::invalid_argument);
+  EXPECT_NO_THROW(request_fingerprint(
+      parse_request(R"({"op":"optimum","graph":"g","problem":"vc"})"), 5,
+      interner));
 }
 
 TEST(Protocol, Envelopes) {
@@ -410,6 +446,41 @@ TEST(Service, CacheIsContentAddressedAcrossNames) {
   const auto before2 = svc.cache().stats();
   svc.handle(R"({"op":"views","graph":"a","radius":1})");
   EXPECT_EQ(svc.cache().stats().hits, before2.hits + 1);
+}
+
+TEST(Service, QueryWithReservedKeyCannotPoisonCache) {
+  Service svc;
+  svc.handle(R"({"op":"generate","name":"g1","family":"cycle","args":[8]})");
+  svc.handle(R"({"op":"generate","name":"g2","family":"cycle","args":[9]})");
+  // Smuggling a "graph#content" key is rejected outright...
+  EXPECT_NE(
+      svc.handle(
+             R"({"op":"analyze","graph":"g1","graph#content":1})")
+          .find("\"code\":\"bad_request\""),
+      std::string::npos);
+  // ...so a later legitimate query on g2 computes g2's own result.
+  const Json r = Json::parse(svc.handle(R"({"op":"analyze","graph":"g2"})"));
+  ASSERT_TRUE(r.find("ok")->as_bool());
+  EXPECT_EQ(r.find("result")->find("n")->as_int(), 9);
+}
+
+TEST(Service, GenerateBoundsProductsNotJustArguments) {
+  Service svc;
+  // Each side is within the per-argument cap, but the product is ~1e12.
+  for (const char* line :
+       {R"({"op":"generate","name":"x","family":"grid","args":[1000000,1000000]})",
+        R"({"op":"generate","name":"x","family":"torus","args":[1000000,1000000]})",
+        R"({"op":"generate","name":"x","family":"regular","args":[1000000,100]})"}) {
+    EXPECT_NE(svc.handle(line).find("\"code\":\"too_large\""),
+              std::string::npos)
+        << line;
+  }
+  // In-bounds instances still generate fine.
+  EXPECT_NE(
+      svc.handle(
+             R"({"op":"generate","name":"ok","family":"grid","args":[30,40]})")
+          .find("\"ok\":true"),
+      std::string::npos);
 }
 
 TEST(Service, ShutdownFlag) {
