@@ -52,6 +52,20 @@ inline bool check(bool ok, const std::string& what) {
   return ok;
 }
 
+/// Deterministic paper-facing values recorded for the --json report (a
+/// "values" section keyed by name).  Record only machine-independent
+/// quantities -- counts, ratios, table entries -- never timings: the CI
+/// bench-regression gate compares these across runs with a tight
+/// tolerance, while table_wall_seconds is explicitly excluded.
+inline std::vector<std::pair<std::string, double>>& value_log() {
+  static std::vector<std::pair<std::string, double>> log;
+  return log;
+}
+
+inline void value(const std::string& name, double v) {
+  value_log().emplace_back(name, v);
+}
+
 inline std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -85,7 +99,13 @@ inline void write_json_report(const std::string& path, const std::string& name,
                  log[i].second ? "true" : "false",
                  i + 1 < log.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"all_ok\": %s\n}\n", all_ok ? "true" : "false");
+  std::fprintf(f, "  ],\n  \"values\": {\n");
+  const auto& vals = value_log();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.12g%s\n", json_escape(vals[i].first).c_str(),
+                 vals[i].second, i + 1 < vals.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"all_ok\": %s\n}\n", all_ok ? "true" : "false");
   std::fclose(f);
 }
 

@@ -14,6 +14,11 @@
 //    worker threads are used at all.
 //  * No nesting.  A body that itself calls parallel_for runs that inner
 //    loop serially; the pool never deadlocks on recursive use.
+//  * Concurrent callers.  Independent threads (lapxd scheduler executors)
+//    may enter parallel loops simultaneously: one caller at a time
+//    coordinates the worker pool, the others run their loop inline on
+//    their own thread.  Either way the chunk sequence -- and therefore
+//    the result -- is identical, so concurrency never shows in output.
 //
 // The thread count comes from the LAPX_THREADS environment variable
 // (default: hardware concurrency); set_thread_count overrides it at run

@@ -45,6 +45,18 @@ class Pool {
       for (std::int64_t c = 0; c < chunks; ++c) fn(c);
       return;
     }
+    // The pool coordinates one job at a time (fn_/chunks_/next_ are a
+    // single broadcast slot).  Concurrent callers -- lapxd executors
+    // computing independent requests -- must not stomp an active job, so
+    // only one caller becomes the coordinator; the rest degrade to inline
+    // execution on their own thread.  Results are unaffected: chunk
+    // boundaries depend on n alone and inline execution walks the same
+    // chunk sequence, so this is a scheduling choice, not a semantic one.
+    std::unique_lock<std::mutex> job(job_mu_, std::try_to_lock);
+    if (!job.owns_lock()) {
+      for (std::int64_t c = 0; c < chunks; ++c) fn(c);
+      return;
+    }
     ensure_workers(want - 1);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -106,6 +118,7 @@ class Pool {
     }
   }
 
+  std::mutex job_mu_;  // held by the coordinating caller for a whole job
   std::mutex mu_;
   std::condition_variable cv_, done_cv_;
   std::vector<std::thread> workers_;

@@ -79,6 +79,11 @@ Client::~Client() {
 }
 
 std::string Client::call(const std::string& request_line) {
+  send(request_line);
+  return recv_line();
+}
+
+void Client::send(const std::string& request_line) {
   if (fd_ < 0) throw std::runtime_error("client not connected");
   std::string out = request_line;
   out += '\n';
@@ -92,6 +97,10 @@ std::string Client::call(const std::string& request_line) {
     }
     sent += static_cast<std::size_t>(k);
   }
+}
+
+std::string Client::recv_line() {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
   char chunk[4096];
   while (true) {
     const std::size_t nl = buffer_.find('\n');

@@ -34,6 +34,12 @@ class Client {
   /// Throws std::runtime_error on transport failure.
   std::string call(const std::string& request_line);
 
+  /// Pipelined half-calls: send a request without waiting, receive the
+  /// next response line.  The server answers in submission order, so
+  /// after N send()s, N recv_line()s return the matching responses.
+  void send(const std::string& request_line);
+  std::string recv_line();
+
   /// Builds the request from a Json object, stamps a fresh id, sends it,
   /// and returns the parsed response.
   Json call_json(Json request);

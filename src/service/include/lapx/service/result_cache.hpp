@@ -12,6 +12,13 @@
 // Bounded two ways: entry count and total payload bytes; exceeding either
 // evicts least-recently-used entries.  Hit/miss/eviction counters feed the
 // `stats` request and bench_service's hit-rate table.
+//
+// Concurrency: inserts race when executors > 1 (two requests for the same
+// fingerprint can both miss and both compute).  The first writer wins --
+// put() keeps the resident payload and hands the loser the winner's bytes
+// -- so the bytes bound to a fingerprint never change for the cache
+// lifetime of the entry, which is what lets a warm hit replay the cold
+// computation's exact bytes no matter which executor got there first.
 
 #include <cstdint>
 #include <list>
@@ -45,8 +52,11 @@ class ResultCache {
   /// Looks a fingerprint up, refreshing LRU and counting hit/miss.
   std::optional<std::string> get(core::TypeId fingerprint);
 
-  /// Inserts (or refreshes) a payload, then evicts to the bounds.
-  void put(core::TypeId fingerprint, std::string payload);
+  /// Inserts a payload, then evicts to the bounds.  First writer wins: if
+  /// the fingerprint is already resident the stored payload is kept (LRU
+  /// refreshed only).  Returns the canonical resident bytes -- callers
+  /// must respond with the RETURNED payload, not the one they passed in.
+  std::string put(core::TypeId fingerprint, std::string payload);
 
   /// Drops everything (counters survive; bench uses this for cold runs).
   void clear();

@@ -19,8 +19,16 @@
 // Executors default to a single thread: requests are *serialized* onto
 // runtime/parallel (which parallelizes inside each request via
 // parallel_for), so per-request work is never interleaved and responses
-// stay deterministic.  More executors are allowed for workloads of
-// independent requests.
+// stay deterministic.  With executors > 1 independent requests compute
+// concurrently and may COMPLETE out of order; every submission therefore
+// carries a monotonic sequence number, and the response-ordering layer
+// (service/ordering.hpp) merges completions back into submission order so
+// parallelism is observationally invisible to any single connection.
+//
+// Shutdown contract: every accepted job resolves.  Executors that observe
+// `stopping_` drain the queue, resolving still-queued jobs as kBusy,
+// before exiting; the destructor keeps a final sweep as a backstop.  No
+// future returned by submit() can hang across destruction.
 
 #include <chrono>
 #include <condition_variable>
@@ -57,10 +65,23 @@ class BatchScheduler {
     std::uint64_t coalesced = 0;
     std::uint64_t rejected_busy = 0;
     std::uint64_t expired = 0;
-    std::uint64_t executed = 0;
+    std::uint64_t executed = 0;   ///< jobs an executor started running
+    std::uint64_t completed = 0;  ///< jobs that ran and resolved
   };
+  // Conservation invariant, once every returned future is ready:
+  //   submitted == completed + rejected_busy + coalesced + expired
+  // (jobs resolved kBusy at shutdown count under rejected_busy).
 
   using Work = std::function<Outcome()>;
+
+  /// One accepted submit(): the per-job sequence number plus the future.
+  /// Sequence numbers are monotonic in submission order across the whole
+  /// scheduler (every call gets one, including coalesced joins and busy
+  /// rejections), so "sorted by seq" == "submission order".
+  struct Submission {
+    std::uint64_t seq = 0;
+    std::shared_future<Outcome> future;
+  };
 
   BatchScheduler() : BatchScheduler(Options{}) {}
   explicit BatchScheduler(Options opt);
@@ -73,13 +94,16 @@ class BatchScheduler {
   /// != core::kNoType).  The returned future is always valid; a full queue
   /// yields an already-resolved kBusy outcome.  `deadline_ms < 0` means no
   /// deadline.
-  std::shared_future<Outcome> submit(core::TypeId fingerprint, Work work,
-                                     std::int64_t deadline_ms = -1);
+  Submission submit(core::TypeId fingerprint, Work work,
+                    std::int64_t deadline_ms = -1);
 
   Stats stats() const;
 
+  int executors() const { return opt_.executors; }
+
  private:
   struct Job {
+    std::uint64_t seq = 0;  ///< sequence of the submission that created it
     core::TypeId fingerprint = core::kNoType;
     Work work;
     std::promise<Outcome> promise;
@@ -89,6 +113,8 @@ class BatchScheduler {
   };
 
   void executor_loop();
+  // Pops and resolves every queued job as kBusy; requires mu_ NOT held.
+  void drain_queue_resolving();
 
   Options opt_;
   mutable std::mutex mu_;
@@ -97,6 +123,7 @@ class BatchScheduler {
   // Queued or running jobs by fingerprint, for coalescing.
   std::unordered_map<core::TypeId, std::shared_ptr<Job>> inflight_;
   Stats stats_;
+  std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> executors_;
 };

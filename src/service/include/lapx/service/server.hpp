@@ -3,11 +3,17 @@
 // loopback TCP socket.
 //
 // One accept loop, one thread per connection; connection threads parse
-// nothing -- each received line goes straight to Service::handle, which
-// owns validation, caching, scheduling, and backpressure.  A `shutdown`
-// request is acknowledged on its own connection, after which the accept
-// loop closes and `serve_forever` returns; stop() does the same from
-// another thread (the CLI installs it as the signal handler's action).
+// nothing -- each received line goes straight to Service::submit, which
+// owns validation, caching, scheduling, and backpressure.  Connections
+// are PIPELINED: a client may send many request lines without waiting;
+// query compute runs on the scheduler's executors while the connection
+// thread keeps reading, and a ResponseSequencer emits responses strictly
+// in submission order (at most max_pipeline in flight per connection).
+// The response transcript is therefore byte-identical to a synchronous
+// request/response loop at any executor count.  A `shutdown` request is
+// acknowledged on its own connection, after which the accept loop closes
+// and `serve_forever` returns; stop() does the same from another thread
+// (the CLI installs it as the signal handler's action).
 //
 // Lines are capped (max_line_bytes) so a hostile peer cannot buffer
 // unbounded garbage; an overlong line terminates that connection.
@@ -32,6 +38,10 @@ class Server {
     Endpoint endpoint;
     std::size_t max_line_bytes = std::size_t{1} << 24;  ///< 16 MiB
     int listen_backlog = 64;
+    /// Per-connection reorder-buffer depth: reading pauses (blocking on
+    /// the oldest in-flight response) once this many responses are
+    /// pending, so one pipelining client cannot flood the scheduler queue.
+    std::size_t max_pipeline = 64;
   };
 
   /// Binds and listens; throws std::runtime_error on socket failures

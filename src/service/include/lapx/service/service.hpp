@@ -11,20 +11,36 @@
 //         -> fingerprint (content-addressed; protocol.hpp)
 //         -> result cache probe  ..................... warm: O(lookup)
 //         -> batch scheduler (bounded queue, coalescing, deadline)
-//         -> handler on runtime/parallel -> cache fill
+//         -> handler on runtime/parallel -> cache fill (first writer wins)
 // Mutating/admin ops (generate, upload, drop, list, stats, ping,
 // shutdown) run inline on the calling thread; they only touch the
 // mutex-guarded store.
 //
+// Two entry points share that flow:
+//   handle(line)  -- synchronous: one request line in, one response out.
+//   submit(line)  -- pipelined: everything order-sensitive (parsing,
+//     admin mutation, entry resolution, fingerprinting, cache probe) runs
+//     inline in submission order; only the PURE compute of a query miss is
+//     deferred to the scheduler.  The returned Pending carries a monotonic
+//     sequence number; a ResponseSequencer (service/ordering.hpp) merges
+//     out-of-order completions back into submission order.  Pipelined
+//     submission is therefore observationally identical to a synchronous
+//     loop -- byte for byte -- at any executor count.
+//
 // Determinism invariant: for every request except `stats` and `list`
 // (whose results reflect service state, not graph content), the response
-// is byte-identical across LAPX_THREADS values and across cold vs. warm
-// cache -- a warm hit replays the cold computation's exact `result`
-// bytes, and the envelope is a pure function of the request id.
+// is byte-identical across LAPX_THREADS values, across cold vs. warm
+// cache, and across scheduler executor counts -- a warm hit replays the
+// cold computation's exact bytes (the cache is first-writer-wins, so a
+// fingerprint's bytes never change while resident), and the envelope is a
+// pure function of the request id.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "lapx/service/handlers.hpp"
@@ -46,10 +62,46 @@ class Service {
   Service() : Service(Options{}) {}
   explicit Service(Options opt);
 
+  /// One in-flight response: already resolved (admin op, cache hit, any
+  /// error) or waiting on a scheduled job.  Rendering the envelope is
+  /// deferred to get() so it happens on the waiting thread, not the
+  /// executor; the bytes depend only on the outcome and the request id.
+  class Pending {
+   public:
+    Pending() = default;
+
+    /// Submission sequence number (monotonic across the service).
+    std::uint64_t sequence() const { return seq_; }
+
+    /// Non-blocking: true once get() would not wait.
+    bool ready() const {
+      return resolved_ ||
+             future_.wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready;
+    }
+
+    /// Blocks for the outcome and returns the response line (no '\n').
+    const std::string& get();
+
+   private:
+    friend class Service;
+    std::uint64_t seq_ = 0;
+    std::optional<std::int64_t> id_;
+    std::shared_future<Outcome> future_;
+    std::string response_;
+    bool resolved_ = false;
+  };
+
   /// Handles one request line; returns one response line (no '\n').
   /// Never throws on client input -- malformed requests come back as
-  /// bad_request envelopes.
+  /// bad_request envelopes.  Equivalent to submit(line).get().
   std::string handle(const std::string& line);
+
+  /// Pipelined entry point: performs all order-sensitive work inline,
+  /// defers pure query compute to the scheduler, and returns immediately.
+  /// Callers that need responses in submission order feed the Pendings
+  /// through a ResponseSequencer (or simply get() them in order).
+  Pending submit(const std::string& line);
 
   /// True once a `shutdown` request has been acknowledged; the socket
   /// server polls this to leave its accept loop.
@@ -65,14 +117,18 @@ class Service {
   const BatchScheduler& scheduler() const { return scheduler_; }
 
  private:
-  std::string dispatch(const Request& req);
   std::string admin(const Request& req);
-  std::string query(const Request& req);
+  // Cache probe + scheduler dispatch for a query op; fills `out` with
+  // either a resolved response or a deferred future.
+  void query(const Request& req, Pending& out);
 
   SessionStore store_;
   ResultCache cache_;
+  // Declared after store_/cache_: destroyed FIRST, so executor jobs (which
+  // touch the cache and pin store entries) all finish before either dies.
   BatchScheduler scheduler_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> submit_seq_{0};
 };
 
 }  // namespace lapx::service

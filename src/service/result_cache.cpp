@@ -21,12 +21,13 @@ std::optional<std::string> ResultCache::get(core::TypeId fingerprint) {
   return lru_.front().payload;
 }
 
-void ResultCache::put(core::TypeId fingerprint, std::string payload) {
+std::string ResultCache::put(core::TypeId fingerprint, std::string payload) {
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = index_.find(fingerprint); it != index_.end()) {
-    stats_.bytes -= it->second->payload.size();
-    lru_.erase(it->second);
-    index_.erase(it);
+    // First writer won; the loser adopts the resident bytes.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second = lru_.begin();
+    return lru_.front().payload;
   }
   stats_.bytes += payload.size();
   lru_.push_front(Slot{fingerprint, std::move(payload)});
@@ -36,6 +37,7 @@ void ResultCache::put(core::TypeId fingerprint, std::string payload) {
          (stats_.bytes > opt_.max_bytes && lru_.size() > 1))
     evict_locked();
   stats_.entries = lru_.size();
+  return lru_.front().payload;
 }
 
 void ResultCache::clear() {

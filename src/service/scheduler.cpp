@@ -30,29 +30,33 @@ BatchScheduler::~BatchScheduler() {
   }
   cv_.notify_all();
   for (std::thread& t : executors_) t.join();
-  // Jobs still queued at teardown resolve as busy so waiters never hang.
-  for (const auto& job : queue_)
-    job->promise.set_value(Outcome{Outcome::Status::kBusy, "shutting down"});
+  // Executors drain the queue on stop, but keep a backstop sweep so the
+  // shutdown contract (every accepted job resolves) survives refactors.
+  drain_queue_resolving();
 }
 
-std::shared_future<Outcome> BatchScheduler::submit(core::TypeId fingerprint,
-                                                   Work work,
-                                                   std::int64_t deadline_ms) {
+BatchScheduler::Submission BatchScheduler::submit(core::TypeId fingerprint,
+                                                  Work work,
+                                                  std::int64_t deadline_ms) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.submitted;
-  if (stopping_)
-    return resolved(Outcome{Outcome::Status::kBusy, "shutting down"});
+  const std::uint64_t seq = ++next_seq_;
+  if (stopping_) {
+    ++stats_.rejected_busy;
+    return {seq, resolved(Outcome{Outcome::Status::kBusy, "shutting down"})};
+  }
   if (fingerprint != core::kNoType) {
     if (const auto it = inflight_.find(fingerprint); it != inflight_.end()) {
       ++stats_.coalesced;
-      return it->second->future;
+      return {seq, it->second->future};
     }
   }
   if (queue_.size() >= opt_.queue_capacity) {
     ++stats_.rejected_busy;
-    return resolved(Outcome{Outcome::Status::kBusy, "queue full"});
+    return {seq, resolved(Outcome{Outcome::Status::kBusy, "queue full"})};
   }
   auto job = std::make_shared<Job>();
+  job->seq = seq;
   job->fingerprint = fingerprint;
   job->work = std::move(work);
   job->future = job->promise.get_future().share();
@@ -64,7 +68,7 @@ std::shared_future<Outcome> BatchScheduler::submit(core::TypeId fingerprint,
   queue_.push_back(job);
   if (fingerprint != core::kNoType) inflight_[fingerprint] = job;
   cv_.notify_one();
-  return job->future;
+  return {seq, job->future};
 }
 
 BatchScheduler::Stats BatchScheduler::stats() const {
@@ -78,7 +82,7 @@ void BatchScheduler::executor_loop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_) return;
+      if (stopping_) break;
       job = queue_.front();
       queue_.pop_front();
       if (job->has_deadline &&
@@ -103,8 +107,29 @@ void BatchScheduler::executor_loop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (job->fingerprint != core::kNoType) inflight_.erase(job->fingerprint);
+      ++stats_.completed;
     }
     job->promise.set_value(std::move(out));
+  }
+  // Stopping: a job enqueued before `stopping_` was set may still be
+  // queued (several executors can all wake into this branch).  Abandoning
+  // it would leave its waiters hung forever, so drain, resolving each job
+  // as busy -- exactly what a submit during shutdown would have seen.
+  drain_queue_resolving();
+}
+
+void BatchScheduler::drain_queue_resolving() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) return;
+      job = queue_.front();
+      queue_.pop_front();
+      if (job->fingerprint != core::kNoType) inflight_.erase(job->fingerprint);
+      ++stats_.rejected_busy;
+    }
+    job->promise.set_value(Outcome{Outcome::Status::kBusy, "shutting down"});
   }
 }
 

@@ -1,5 +1,7 @@
 #include "lapx/service/server.hpp"
 
+#include "lapx/service/ordering.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -146,10 +148,19 @@ void Server::serve_forever() {
     }
     auto done = std::make_shared<std::atomic<bool>>(false);
     std::thread worker([this, fd, done] {
+      // Pipelined connection loop: submit every complete line without
+      // waiting for its response; the sequencer re-emits responses in
+      // submission order as they resolve.  Reading stalls (blocking on
+      // the oldest pending response) once max_pipeline are in flight.
       std::string buffer;
+      std::string outbox;
       char chunk[4096];
+      ResponseSequencer sequencer;
       bool closing = false;
       while (!closing && !impl_->stopping.load(std::memory_order_acquire)) {
+        outbox.clear();
+        sequencer.drain_ready(outbox);
+        if (!outbox.empty()) send_all(fd, outbox);
         pollfd cpfd{fd, POLLIN, 0};
         const int cready = ::poll(&cpfd, 1, /*timeout_ms=*/100);
         if (cready < 0 && errno != EINTR) break;
@@ -164,13 +175,23 @@ void Server::serve_forever() {
           buffer.erase(0, nl + 1);
           if (!line.empty() && line.back() == '\r') line.pop_back();
           if (line.empty()) continue;
-          send_all(fd, service_.handle(line) + "\n");
+          sequencer.enqueue(service_.submit(line));
           if (service_.shutdown_requested()) {
-            closing = true;
+            closing = true;  // ack (below) is the last pipelined response
             break;
+          }
+          while (sequencer.in_flight() >= opt_.max_pipeline) {
+            outbox.clear();
+            if (!sequencer.drain_one(outbox)) break;
+            send_all(fd, outbox);
           }
         }
       }
+      // Emit everything still in flight before closing -- responses are
+      // never dropped, even when shutdown raced the pipeline.
+      outbox.clear();
+      sequencer.drain_all(outbox);
+      if (!outbox.empty()) send_all(fd, outbox);
       ::close(fd);
       done->store(true, std::memory_order_release);
     });

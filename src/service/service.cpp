@@ -33,25 +33,74 @@ std::string name_field(const Request& req) {
 Service::Service(Options opt)
     : store_(opt.store), cache_(opt.cache), scheduler_(opt.scheduler) {}
 
+const std::string& Service::Pending::get() {
+  if (resolved_) return response_;
+  const Outcome outcome = future_.get();
+  switch (outcome.status) {
+    case Outcome::Status::kOk:
+      response_ = ok_response(id_, outcome.payload);
+      break;
+    case Outcome::Status::kBusy:
+      response_ = error_response(id_, ErrorCode::kBusy, outcome.payload);
+      break;
+    case Outcome::Status::kDeadline:
+      response_ = error_response(id_, ErrorCode::kDeadline, outcome.payload);
+      break;
+    case Outcome::Status::kError: {
+      // Typed handler errors tunnel through the payload as "code:message"
+      // so every coalesced waiter renders the same envelope.
+      const auto colon = outcome.payload.find(':');
+      ErrorCode best = ErrorCode::kInternal;
+      std::string message = outcome.payload;
+      for (const ErrorCode code :
+           {ErrorCode::kBadRequest, ErrorCode::kNotFound, ErrorCode::kTooLarge,
+            ErrorCode::kInternal}) {
+        if (colon != std::string::npos &&
+            outcome.payload.compare(0, colon, error_code_name(code)) == 0) {
+          best = code;
+          message = outcome.payload.substr(colon + 1);
+          break;
+        }
+      }
+      response_ = error_response(id_, best, message);
+      break;
+    }
+  }
+  resolved_ = true;
+  return response_;
+}
+
 std::string Service::handle(const std::string& line) {
+  return submit(line).get();
+}
+
+Service::Pending Service::submit(const std::string& line) {
+  Pending out;
+  out.seq_ = submit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto resolve = [&out](std::string response) {
+    out.response_ = std::move(response);
+    out.resolved_ = true;
+  };
   Request req;
   try {
     req = parse_request(line);
   } catch (const std::exception& e) {
-    return error_response(std::nullopt, ErrorCode::kBadRequest, e.what());
+    resolve(error_response(std::nullopt, ErrorCode::kBadRequest, e.what()));
+    return out;
   }
+  out.id_ = req.id;
   try {
-    return dispatch(req);
+    if (is_query_op(req.op)) {
+      query(req, out);
+    } else {
+      resolve(admin(req));
+    }
   } catch (const ServiceError& e) {
-    return error_response(req.id, e.code(), e.what());
+    resolve(error_response(req.id, e.code(), e.what()));
   } catch (const std::exception& e) {
-    return error_response(req.id, ErrorCode::kInternal, e.what());
+    resolve(error_response(req.id, ErrorCode::kInternal, e.what()));
   }
-}
-
-std::string Service::dispatch(const Request& req) {
-  if (is_query_op(req.op)) return query(req);
-  return admin(req);
+  return out;
 }
 
 std::string Service::admin(const Request& req) {
@@ -109,6 +158,9 @@ std::string Service::admin(const Request& req) {
     sched.set("expired", Json::integer(static_cast<std::int64_t>(ss.expired)));
     sched.set("executed",
               Json::integer(static_cast<std::int64_t>(ss.executed)));
+    sched.set("completed",
+              Json::integer(static_cast<std::int64_t>(ss.completed)));
+    sched.set("executors", Json::integer(scheduler_.executors()));
     Json store = Json::object();
     store.set("resident",
               Json::integer(static_cast<std::int64_t>(gs.resident)));
@@ -131,7 +183,7 @@ std::string Service::admin(const Request& req) {
   throw ServiceError(ErrorCode::kBadRequest, "unknown op: " + req.op);
 }
 
-std::string Service::query(const Request& req) {
+void Service::query(const Request& req, Pending& out) {
   const Json* graph_name = req.body.find("graph");
   if (graph_name == nullptr || !graph_name->is_string())
     throw ServiceError(ErrorCode::kBadRequest,
@@ -146,48 +198,34 @@ std::string Service::query(const Request& req) {
   } catch (const std::invalid_argument& e) {
     throw ServiceError(ErrorCode::kBadRequest, e.what());
   }
-  if (auto payload = cache_.get(fingerprint))
-    return ok_response(req.id, *payload);
+  if (auto payload = cache_.get(fingerprint)) {
+    out.response_ = ok_response(req.id, *payload);
+    out.resolved_ = true;
+    return;
+  }
   // Miss: schedule the computation (coalescing identical concurrent
   // requests).  The job owns a pin on the entry, so store eviction cannot
-  // invalidate it mid-computation.
-  auto future = scheduler_.submit(
+  // invalidate it mid-computation.  The job also fills the cache: with
+  // executors > 1 the fill must happen on the computing side (first
+  // writer wins), so every waiter -- coalesced or racing -- responds with
+  // the canonical resident bytes.
+  auto submission = scheduler_.submit(
       fingerprint,
-      [req, entry] {
+      [this, req, entry, fingerprint] {
         try {
-          return Outcome{Outcome::Status::kOk,
-                         handle_query(req, *entry).dump()};
+          return Outcome{
+              Outcome::Status::kOk,
+              cache_.put(fingerprint, handle_query(req, *entry).dump())};
         } catch (const ServiceError& e) {
-          // Typed errors tunnel through the outcome payload; rethrown
-          // below so every coalesced waiter sees the same code.
+          // Typed errors tunnel through the outcome payload; decoded in
+          // Pending::get so every coalesced waiter sees the same code.
           return Outcome{Outcome::Status::kError,
                          std::string(error_code_name(e.code())) + ":" +
                              e.what()};
         }
       },
       req.deadline_ms.value_or(-1));
-  const Outcome outcome = future.get();
-  switch (outcome.status) {
-    case Outcome::Status::kOk:
-      cache_.put(fingerprint, outcome.payload);
-      return ok_response(req.id, outcome.payload);
-    case Outcome::Status::kBusy:
-      throw ServiceError(ErrorCode::kBusy, outcome.payload);
-    case Outcome::Status::kDeadline:
-      throw ServiceError(ErrorCode::kDeadline, outcome.payload);
-    case Outcome::Status::kError: {
-      const auto colon = outcome.payload.find(':');
-      for (const ErrorCode code :
-           {ErrorCode::kBadRequest, ErrorCode::kNotFound, ErrorCode::kTooLarge,
-            ErrorCode::kInternal}) {
-        if (colon != std::string::npos &&
-            outcome.payload.compare(0, colon, error_code_name(code)) == 0)
-          throw ServiceError(code, outcome.payload.substr(colon + 1));
-      }
-      throw ServiceError(ErrorCode::kInternal, outcome.payload);
-    }
-  }
-  throw ServiceError(ErrorCode::kInternal, "unreachable");
+  out.future_ = std::move(submission.future);
 }
 
 }  // namespace lapx::service

@@ -1,21 +1,27 @@
 // Property test for the lapxd determinism invariant: over a randomized
 // mix of every query request type, the full response byte stream is
-// identical (1) between a cold cache and a warm replay, and (2) between
-// LAPX_THREADS=1 and =8.  This is the contract that makes the result
-// cache sound -- a cached payload must be the bytes any thread count
-// would have recomputed.
+// identical (1) between a cold cache and a warm replay, (2) between
+// LAPX_THREADS=1 and =8, and (3) between scheduler executors=1 and =4 --
+// the full matrix, pipelined through the response-ordering layer so
+// multi-executor runs genuinely compute out of order.  This is the
+// contract that makes the result cache sound (a cached payload must be
+// the bytes any configuration would have recomputed) and the contract
+// that makes executors > 1 observationally invisible.
 
 #include <gtest/gtest.h>
 
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lapx/runtime/parallel.hpp"
+#include "lapx/service/ordering.hpp"
 #include "lapx/service/service.hpp"
 
 namespace {
 
+using lapx::service::ResponseSequencer;
 using lapx::service::Service;
 
 // Fixed-seed randomized request mix.  Exact-optimum ops are confined to
@@ -67,19 +73,29 @@ std::vector<std::string> build_mix(std::mt19937& rng, int count) {
   return reqs;
 }
 
+// Pipelined pass: submissions race onto however many executors the
+// service has; the sequencer merges completions back into submission
+// order.  A bounded window keeps the scheduler queue from rejecting.
 std::string run_pass(Service& svc, const std::vector<std::string>& reqs) {
+  constexpr std::size_t kWindow = 48;
+  ResponseSequencer sequencer;
   std::string bytes;
   for (const std::string& r : reqs) {
-    bytes += svc.handle(r);
-    bytes += '\n';
+    sequencer.enqueue(svc.submit(r));
+    if (sequencer.in_flight() >= kWindow) sequencer.drain_one(bytes);
+    sequencer.drain_ready(bytes);
   }
+  sequencer.drain_all(bytes);
   return bytes;
 }
 
-std::string cold_then_warm(int threads, const std::vector<std::string>& reqs,
+std::string cold_then_warm(int threads, int executors,
+                           const std::vector<std::string>& reqs,
                            std::string* warm_out) {
   lapx::runtime::set_thread_count(threads);
-  Service svc;
+  Service::Options opt;
+  opt.scheduler.executors = executors;
+  Service svc(opt);
   svc.handle(R"({"op":"generate","name":"pet","family":"petersen"})");
   svc.handle(R"({"op":"generate","name":"c10","family":"cycle","args":[10]})");
   svc.handle(R"({"op":"generate","name":"t99","family":"torus","args":[9,9]})");
@@ -91,23 +107,30 @@ std::string cold_then_warm(int threads, const std::vector<std::string>& reqs,
   return cold;
 }
 
-TEST(ServiceDeterminism, ByteIdenticalAcrossCacheStateAndThreadCount) {
+TEST(ServiceDeterminism, ByteIdenticalAcrossCacheThreadsAndExecutors) {
   std::mt19937 rng(20120717);  // PODC'12 vintage, fixed
   const std::vector<std::string> reqs = build_mix(rng, 120);
 
-  std::string warm1, warm8;
-  const std::string cold1 = cold_then_warm(1, reqs, &warm1);
-  const std::string cold8 = cold_then_warm(8, reqs, &warm8);
-
-  // Cold vs warm: a cache hit replays the cold computation's bytes.
-  EXPECT_EQ(cold1, warm1);
-  EXPECT_EQ(cold8, warm8);
-  // 1 thread vs 8 threads: the runtime invariant extends to the service.
-  EXPECT_EQ(cold1, cold8);
-
-  // Every response in the stream is a success envelope: a mix that
-  // silently errored would make the byte comparison vacuous.
-  EXPECT_EQ(cold1.find("\"ok\":false"), std::string::npos);
+  // The full matrix: executors {1, 4} x LAPX_THREADS {1, 8}.
+  std::string reference_cold;
+  for (const int executors : {1, 4}) {
+    for (const int threads : {1, 8}) {
+      std::string warm;
+      const std::string cold = cold_then_warm(threads, executors, reqs, &warm);
+      // Cold vs warm: a cache hit replays the cold computation's bytes.
+      EXPECT_EQ(cold, warm) << "executors=" << executors
+                            << " threads=" << threads;
+      if (reference_cold.empty()) {
+        reference_cold = cold;
+        // A mix that silently errored would make every comparison vacuous.
+        EXPECT_EQ(cold.find("\"ok\":false"), std::string::npos);
+      } else {
+        EXPECT_EQ(cold, reference_cold)
+            << "executors=" << executors << " threads=" << threads
+            << " diverged from executors=1 threads=1";
+      }
+    }
+  }
 }
 
 TEST(ServiceDeterminism, RepeatedMixesAgreeAcrossServiceInstances) {
@@ -118,8 +141,8 @@ TEST(ServiceDeterminism, RepeatedMixesAgreeAcrossServiceInstances) {
   const std::vector<std::string> mix_b = build_mix(rng_b, 40);
   ASSERT_EQ(mix_a, mix_b);
   std::string warm_a, warm_b;
-  const std::string cold_a = cold_then_warm(2, mix_a, &warm_a);
-  const std::string cold_b = cold_then_warm(2, mix_b, &warm_b);
+  const std::string cold_a = cold_then_warm(2, 2, mix_a, &warm_a);
+  const std::string cold_b = cold_then_warm(2, 2, mix_b, &warm_b);
   EXPECT_EQ(cold_a, cold_b);
   EXPECT_EQ(warm_a, warm_b);
 }

@@ -21,6 +21,7 @@
 #include "lapx/graph/io.hpp"
 #include "lapx/service/client.hpp"
 #include "lapx/service/json.hpp"
+#include "lapx/service/ordering.hpp"
 #include "lapx/service/protocol.hpp"
 #include "lapx/service/result_cache.hpp"
 #include "lapx/service/scheduler.hpp"
@@ -290,12 +291,12 @@ TEST(ResultCache, ClearKeepsCounters) {
 TEST(BatchScheduler, ExecutesAndReportsErrors) {
   BatchScheduler sched;
   auto ok = sched.submit(kNoType, [] { return Outcome{Outcome::Status::kOk, "r"}; });
-  EXPECT_EQ(ok.get().status, Outcome::Status::kOk);
-  EXPECT_EQ(ok.get().payload, "r");
+  EXPECT_EQ(ok.future.get().status, Outcome::Status::kOk);
+  EXPECT_EQ(ok.future.get().payload, "r");
   auto err = sched.submit(kNoType, []() -> Outcome {
     throw std::runtime_error("boom");
   });
-  EXPECT_EQ(err.get().status, Outcome::Status::kError);
+  EXPECT_EQ(err.future.get().status, Outcome::Status::kError);
   const auto s = sched.stats();
   EXPECT_EQ(s.submitted, 2u);
   EXPECT_EQ(s.executed, 2u);
@@ -322,10 +323,10 @@ TEST(BatchScheduler, BackpressureOnFullQueue) {
   auto rejected = sched.submit(kNoType, [] {
     return Outcome{Outcome::Status::kOk, "never"};
   });
-  EXPECT_EQ(rejected.get().status, Outcome::Status::kBusy);
+  EXPECT_EQ(rejected.future.get().status, Outcome::Status::kBusy);
   release.set_value();
-  EXPECT_EQ(running.get().payload, "slow");
-  EXPECT_EQ(queued.get().payload, "queued");
+  EXPECT_EQ(running.future.get().payload, "slow");
+  EXPECT_EQ(queued.future.get().payload, "queued");
   const auto s = sched.stats();
   EXPECT_EQ(s.rejected_busy, 1u);
   EXPECT_EQ(s.executed, 2u);
@@ -353,8 +354,8 @@ TEST(BatchScheduler, DeadlineExpiresQueuedWork) {
       /*deadline_ms=*/1);
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   release.set_value();
-  EXPECT_EQ(blocker.get().status, Outcome::Status::kOk);
-  EXPECT_EQ(expired.get().status, Outcome::Status::kDeadline);
+  EXPECT_EQ(blocker.future.get().status, Outcome::Status::kOk);
+  EXPECT_EQ(expired.future.get().status, Outcome::Status::kDeadline);
   EXPECT_FALSE(expired_ran);  // expired work is never run
   EXPECT_EQ(sched.stats().expired, 1u);
 }
@@ -376,10 +377,83 @@ TEST(BatchScheduler, CoalescesIdenticalFingerprints) {
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   auto second = sched.submit(fp, make_work());
   release.set_value();
-  EXPECT_EQ(first.get().payload, "shared");
-  EXPECT_EQ(second.get().payload, "shared");
+  EXPECT_EQ(first.future.get().payload, "shared");
+  EXPECT_EQ(second.future.get().payload, "shared");
   EXPECT_EQ(runs.load(), 1);  // one execution served both waiters
   EXPECT_EQ(sched.stats().coalesced, 1u);
+}
+
+TEST(BatchScheduler, SequenceNumbersAreMonotonicPerSubmission) {
+  BatchScheduler sched;
+  std::uint64_t last = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto sub = sched.submit(kNoType, [] {
+      return Outcome{Outcome::Status::kOk, "x"};
+    });
+    EXPECT_GT(sub.seq, last);
+    last = sub.seq;
+    sub.future.wait();
+  }
+}
+
+TEST(BatchScheduler, ShutdownResolvesEveryAcceptedJob) {
+  // Regression for the shutdown drop: jobs still queued when stop is
+  // observed must resolve (as kBusy), never hang their waiters -- with
+  // multiple executors racing each other through the drain.
+  std::vector<BatchScheduler::Submission> subs;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> started{0};
+  std::thread releaser;
+  {
+    BatchScheduler::Options opt;
+    opt.queue_capacity = 64;
+    opt.executors = 4;
+    BatchScheduler sched(opt);
+    // Block all four executors so later submissions stay queued.
+    for (int i = 0; i < 4; ++i)
+      subs.push_back(sched.submit(kNoType, [gate, &started] {
+        started.fetch_add(1);
+        gate.wait();
+        return Outcome{Outcome::Status::kOk, "gated"};
+      }));
+    for (int i = 0; i < 32; ++i)
+      subs.push_back(sched.submit(kNoType, [] {
+        return Outcome{Outcome::Status::kOk, "queued"};
+      }));
+    // Wait until all four executors are genuinely mid-job, so destruction
+    // races against running work, not an idle scheduler.
+    while (started.load() < 4)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Unblock the executors just as destruction begins.
+    releaser = std::thread([&release] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      release.set_value();
+    });
+  }  // ~BatchScheduler: must resolve everything above
+  releaser.join();
+  std::uint64_t completed = 0, busy = 0;
+  for (auto& sub : subs) {
+    ASSERT_EQ(sub.future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "job " << sub.seq << " hung across shutdown";
+    const Outcome out = sub.future.get();
+    EXPECT_TRUE(out.status == Outcome::Status::kOk ||
+                out.status == Outcome::Status::kBusy);
+    (out.status == Outcome::Status::kOk ? completed : busy) += 1;
+  }
+  EXPECT_EQ(completed + busy, subs.size());
+  EXPECT_GE(completed, 4u);  // the gated jobs themselves ran to completion
+}
+
+TEST(ResultCache, FirstWriterWinsOnInsertRace) {
+  ResultCache cache;
+  const TypeId fp = TypeInterner::global().intern("fww-test-key");
+  EXPECT_EQ(cache.put(fp, "winner"), "winner");
+  // A losing racer (or a redundant recompute) adopts the resident bytes.
+  EXPECT_EQ(cache.put(fp, "loser"), "winner");
+  EXPECT_EQ(cache.get(fp).value(), "winner");
+  EXPECT_EQ(cache.stats().insertions, 1u);
 }
 
 // -------------------------------------------------------------- Service --
@@ -489,6 +563,66 @@ TEST(Service, ShutdownFlag) {
   EXPECT_NE(svc.handle(R"({"op":"shutdown"})").find("\"ok\":true"),
             std::string::npos);
   EXPECT_TRUE(svc.shutdown_requested());
+}
+
+TEST(Service, StatsReportExecutorsAndCompleted) {
+  Service::Options opt;
+  opt.scheduler.executors = 4;
+  Service svc(opt);
+  svc.handle(R"({"op":"generate","name":"g","family":"cycle","args":[8]})");
+  svc.handle(R"({"op":"analyze","graph":"g"})");
+  const Json stats = Json::parse(svc.handle(R"({"op":"stats"})"));
+  const Json* sched = stats.find("result")->find("scheduler");
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->find("executors")->as_int(), 4);
+  EXPECT_EQ(sched->find("completed")->as_int(), 1);
+}
+
+TEST(Service, PipelinedSubmitMatchesSynchronousTranscript) {
+  // The merge layer's contract end to end, in process: a pipelined burst
+  // through submit() + ResponseSequencer against 4 executors produces the
+  // exact bytes a synchronous handle() loop produces at 1 executor.
+  const std::vector<std::string> setup = {
+      R"({"op":"generate","name":"g","family":"torus","args":[6,6]})",
+      R"({"op":"generate","name":"c","family":"cycle","args":[40]})",
+  };
+  std::vector<std::string> reqs;
+  for (int rep = 0; rep < 3; ++rep)
+    for (int r = 1; r <= 2; ++r)
+      for (const char* g : {"g", "c"}) {
+        reqs.push_back("{\"id\":" + std::to_string(reqs.size()) +
+                       ",\"op\":\"homogeneity\",\"graph\":\"" + g +
+                       "\",\"radius\":" + std::to_string(r) + "}");
+        reqs.push_back("{\"id\":" + std::to_string(reqs.size()) +
+                       ",\"op\":\"views\",\"graph\":\"" + g +
+                       "\",\"radius\":" + std::to_string(r) + "}");
+      }
+
+  Service::Options par;
+  par.scheduler.executors = 4;
+  Service pipelined(par);
+  for (const auto& s : setup) pipelined.handle(s);
+  ResponseSequencer sequencer;
+  std::string pipelined_bytes;
+  std::uint64_t last_seq = 0;
+  for (const auto& r : reqs) {
+    Service::Pending p = pipelined.submit(r);
+    EXPECT_GT(p.sequence(), last_seq);
+    last_seq = p.sequence();
+    sequencer.enqueue(std::move(p));
+    sequencer.drain_ready(pipelined_bytes);
+  }
+  sequencer.drain_all(pipelined_bytes);
+
+  Service sync;
+  for (const auto& s : setup) sync.handle(s);
+  std::string sync_bytes;
+  for (const auto& r : reqs) {
+    sync_bytes += sync.handle(r);
+    sync_bytes += '\n';
+  }
+  EXPECT_EQ(pipelined_bytes, sync_bytes);
+  EXPECT_EQ(pipelined_bytes.find("\"ok\":false"), std::string::npos);
 }
 
 // ------------------------------------------------------- socket round trip --

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare bench --json reports against baselines.
+
+Every bench binary writes a JSON report (``--json path``) containing its
+check() verdicts and its value() recordings.  The committed baselines live
+in ``bench/baselines/``; CI reruns every bench and feeds the fresh reports
+to this script, which fails the build when
+
+  * a report present in the baselines is missing from the current run,
+  * any check's ``ok`` verdict differs from the baseline (a regression if
+    it flipped to false; a stale baseline if it flipped to true -- both
+    need a human: fix the code or refresh the baseline),
+  * a baseline check or value is absent from the current run,
+  * a recorded value deviates from the baseline beyond tolerance.
+
+``table_wall_seconds`` is explicitly ignored: timings are machine-dependent
+and must never gate.  Checks or values present only in the current run are
+reported as warnings (new coverage is fine; it gates once committed to the
+baselines).
+
+Reports are matched by their embedded ``name`` field, not by filename, so
+the two directories may use different naming schemes.
+
+Usage:
+  bench_compare.py BASELINE_DIR CURRENT_DIR [--rel-tol X] [--abs-tol Y]
+  bench_compare.py --self-test BASELINE_DIR
+
+``--self-test`` perturbs a copy of the baselines (one flipped check, one
+shifted value) and asserts the comparison detects both -- proof the gate
+actually fails on an injected regression.
+
+Exit status: 0 clean, 1 regression detected, 2 usage/IO error.
+"""
+
+import argparse
+import copy
+import glob
+import json
+import os
+import sys
+import tempfile
+
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+
+def load_reports(directory):
+    """Map embedded report name -> parsed JSON for every report in a dir."""
+    reports = {}
+    paths = sorted(glob.glob(os.path.join(directory, "*.json")))
+    if not paths:
+        raise IOError("no .json reports in %s" % directory)
+    for path in paths:
+        with open(path) as f:
+            record = json.load(f)
+        name = record.get("name")
+        if not name:
+            raise IOError("%s has no \"name\" field" % path)
+        if name in reports:
+            raise IOError("duplicate report name %r in %s" % (name, directory))
+        reports[name] = record
+    return reports
+
+
+def values_close(baseline, current, rel_tol, abs_tol):
+    return abs(current - baseline) <= max(abs_tol, rel_tol * abs(baseline))
+
+
+def compare(baselines, currents, rel_tol=REL_TOL, abs_tol=ABS_TOL, out=sys.stdout):
+    """Return (failures, warnings) as lists of human-readable strings."""
+    failures, warnings = [], []
+    for name, base in sorted(baselines.items()):
+        cur = currents.get(name)
+        if cur is None:
+            failures.append("%s: report missing from current run" % name)
+            continue
+        base_checks = {c["what"]: c["ok"] for c in base.get("checks", [])}
+        cur_checks = {c["what"]: c["ok"] for c in cur.get("checks", [])}
+        for what, ok in sorted(base_checks.items()):
+            if what not in cur_checks:
+                failures.append("%s: check dropped: %r" % (name, what))
+            elif cur_checks[what] != ok:
+                failures.append(
+                    "%s: check %r flipped %s -> %s"
+                    % (name, what, ok, cur_checks[what]))
+        for what in sorted(set(cur_checks) - set(base_checks)):
+            warnings.append("%s: new check not in baseline: %r" % (name, what))
+        base_values = base.get("values", {})
+        cur_values = cur.get("values", {})
+        for key, v in sorted(base_values.items()):
+            if key not in cur_values:
+                failures.append("%s: value dropped: %r" % (name, key))
+            elif not values_close(v, cur_values[key], rel_tol, abs_tol):
+                failures.append(
+                    "%s: value %r deviated: baseline %.12g, current %.12g"
+                    % (name, key, v, cur_values[key]))
+        for key in sorted(set(cur_values) - set(base_values)):
+            warnings.append("%s: new value not in baseline: %r" % (name, key))
+        # table_wall_seconds deliberately not compared: timings never gate.
+    for name in sorted(set(currents) - set(baselines)):
+        warnings.append("%s: new report not in baselines" % name)
+    for w in warnings:
+        print("WARN  %s" % w, file=out)
+    for f in failures:
+        print("FAIL  %s" % f, file=out)
+    if not failures:
+        print("bench gate: %d reports match the baselines" % len(baselines),
+              file=out)
+    return failures, warnings
+
+
+def self_test(baseline_dir):
+    """Perturb a copy of the baselines; the gate must catch every injection."""
+    baselines = load_reports(baseline_dir)
+    donor_check = next(
+        (n for n, r in sorted(baselines.items()) if r.get("checks")), None)
+    donor_value = next(
+        (n for n, r in sorted(baselines.items()) if r.get("values")), None)
+    if donor_check is None or donor_value is None:
+        print("self-test: baselines carry no checks or no values", file=sys.stderr)
+        return 1
+    perturbed = copy.deepcopy(baselines)
+    flipped = perturbed[donor_check]["checks"][0]
+    flipped["ok"] = not flipped["ok"]
+    key = sorted(perturbed[donor_value]["values"])[0]
+    perturbed[donor_value]["values"][key] += 1.0
+    with tempfile.TemporaryFile(mode="w+") as sink:
+        failures, _ = compare(baselines, perturbed, out=sink)
+    want = {
+        "%s: check %r flipped" % (donor_check, flipped["what"]),
+        "%s: value %r deviated" % (donor_value, key),
+    }
+    missed = [w for w in want if not any(f.startswith(w) for f in failures)]
+    if missed:
+        print("self-test FAILED: gate missed injected regressions:",
+              file=sys.stderr)
+        for m in missed:
+            print("  " + m, file=sys.stderr)
+        return 1
+    # And an unperturbed comparison must pass.
+    with tempfile.TemporaryFile(mode="w+") as sink:
+        clean_failures, _ = compare(baselines, baselines, out=sink)
+    if clean_failures:
+        print("self-test FAILED: identical reports flagged as regressions",
+              file=sys.stderr)
+        return 1
+    print("self-test OK: gate detects flipped checks and deviated values")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir")
+    parser.add_argument("current_dir", nargs="?")
+    parser.add_argument("--rel-tol", type=float, default=REL_TOL)
+    parser.add_argument("--abs-tol", type=float, default=ABS_TOL)
+    parser.add_argument("--self-test", action="store_true",
+                        help="inject regressions into a copy of the baselines "
+                             "and assert the gate catches them")
+    args = parser.parse_args(argv)
+    try:
+        if args.self_test:
+            return self_test(args.baseline_dir)
+        if not args.current_dir:
+            parser.error("CURRENT_DIR is required unless --self-test")
+        failures, _ = compare(load_reports(args.baseline_dir),
+                              load_reports(args.current_dir),
+                              rel_tol=args.rel_tol, abs_tol=args.abs_tol)
+        return 1 if failures else 0
+    except IOError as e:
+        print("bench_compare: %s" % e, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

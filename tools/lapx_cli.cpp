@@ -21,6 +21,7 @@
 // subcommand), 3 bad argument or malformed input.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <numeric>
@@ -58,10 +59,11 @@ int usage() {
       "       homogeneity <r> | optimum <problem> | run <alg> [r] |\n"
       "       fractional |\n"
       "       serve [--socket PATH | --tcp PORT] [--threads N]\n"
-      "             [--cache-entries N] [--cache-bytes N]\n"
+      "             [--executors N] [--cache-entries N] [--cache-bytes N]\n"
       "             [--queue-depth N] [--max-graphs N] |\n"
-      "       call <endpoint> [json-request]\n"
-      "endpoints: unix:PATH | tcp:PORT | a /path | a bare port\n");
+      "       call [--pipeline] <endpoint> [json-request]\n"
+      "endpoints: unix:PATH | tcp:PORT | a /path | a bare port\n"
+      "env: LAPXD_EXECUTORS sets the serve executor default\n");
   return kExitUsage;
 }
 
@@ -188,6 +190,11 @@ int cmd_run(const graph::Graph& g, const std::string& alg, int r) {
 int cmd_serve(int argc, char** argv) {
   service::Service::Options sopt;
   service::Server::Options wopt;
+  // LAPXD_EXECUTORS seeds the executor count; --executors overrides it.
+  if (const char* env = std::getenv("LAPXD_EXECUTORS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) sopt.scheduler.executors = v;
+  }
   auto int_flag = [&](const char* value) {
     const long long v = std::stoll(value);
     if (v < 0) throw std::invalid_argument("flag value must be >= 0");
@@ -204,6 +211,10 @@ int cmd_serve(int argc, char** argv) {
       wopt.endpoint.tcp_port = static_cast<int>(int_flag(value));
     } else if (flag == "--threads") {
       runtime::set_thread_count(static_cast<int>(int_flag(value)));
+    } else if (flag == "--executors") {
+      const long long v = int_flag(value);
+      if (v < 1) throw std::invalid_argument("--executors must be >= 1");
+      sopt.scheduler.executors = static_cast<int>(v);
     } else if (flag == "--cache-entries") {
       sopt.cache.max_entries = static_cast<std::size_t>(int_flag(value));
     } else if (flag == "--cache-bytes") {
@@ -231,26 +242,52 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
-// `lapx_cli call ENDPOINT [json]`: one request from argv, or (without a
-// request argument) one request per stdin line.  Prints response lines;
-// exits 1 when any response has "ok":false.
+// `lapx_cli call [--pipeline] ENDPOINT [json]`: one request from argv, or
+// (without a request argument) one request per stdin line.  Prints
+// response lines; exits 1 when any response has "ok":false.  --pipeline
+// sends stdin lines without waiting for responses (a bounded window keeps
+// socket buffers safe); the server's ordering layer guarantees responses
+// come back in submission order, so the printed transcript is identical
+// to the sequential mode's.
 int cmd_call(int argc, char** argv) {
+  bool pipeline = false;
+  if (argc >= 1 && std::strcmp(argv[0], "--pipeline") == 0) {
+    pipeline = true;
+    ++argv;
+    --argc;
+  }
   if (argc < 1) return usage();
   service::Client client = service::Client::connect(argv[0]);
   bool all_ok = true;
-  auto roundtrip = [&](const std::string& line) {
-    const std::string response = client.call(line);
+  auto print_response = [&](const std::string& response) {
     std::printf("%s\n", response.c_str());
     const service::Json parsed = service::Json::parse(response);
     const service::Json* ok = parsed.find("ok");
     all_ok = all_ok && ok != nullptr && ok->is_bool() && ok->as_bool();
   };
   if (argc >= 2) {
-    roundtrip(argv[1]);
+    print_response(client.call(argv[1]));
+  } else if (pipeline) {
+    constexpr std::size_t kWindow = 32;  // < server max_pipeline
+    std::size_t in_flight = 0;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      if (in_flight >= kWindow) {
+        print_response(client.recv_line());
+        --in_flight;
+      }
+      client.send(line);
+      ++in_flight;
+    }
+    while (in_flight > 0) {
+      print_response(client.recv_line());
+      --in_flight;
+    }
   } else {
     std::string line;
     while (std::getline(std::cin, line))
-      if (!line.empty()) roundtrip(line);
+      if (!line.empty()) print_response(client.call(line));
   }
   return all_ok ? 0 : kExitRuntime;
 }
