@@ -1,4 +1,5 @@
 // E15: the lapxd service layer under load.
+// E16: warm restart -- the same mix replayed from the persisted cache.
 //
 // Drives the in-process Service core (exactly what `lapx_cli serve`
 // wraps in a socket) with a mixed query workload over a family of stored
@@ -19,8 +20,11 @@
 // homogeneity/simulation queries against resident graphs must be
 // O(lookup), not O(recompute) -- acceptance asks for >= 10x.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -186,6 +190,8 @@ ThreadsResult run_executors(int executors,
   return out;
 }
 
+void print_persistence_table(const std::vector<std::string>& reqs);
+
 void print_tables() {
   print_header("E15  lapxd service: cache + scheduler under load",
                "warm-cache repeated queries are O(lookup): >= 10x the cold "
@@ -279,6 +285,83 @@ void print_tables() {
   check(ss.executed == ss.submitted && ss.rejected_busy == 0,
         "synchronous client never trips backpressure");
   std::printf("(burst-mode busy responses are exercised in service_test)\n");
+
+  print_persistence_table(reqs);
+}
+
+// E16: warm restart from the persisted cache.  A service with a cache dir
+// runs the E15 mix cold and shuts down cleanly (snapshot + journal
+// truncate); a second service over the same directory re-generates the
+// graphs and replays the mix.  Every query must be a cache hit, and the
+// transcript must be byte-identical to the cold run -- the on-disk format
+// survives the restart's fresh TypeId assignment by re-interning each
+// loaded fingerprint.  (An in-process "restart" shares the global
+// interner, so the id-shift axis itself is covered by
+// service_persist_test's two-interner suite and the CI cross-process
+// smoke test; what E16 measures is the replayed transcript and the
+// restart hit rate under the full mix.)
+void print_persistence_table(const std::vector<std::string>& reqs) {
+  print_header("E16  lapxd persistence: warm restart from snapshot + journal",
+               "a restarted daemon replays the workload entirely from the "
+               "persisted cache: hit rate 1, byte-identical responses");
+  char tmpl[] = "/tmp/lapx-bench-e16-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    check(false, "mkdtemp for the persistence dir");
+    return;
+  }
+  Service::Options opt;
+  opt.cache_dir = dir;
+  PassResult cold;
+  std::uint64_t cold_misses = 0;
+  {
+    Service svc(opt);
+    for (const std::string& r : setup_requests()) svc.handle(r);
+    cold = run_pass(svc, reqs);
+    cold_misses = svc.cache().stats().misses;
+  }  // clean shutdown: snapshot written, journal truncated
+
+  PassResult warm;
+  double hit_rate = 0.0;
+  std::uint64_t loaded = 0;
+  std::string load_error;
+  {
+    Service svc(opt);
+    if (svc.persist() != nullptr) {
+      loaded = svc.persist()->info().loaded_entries;
+      load_error = svc.persist()->info().last_error;
+    }
+    for (const std::string& r : setup_requests()) svc.handle(r);
+    const auto before = svc.cache().stats();
+    warm = run_pass(svc, reqs);
+    const auto after = svc.cache().stats();
+    const auto lookups =
+        (after.hits - before.hits) + (after.misses - before.misses);
+    hit_rate = lookups == 0 ? 0.0
+                            : static_cast<double>(after.hits - before.hits) /
+                                  static_cast<double>(lookups);
+  }
+
+  print_row({"pass", "req/s", "hit rate"});
+  print_row({"cold (fresh dir)", fmt(cold.requests_per_second, 0), "-"});
+  print_row({"warm restart", fmt(warm.requests_per_second, 0),
+             fmt(hit_rate, 4)});
+  std::printf("loaded %llu entries from %s%s%s\n\n",
+              static_cast<unsigned long long>(loaded), dir,
+              load_error.empty() ? "" : ", load error: ",
+              load_error.c_str());
+  check(load_error.empty(), "clean store loads without errors");
+  check(loaded == cold_misses,
+        "every cold miss was persisted (loaded entries = cold misses)");
+  check(hit_rate >= 1.0, "warm-restart hit rate = 1 (no recompute)");
+  check(cold.bytes == warm.bytes,
+        "responses byte-identical across the restart");
+  value("persisted_entries", static_cast<double>(loaded));
+  value("warm_restart_hit_rate", hit_rate);
+
+  for (const char* f : {"/snapshot.lapxc", "/journal.lapxj"})
+    ::unlink((std::string(dir) + f).c_str());
+  ::rmdir(dir);
 }
 
 void BM_WarmQuery(benchmark::State& state) {

@@ -1,5 +1,7 @@
 #include "lapx/service/client.hpp"
 
+#include "lapx/service/testing.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -62,7 +64,8 @@ Client Client::connect(const std::string& endpoint) {
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       buffer_(std::move(other.buffer_)),
-      next_id_(other.next_id_) {}
+      next_id_(other.next_id_),
+      max_line_bytes_(other.max_line_bytes_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -70,6 +73,7 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
     next_id_ = other.next_id_;
+    max_line_bytes_ = other.max_line_bytes_;
   }
   return *this;
 }
@@ -89,6 +93,7 @@ void Client::send(const std::string& request_line) {
   out += '\n';
   std::size_t sent = 0;
   while (sent < out.size()) {
+    if (testing::consume(testing::inject_client_send_eintr)) continue;
     const ssize_t k =
         ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
     if (k < 0) {
@@ -109,6 +114,14 @@ std::string Client::recv_line() {
       buffer_.erase(0, nl + 1);
       return line;
     }
+    // A newline-less stream used to grow buffer_ without bound; a server
+    // (or non-lapxd peer) spewing more than a protocol line's worth of
+    // bytes is broken, and the failure mode must be an error, not OOM.
+    if (buffer_.size() > max_line_bytes_)
+      throw std::runtime_error(
+          "response line exceeds " + std::to_string(max_line_bytes_) +
+          " bytes without a newline; closing");
+    if (testing::consume(testing::inject_client_recv_eintr)) continue;
     const ssize_t k = ::recv(fd_, chunk, sizeof chunk, 0);
     if (k < 0) {
       if (errno == EINTR) continue;

@@ -40,6 +40,11 @@ class Client {
   void send(const std::string& request_line);
   std::string recv_line();
 
+  /// Largest response line recv_line accepts before failing with
+  /// std::runtime_error -- a newline-less stream must error out, not OOM.
+  /// Defaults to the server's request cap plus envelope slack.
+  void set_max_line_bytes(std::size_t n) { max_line_bytes_ = n; }
+
   /// Builds the request from a Json object, stamps a fresh id, sends it,
   /// and returns the parsed response.
   Json call_json(Json request);
@@ -50,6 +55,7 @@ class Client {
   int fd_ = -1;
   std::string buffer_;
   std::int64_t next_id_ = 1;
+  std::size_t max_line_bytes_ = (std::size_t{1} << 24) + 4096;
 };
 
 }  // namespace lapx::service

@@ -21,11 +21,14 @@
 // computation's exact bytes no matter which executor got there first.
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "lapx/core/interner.hpp"
 
@@ -59,9 +62,22 @@ class ResultCache {
   std::string put(core::TypeId fingerprint, std::string payload);
 
   /// Drops everything (counters survive; bench uses this for cold runs).
+  /// In-memory only: an attached persistence layer is not cleared.
   void clear();
 
   Stats stats() const;
+
+  /// Called after put() inserts a NEW entry (first writer only, outside
+  /// the cache lock) with the resident fingerprint and payload -- the
+  /// persistence journal hangs off this.  Set once, before concurrent
+  /// use; losers of a put() race and LRU refreshes never fire it.
+  using FillHook = std::function<void(core::TypeId, const std::string&)>;
+  void set_fill_hook(FillHook hook) { fill_hook_ = std::move(hook); }
+
+  /// Resident entries, least-recently-used first, so replaying them
+  /// through put() in order reconstructs the same LRU order.  Snapshot
+  /// export; O(bytes) copy.
+  std::vector<std::pair<core::TypeId, std::string>> entries() const;
 
  private:
   void evict_locked();
@@ -75,6 +91,7 @@ class ResultCache {
   std::list<Slot> lru_;  // front = most recent
   std::unordered_map<core::TypeId, std::list<Slot>::iterator> index_;
   Stats stats_;
+  FillHook fill_hook_;
 };
 
 }  // namespace lapx::service

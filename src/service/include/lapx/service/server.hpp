@@ -16,7 +16,9 @@
 // (the CLI installs it as the signal handler's action).
 //
 // Lines are capped (max_line_bytes) so a hostile peer cannot buffer
-// unbounded garbage; an overlong line terminates that connection.
+// unbounded garbage; an overlong line terminates that connection after
+// every in-flight response has been emitted plus one final `too_large`
+// error line, so a client can tell protocol rejection from a crash.
 
 #include <memory>
 #include <string>

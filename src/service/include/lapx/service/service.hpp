@@ -13,8 +13,16 @@
 //         -> batch scheduler (bounded queue, coalescing, deadline)
 //         -> handler on runtime/parallel -> cache fill (first writer wins)
 // Mutating/admin ops (generate, upload, drop, list, stats, ping,
-// shutdown) run inline on the calling thread; they only touch the
-// mutex-guarded store.
+// cache_save, cache_info, shutdown) run inline on the calling thread;
+// they only touch the mutex-guarded store/cache/persistence layers.
+//
+// With Options::cache_dir set, the result cache is durable: construction
+// replays the snapshot + journal from that directory (re-interning each
+// fingerprint, so warm-restart responses stay byte-identical to cold
+// ones), every first-writer-wins fill is journaled, and destruction (or
+// `cache_save`) writes a fresh snapshot and truncates the journal.  A
+// SIGKILL at any point leaves the directory loadable -- the journal's
+// torn tail is discarded on the next start (service/persist.hpp).
 //
 // Two entry points share that flow:
 //   handle(line)  -- synchronous: one request line in, one response out.
@@ -44,6 +52,7 @@
 #include <string>
 
 #include "lapx/service/handlers.hpp"
+#include "lapx/service/persist.hpp"
 #include "lapx/service/protocol.hpp"
 #include "lapx/service/result_cache.hpp"
 #include "lapx/service/scheduler.hpp"
@@ -57,10 +66,15 @@ class Service {
     SessionStore::Options store;
     ResultCache::Options cache;
     BatchScheduler::Options scheduler;
+    /// Non-empty: persist the result cache here (service/persist.hpp) --
+    /// replay snapshot + journal on construction, journal every fill,
+    /// snapshot + truncate the journal on destruction and `cache_save`.
+    std::string cache_dir;
   };
 
   Service() : Service(Options{}) {}
   explicit Service(Options opt);
+  ~Service();
 
   /// One in-flight response: already resolved (admin op, cache hit, any
   /// error) or waiting on a scheduled job.  Rendering the envelope is
@@ -109,12 +123,20 @@ class Service {
     return shutdown_.load(std::memory_order_acquire);
   }
 
-  /// Drops all cached results (the bench's cold-run switch).
+  /// Drops all cached results (the bench's cold-run switch).  In-memory
+  /// only; persisted entries reload on the next start.
   void clear_cache() { cache_.clear(); }
+
+  /// Snapshots the cache to the persistence dir and truncates the
+  /// journal; no-op (true) without persistence.  Also what `cache_save`
+  /// and destruction run.
+  bool save_cache();
 
   SessionStore& store() { return store_; }
   ResultCache& cache() { return cache_; }
   const BatchScheduler& scheduler() const { return scheduler_; }
+  /// Persistence layer; nullptr when `cache_dir` was empty.
+  const CachePersist* persist() const { return persist_.get(); }
 
  private:
   std::string admin(const Request& req);
@@ -124,6 +146,9 @@ class Service {
 
   SessionStore store_;
   ResultCache cache_;
+  // Outlives every fill hook invocation: the hook fires from executor
+  // jobs, and scheduler_ (below) is destroyed before persist_.
+  std::unique_ptr<CachePersist> persist_;
   // Declared after store_/cache_: destroyed FIRST, so executor jobs (which
   // touch the cache and pin store entries) all finish before either dies.
   BatchScheduler scheduler_;

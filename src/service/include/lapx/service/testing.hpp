@@ -1,0 +1,35 @@
+#pragma once
+// Test-only fault injection for the socket I/O retry paths.
+//
+// EINTR handling is load-bearing (a signal mid-recv must not be treated
+// as peer close -- it silently drops every pipelined in-flight response)
+// but impossible to hit deterministically from outside: the connection
+// loop only calls recv after poll reports readiness, so the kernel
+// almost never parks it long enough for a real signal to land.  These
+// counters let a test make the next N calls of a given path fail with
+// errno = EINTR *before* touching the socket; correct code retries and
+// the transcript is unaffected, while the pre-fix code dropped the
+// connection.
+//
+// Production cost: one relaxed atomic load (of a zero) per I/O call.
+// Nothing outside tests ever sets these.
+
+#include <atomic>
+
+namespace lapx::service::testing {
+
+/// Server-side per-connection recv (service/server.cpp).
+extern std::atomic<int> inject_recv_eintr;
+
+/// Client::recv_line and Client::send (service/client.cpp).
+extern std::atomic<int> inject_client_recv_eintr;
+extern std::atomic<int> inject_client_send_eintr;
+
+/// True (and decrements) when the next call of the path should see a
+/// synthetic EINTR.
+inline bool consume(std::atomic<int>& counter) {
+  if (counter.load(std::memory_order_relaxed) <= 0) return false;
+  return counter.fetch_sub(1, std::memory_order_relaxed) > 0;
+}
+
+}  // namespace lapx::service::testing

@@ -22,22 +22,29 @@ std::optional<std::string> ResultCache::get(core::TypeId fingerprint) {
 }
 
 std::string ResultCache::put(core::TypeId fingerprint, std::string payload) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (auto it = index_.find(fingerprint); it != index_.end()) {
-    // First writer won; the loser adopts the resident bytes.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    it->second = lru_.begin();
-    return lru_.front().payload;
+  std::string resident;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = index_.find(fingerprint); it != index_.end()) {
+      // First writer won; the loser adopts the resident bytes.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second = lru_.begin();
+      return lru_.front().payload;
+    }
+    stats_.bytes += payload.size();
+    lru_.push_front(Slot{fingerprint, std::move(payload)});
+    index_[fingerprint] = lru_.begin();
+    ++stats_.insertions;
+    while (lru_.size() > opt_.max_entries ||
+           (stats_.bytes > opt_.max_bytes && lru_.size() > 1))
+      evict_locked();
+    stats_.entries = lru_.size();
+    resident = lru_.front().payload;
   }
-  stats_.bytes += payload.size();
-  lru_.push_front(Slot{fingerprint, std::move(payload)});
-  index_[fingerprint] = lru_.begin();
-  ++stats_.insertions;
-  while (lru_.size() > opt_.max_entries ||
-         (stats_.bytes > opt_.max_bytes && lru_.size() > 1))
-    evict_locked();
-  stats_.entries = lru_.size();
-  return lru_.front().payload;
+  // First-writer fill: journal it outside the lock (the hook does file
+  // I/O) from the copy we return, so eviction races cannot bite.
+  if (fill_hook_) fill_hook_(fingerprint, resident);
+  return resident;
 }
 
 void ResultCache::clear() {
@@ -51,6 +58,16 @@ void ResultCache::clear() {
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::vector<std::pair<core::TypeId, std::string>> ResultCache::entries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<core::TypeId, std::string>> out;
+  out.reserve(lru_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
+    out.emplace_back(it->key, it->payload);
+  return out;
 }
 
 void ResultCache::evict_locked() {

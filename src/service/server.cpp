@@ -1,6 +1,7 @@
 #include "lapx/service/server.hpp"
 
 #include "lapx/service/ordering.hpp"
+#include "lapx/service/testing.hpp"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -24,6 +25,21 @@ namespace {
 
 [[noreturn]] void sys_fail(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+// recv with EINTR retry: a signal delivered mid-read (the CLI installs
+// handlers for SIGINT/SIGTERM on the daemon) is not a peer close; bailing
+// out here used to drop the connection and every pipelined in-flight
+// response.  Returns recv's result with EINTR folded away.
+ssize_t recv_retry(int fd, char* buf, std::size_t n) {
+  while (true) {
+    if (testing::consume(testing::inject_recv_eintr)) {
+      errno = EINTR;
+    } else {
+      const ssize_t k = ::recv(fd, buf, n, 0);
+      if (k >= 0 || errno != EINTR) return k;
+    }
+  }
 }
 
 void send_all(int fd, const std::string& data) {
@@ -157,6 +173,7 @@ void Server::serve_forever() {
       char chunk[4096];
       ResponseSequencer sequencer;
       bool closing = false;
+      bool too_large = false;
       while (!closing && !impl_->stopping.load(std::memory_order_acquire)) {
         outbox.clear();
         sequencer.drain_ready(outbox);
@@ -165,10 +182,9 @@ void Server::serve_forever() {
         const int cready = ::poll(&cpfd, 1, /*timeout_ms=*/100);
         if (cready < 0 && errno != EINTR) break;
         if (cready <= 0) continue;
-        const ssize_t k = ::recv(fd, chunk, sizeof chunk, 0);
-        if (k <= 0) break;
+        const ssize_t k = recv_retry(fd, chunk, sizeof chunk);
+        if (k <= 0) break;  // 0 = orderly close, < 0 = real error
         buffer.append(chunk, static_cast<std::size_t>(k));
-        if (buffer.size() > opt_.max_line_bytes) break;  // hostile line
         std::size_t nl;
         while ((nl = buffer.find('\n')) != std::string::npos) {
           std::string line = buffer.substr(0, nl);
@@ -186,11 +202,26 @@ void Server::serve_forever() {
             send_all(fd, outbox);
           }
         }
+        // A partial line beyond the cap is a hostile or confused peer.
+        // Finish the pipeline, answer `too_large` (below) and close --
+        // silently dropping the socket looked like a server crash.
+        if (!closing && buffer.size() > opt_.max_line_bytes) {
+          too_large = true;
+          closing = true;
+        }
       }
       // Emit everything still in flight before closing -- responses are
-      // never dropped, even when shutdown raced the pipeline.
+      // never dropped, even when shutdown or a protocol rejection raced
+      // the pipeline.
       outbox.clear();
       sequencer.drain_all(outbox);
+      if (too_large) {
+        outbox += error_response(
+            std::nullopt, ErrorCode::kTooLarge,
+            "request line exceeds " + std::to_string(opt_.max_line_bytes) +
+                " bytes");
+        outbox += '\n';
+      }
       if (!outbox.empty()) send_all(fd, outbox);
       ::close(fd);
       done->store(true, std::memory_order_release);

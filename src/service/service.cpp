@@ -31,7 +31,34 @@ std::string name_field(const Request& req) {
 }  // namespace
 
 Service::Service(Options opt)
-    : store_(opt.store), cache_(opt.cache), scheduler_(opt.scheduler) {}
+    : store_(opt.store),
+      cache_(opt.cache),
+      persist_(opt.cache_dir.empty()
+                   ? nullptr
+                   : std::make_unique<CachePersist>(opt.cache_dir)),
+      scheduler_(opt.scheduler) {
+  if (persist_ == nullptr) return;
+  // Warm-start: replay persisted fills through put() BEFORE installing
+  // the journal hook, so loading never re-journals what it read.
+  for (auto& [fingerprint, payload] : persist_->load())
+    cache_.put(fingerprint, std::move(payload));
+  cache_.set_fill_hook([this](core::TypeId fingerprint,
+                              const std::string& payload) {
+    persist_->append_fill(fingerprint, payload);
+  });
+}
+
+Service::~Service() {
+  // Clean shutdown: fold the journal into a fresh snapshot.  Runs before
+  // member destruction, so a straggling executor fill can still race --
+  // it lands in the post-truncation journal and survives either way.
+  save_cache();
+}
+
+bool Service::save_cache() {
+  if (persist_ == nullptr) return true;
+  return persist_->save_snapshot(cache_.entries());
+}
 
 const std::string& Service::Pending::get() {
   if (resolved_) return response_;
@@ -172,6 +199,45 @@ std::string Service::admin(const Request& req) {
     out.set("cache", std::move(cache));
     out.set("scheduler", std::move(sched));
     out.set("store", std::move(store));
+    return ok_response(req.id, out.dump());
+  }
+  if (req.op == "cache_save") {
+    if (persist_ == nullptr)
+      throw ServiceError(ErrorCode::kBadRequest,
+                         "persistence not enabled (serve --cache-dir)");
+    const auto entries = cache_.entries();
+    std::size_t bytes = 0;
+    for (const auto& [fingerprint, payload] : entries)
+      bytes += payload.size();
+    if (!persist_->save_snapshot(entries))
+      throw ServiceError(ErrorCode::kInternal,
+                         "snapshot failed: " + persist_->info().last_error);
+    Json out = Json::object();
+    out.set("saved_entries",
+            Json::integer(static_cast<std::int64_t>(entries.size())));
+    out.set("saved_bytes", Json::integer(static_cast<std::int64_t>(bytes)));
+    return ok_response(req.id, out.dump());
+  }
+  if (req.op == "cache_info") {
+    Json out = Json::object();
+    out.set("enabled", Json::boolean(persist_ != nullptr));
+    if (persist_ != nullptr) {
+      const CachePersist::Info pi = persist_->info();
+      out.set("dir", Json::string(pi.dir));
+      out.set("loaded_entries",
+              Json::integer(static_cast<std::int64_t>(pi.loaded_entries)));
+      out.set("loaded_contents",
+              Json::integer(static_cast<std::int64_t>(pi.loaded_contents)));
+      out.set("discarded_bytes",
+              Json::integer(static_cast<std::int64_t>(pi.discarded_bytes)));
+      out.set("dropped_records",
+              Json::integer(static_cast<std::int64_t>(pi.dropped_records)));
+      out.set("journal_appends",
+              Json::integer(static_cast<std::int64_t>(pi.journal_appends)));
+      out.set("snapshots_written",
+              Json::integer(static_cast<std::int64_t>(pi.snapshots_written)));
+      out.set("load_error", Json::string(pi.last_error));
+    }
     return ok_response(req.id, out.dump());
   }
   if (req.op == "shutdown") {

@@ -1,0 +1,9 @@
+#include "lapx/service/testing.hpp"
+
+namespace lapx::service::testing {
+
+std::atomic<int> inject_recv_eintr{0};
+std::atomic<int> inject_client_recv_eintr{0};
+std::atomic<int> inject_client_send_eintr{0};
+
+}  // namespace lapx::service::testing

@@ -60,10 +60,11 @@ int usage() {
       "       fractional |\n"
       "       serve [--socket PATH | --tcp PORT] [--threads N]\n"
       "             [--executors N] [--cache-entries N] [--cache-bytes N]\n"
-      "             [--queue-depth N] [--max-graphs N] |\n"
+      "             [--cache-dir DIR] [--queue-depth N] [--max-graphs N] |\n"
       "       call [--pipeline] <endpoint> [json-request]\n"
       "endpoints: unix:PATH | tcp:PORT | a /path | a bare port\n"
-      "env: LAPXD_EXECUTORS sets the serve executor default\n");
+      "env: LAPXD_EXECUTORS sets the serve executor default,\n"
+      "     LAPXD_CACHE_DIR the result-cache persistence dir\n");
   return kExitUsage;
 }
 
@@ -195,6 +196,8 @@ int cmd_serve(int argc, char** argv) {
     const int v = std::atoi(env);
     if (v >= 1) sopt.scheduler.executors = v;
   }
+  // LAPXD_CACHE_DIR seeds the persistence dir; --cache-dir overrides it.
+  if (const char* env = std::getenv("LAPXD_CACHE_DIR")) sopt.cache_dir = env;
   auto int_flag = [&](const char* value) {
     const long long v = std::stoll(value);
     if (v < 0) throw std::invalid_argument("flag value must be >= 0");
@@ -219,6 +222,8 @@ int cmd_serve(int argc, char** argv) {
       sopt.cache.max_entries = static_cast<std::size_t>(int_flag(value));
     } else if (flag == "--cache-bytes") {
       sopt.cache.max_bytes = static_cast<std::size_t>(int_flag(value));
+    } else if (flag == "--cache-dir") {
+      sopt.cache_dir = value;
     } else if (flag == "--queue-depth") {
       sopt.scheduler.queue_capacity = static_cast<std::size_t>(int_flag(value));
     } else if (flag == "--max-graphs") {
@@ -230,6 +235,14 @@ int cmd_serve(int argc, char** argv) {
   if (wopt.endpoint.unix_path.empty() && wopt.endpoint.tcp_port == 0)
     wopt.endpoint.unix_path = "/tmp/lapxd.sock";
   service::Service svc(sopt);
+  if (svc.persist() != nullptr) {
+    const auto pi = svc.persist()->info();
+    std::fprintf(stderr, "lapxd: cache dir %s (%llu entries loaded%s%s)\n",
+                 pi.dir.c_str(),
+                 static_cast<unsigned long long>(pi.loaded_entries),
+                 pi.last_error.empty() ? "" : "; ",
+                 pi.last_error.c_str());
+  }
   service::Server server(svc, wopt);
   if (!wopt.endpoint.unix_path.empty())
     std::fprintf(stderr, "lapxd: listening on %s\n",
