@@ -66,6 +66,50 @@ inline void value(const std::string& name, double v) {
   value_log().emplace_back(name, v);
 }
 
+/// Per-table phase timings, aggregated by name (seconds).  Recorded in the
+/// JSON report's "phases" section so perf PRs can attribute wall-time wins
+/// to specific tables; like table_wall_seconds these are informational only
+/// and never gate (bench_compare.py excludes timings from pass/fail).
+inline std::vector<std::pair<std::string, double>>& phase_log() {
+  static std::vector<std::pair<std::string, double>> log;
+  return log;
+}
+
+namespace detail {
+struct PhaseState {
+  std::string name;  // empty: no phase open
+  std::chrono::steady_clock::time_point start;
+};
+inline PhaseState& phase_state() {
+  static PhaseState state;
+  return state;
+}
+inline void close_phase() {
+  PhaseState& st = phase_state();
+  if (st.name.empty()) return;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    st.start)
+          .count();
+  auto& log = phase_log();
+  for (auto& [name, total] : log)
+    if (name == st.name) {
+      total += secs;
+      st.name.clear();
+      return;
+    }
+  log.emplace_back(st.name, secs);
+  st.name.clear();
+}
+}  // namespace detail
+
+/// Opens a named phase (closing the previous one); run_main closes the last
+/// phase when the table finishes.  Repeated names accumulate.
+inline void phase(const std::string& name) {
+  detail::close_phase();
+  detail::phase_state() = {name, std::chrono::steady_clock::now()};
+}
+
 inline std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -90,6 +134,15 @@ inline void write_json_report(const std::string& path, const std::string& name,
   bool all_ok = true;
   std::fprintf(f, "{\n  \"name\": \"%s\",\n", json_escape(name).c_str());
   std::fprintf(f, "  \"table_wall_seconds\": %.6f,\n", table_wall_seconds);
+  // Informational like table_wall_seconds: the regression gate never reads
+  // timings; the trend report does.
+  std::fprintf(f, "  \"phases\": {\n");
+  const auto& phases = phase_log();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.6f%s\n", json_escape(phases[i].first).c_str(),
+                 phases[i].second, i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"checks\": [\n");
   const auto& log = check_log();
   for (std::size_t i = 0; i < log.size(); ++i) {
@@ -128,6 +181,7 @@ inline int run_main(int argc, char** argv, void (*print_tables)()) {
   }
   const auto start = std::chrono::steady_clock::now();
   print_tables();
+  detail::close_phase();
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

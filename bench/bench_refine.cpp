@@ -1,0 +1,179 @@
+// E17 -- whole-graph view-type refinement.  The engine in core/refine.hpp
+// computes every radius-r view type in r synchronous rounds over the
+// non-backtracking edge-states -- O(n * k * r) state updates -- instead of
+// materializing n per-vertex view trees of up to (2k)(2k-1)^(r-1) nodes.
+// The table times both paths on the experiment graph families and verifies
+// they induce the identical type partition; the speedup check is
+// hardware-gated (the engine parallelizes across LAPX_THREADS, but it wins
+// algorithmically even on one core).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+#include "bench_common.hpp"
+#include "lapx/core/refine.hpp"
+#include "lapx/core/view.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/lift.hpp"
+
+namespace {
+
+using namespace lapx;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// First-occurrence class index per vertex: two type vectors over different
+// interners induce the same partition iff these agree exactly.
+std::vector<std::uint32_t> partition_of(const std::vector<core::TypeId>& t) {
+  std::vector<std::uint32_t> cls(t.size());
+  std::unordered_map<core::TypeId, std::uint32_t> index;
+  for (std::size_t v = 0; v < t.size(); ++v)
+    cls[v] = index.try_emplace(t[v], static_cast<std::uint32_t>(index.size()))
+                 .first->second;
+  return cls;
+}
+
+struct CaseResult {
+  double legacy_s = 0.0;
+  double engine_s = 0.0;
+  std::size_t distinct = 0;
+  bool same_partition = false;
+};
+
+CaseResult run_case(const graph::LDigraph& g, int r) {
+  CaseResult res;
+  core::TypeInterner legacy_interner;
+  core::TypeInterner engine_interner;
+
+  bench::phase("legacy_per_vertex");
+  std::vector<core::TypeId> legacy(g.num_vertices());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    legacy[v] = core::view_type_id(core::view(g, v, r), legacy_interner);
+  res.legacy_s = seconds_since(t0);
+
+  bench::phase("engine_refinement");
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto engine = core::bulk_view_type_ids(g, r, engine_interner);
+  res.engine_s = seconds_since(t1);
+
+  bench::phase("verify_partition");
+  res.same_partition = partition_of(legacy) == partition_of(engine);
+  auto sorted = engine;
+  std::sort(sorted.begin(), sorted.end());
+  res.distinct = static_cast<std::size_t>(
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+  return res;
+}
+
+void print_tables() {
+  bench::print_header(
+      "E17: whole-graph type refinement vs per-vertex view materialization",
+      "refinement computes all radius-r types in O(n*k*r) state updates; "
+      "the per-vertex path re-interns n trees of ~(2k)(2k-1)^(r-1) nodes");
+
+  struct Case {
+    std::string name;
+    graph::LDigraph g;
+    int r;
+  };
+  std::mt19937_64 rng(17);
+  std::vector<Case> cases;
+  cases.push_back({"torus 24x24, r=5", graph::directed_torus({24, 24}), 5});
+  cases.push_back(
+      {"torus 10x10x10, r=4", graph::directed_torus({10, 10, 10}), 4});
+  cases.push_back({"lift(torus 3x4)x256, r=6",
+                   graph::random_lift(graph::directed_torus({3, 4}), 256, rng)
+                       .graph,
+                   6});
+  {
+    // Directed path: boundary effects give ~2r+1 type classes.
+    graph::LDigraph path(4096, 1);
+    for (graph::Vertex v = 0; v + 1 < path.num_vertices(); ++v)
+      path.add_arc(v, v + 1, 0);
+    cases.push_back({"path 4096, r=8", std::move(path), 8});
+  }
+  {
+    // Irregular two-label graph: path plus an affine-permutation chord
+    // layer (proper by bijectivity; 4v = -1 and 4v = -2 have no solutions
+    // mod 2048, so no self-loops or parallel (u,v) pairs).  The path
+    // boundary spread through the chords yields many type classes.
+    graph::LDigraph chords(2048, 2);
+    for (graph::Vertex v = 0; v + 1 < chords.num_vertices(); ++v)
+      chords.add_arc(v, v + 1, 0);
+    for (graph::Vertex v = 0; v < chords.num_vertices(); ++v)
+      chords.add_arc(v, (5 * v + 2) % chords.num_vertices(), 1);
+    cases.push_back({"path+chords 2048, r=4", std::move(chords), 4});
+  }
+
+  bench::print_row({"graph", "n", "r", "distinct", "partition equal"});
+  double legacy_total = 0.0;
+  double engine_total = 0.0;
+  bool all_equal = true;
+  for (auto& c : cases) {
+    const auto res = run_case(c.g, c.r);
+    legacy_total += res.legacy_s;
+    engine_total += res.engine_s;
+    all_equal = all_equal && res.same_partition;
+    bench::print_row({c.name, std::to_string(c.g.num_vertices()),
+                      std::to_string(c.r), std::to_string(res.distinct),
+                      res.same_partition ? "yes" : "NO"});
+    std::string key = "distinct_" + c.name;
+    for (char& ch : key)
+      if (ch == ' ' || ch == ',' || ch == '(' || ch == ')') ch = '_';
+    bench::value(key, static_cast<double>(res.distinct));
+  }
+
+  // Timings are informational (machine-dependent): printed here and recorded
+  // in the JSON "phases" section, never in "values".
+  std::printf("\nlegacy total %.3fs, engine total %.3fs, speedup %.1fx\n",
+              legacy_total, engine_total,
+              engine_total > 0 ? legacy_total / engine_total : 0.0);
+
+  bench::check(all_equal,
+               "engine type partition matches legacy view_type_id on every "
+               "family");
+  const double speedup =
+      engine_total > 0 ? legacy_total / engine_total : 0.0;
+  const bool enough_cores = std::thread::hardware_concurrency() >= 4;
+  bench::check(enough_cores ? speedup >= 2.0 : speedup >= 1.2,
+               "refinement engine >= 2x faster than per-vertex "
+               "materialization (hardware-gated)");
+}
+
+void BM_LegacyViewTypes(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto g = graph::directed_torus({m, m});
+  for (auto _ : state) {
+    core::TypeInterner interner;
+    std::vector<core::TypeId> t(g.num_vertices());
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+      t[v] = core::view_type_id(core::view(g, v, 4), interner);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetComplexityN(m * m);
+}
+BENCHMARK(BM_LegacyViewTypes)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_BulkViewTypes(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto g = graph::directed_torus({m, m});
+  for (auto _ : state) {
+    core::TypeInterner interner;
+    benchmark::DoNotOptimize(core::bulk_view_type_ids(g, 4, interner));
+  }
+  state.SetComplexityN(m * m);
+}
+BENCHMARK(BM_BulkViewTypes)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+}  // namespace
+
+LAPX_BENCH_MAIN(print_tables)

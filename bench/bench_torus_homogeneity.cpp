@@ -26,6 +26,7 @@ void print_tables() {
       "6x6 torus, lex order: (4/9, 1)- and (1/9, 2)-homogeneous; "
       "general law (m-2r)^d / m^d");
 
+  bench::phase("figure6b_6x6");
   {
     const auto d = graph::directed_torus({6, 6});
     const auto keys = identity_keys(36);
@@ -44,6 +45,7 @@ void print_tables() {
                  "6x6 torus is (1/9, 2)-homogeneous (Figure 6b)");
   }
 
+  bench::phase("general_law");
   std::printf("\nGeneral law, directed d-dimensional tori (r = 1):\n");
   bench::print_row({"dims", "analytic (m-2)^d/m^d", "measured", "types"});
   for (const auto& dims : std::vector<std::vector<int>>{
@@ -60,6 +62,7 @@ void print_tables() {
                       std::to_string(report.distinct_types)});
   }
 
+  bench::phase("convergence_in_m");
   std::printf(
       "\nConvergence in m (the eps -> 0 limit of Theorem 3.3), 2-dim:\n");
   bench::print_row({"m", "1 - measured fraction (eps)", "analytic eps"});

@@ -15,6 +15,16 @@
 // Edge-subset problems: the algorithm marks incident edges; an edge belongs
 // to the solution iff at least one endpoint marks it (the paper's
 // Omega = {0,1}^Delta encoding).
+//
+// Purity contract: PO and OI algorithms ARE their model's definition -- a
+// function of the view type / canonical ball type only.  The PO/OI runners
+// rely on this: they classify all vertices with the whole-graph refinement
+// engine (core/refine.hpp) or the interned ordered-ball types, evaluate the
+// algorithm once per type class on a representative (whose view/ball is
+// materialized as the witness), and scatter the answer.  An "algorithm"
+// peeking at ViewTree::Node::image or Ball::original is outside the model
+// (it would not be lift- or order-invariant) and is not supported.  ID
+// runners never deduplicate: identifiers make every ball distinct.
 
 #include <functional>
 #include <vector>

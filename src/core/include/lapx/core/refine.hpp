@@ -1,0 +1,116 @@
+#pragma once
+// Whole-graph view-type refinement (the universal-cover recurrence).
+//
+// view_type_id(view(g, v, r)) classifies one vertex by materializing its
+// radius-r view tree -- up to 1 + sum 2k(2k-1)^{i-1} nodes.  But the type of
+// a subtree rooted at a walk ending in vertex w that arrived via move m and
+// has d levels left depends only on (w, m, d): its children are the
+// non-backtracking steps of w (every step except m.inverse()), each carrying
+// the (w', m', d-1) subtree of its endpoint.  So instead of n independent
+// trees we iterate one table:
+//
+//   state   = arrival (vertex, move); there is exactly one per direction of
+//             each arc, 2|A| in total.  A state is indexed by the step it
+//             excludes: arrival (w, m) <-> the step (w, m.inverse()).
+//   T_0[s]  = the empty node (no levels left): all states equivalent.
+//   T_i[s]  = intern_node over the steps of s's vertex except s itself, in
+//             (outgoing, label) order, each step j contributing the edge
+//             (move_j, T_{i-1}[succ_j]) -- exactly the tuple the legacy
+//             intern_subtree builds, so the TypeIds coincide.
+//   root_i[v] = kViewRoot|i over ALL steps of v against T_{i-1}.
+//
+// r rounds of O(n k) interner lookups replace n tree materializations; the
+// ViewTree path stays as the debug/witness implementation and the oracle
+// refine_test cross-validates against.
+//
+// Determinism (DESIGN.md "Type refinement"): each round computes the
+// per-step (move, previous-type) entries with the deterministic parallel
+// pool (per-index slots only), then a serial rendezvous pass walks states
+// in index order, deduplicating tuples in a round-local table and interning
+// first occurrences -- so freshly allocated TypeIds depend only on the
+// graph, never on LAPX_THREADS.
+//
+// Refinement is monotone: equal round-i trees truncate to equal round-(i-1)
+// trees, so the state partition only ever splits.  When a round leaves the
+// number of classes unchanged the partition is stable forever (the next
+// partition is a function of the current one), and later rounds intern one
+// tuple per class from a representative instead of deduplicating all
+// states.  High-girth and Cayley graphs stabilize after ~girth rounds, so
+// deep radii cost O(classes * k) per round.
+
+#include <cstdint>
+#include <vector>
+
+#include "lapx/core/interner.hpp"
+#include "lapx/core/view.hpp"
+#include "lapx/graph/digraph.hpp"
+
+namespace lapx::core {
+
+/// Incremental whole-graph view typing: advances radius by radius, keeping
+/// the root types of every radius computed so far.
+class ViewRefiner {
+ public:
+  explicit ViewRefiner(const LDigraph& g,
+                       TypeInterner& interner = TypeInterner::global());
+
+  /// types[v] == view_type_id(view(g, v, radius)) for every vertex v.
+  /// Advances the refinement as needed; earlier radii stay cached.
+  const std::vector<TypeId>& types_at(int radius);
+
+  /// Number of distinct radius-`radius` root types (advances as needed).
+  std::size_t distinct_at(int radius);
+
+  /// Largest radius computed so far (-1 before the first types_at call).
+  int radius() const { return static_cast<int>(roots_.size()) - 1; }
+
+  /// Current number of edge-state classes (bench/debug instrumentation).
+  std::size_t state_classes() const { return state_distinct_; }
+
+  /// True once the state partition stopped splitting.
+  bool stable() const { return states_stable_; }
+
+ private:
+  void advance();  // one synchronous round: radius() + 1
+
+  const LDigraph& g_;
+  TypeInterner& interner_;
+
+  // Flattened non-backtracking steps, grouped by vertex, sorted by
+  // (outgoing, label) within a vertex: in-arcs (label order) then out-arcs.
+  std::vector<std::uint32_t> step_off_;       // per vertex; size n+1
+  std::vector<std::uint32_t> step_vertex_;    // owning vertex of each step
+  std::vector<std::uint32_t> step_succ_;      // state index the step leads to
+  std::vector<std::uint64_t> step_edge_tag_;  // kViewEdge | move payload
+  std::vector<std::uint32_t> step_move_bits_; // outgoing<<31 | label
+
+  // State types of the previous / current round (indexed by step).
+  std::vector<TypeId> t_prev_, t_cur_;
+  // Per-round rendezvous scratch: entry[j] = move_bits[j]<<32 | t_prev[succ[j]].
+  std::vector<std::uint64_t> entries_;
+
+  std::vector<std::uint32_t> state_class_;  // stable partition labels
+  std::vector<std::uint32_t> state_rep_;    // representative step per class
+  std::size_t state_distinct_ = 0;
+  bool states_stable_ = false;
+
+  std::vector<std::uint32_t> root_class_;  // stable root partition labels
+  std::vector<std::uint32_t> root_rep_;    // representative vertex per class
+  bool roots_stable_ = false;
+
+  std::vector<std::vector<TypeId>> roots_;  // per radius, per vertex
+  std::vector<std::size_t> root_distinct_;  // per radius
+};
+
+/// One-shot convenience: radius-r root types for every vertex.
+std::vector<TypeId> bulk_view_type_ids(
+    const LDigraph& g, int r, TypeInterner& interner = TypeInterner::global());
+
+/// The type of the complete radius-r view over a k-letter alphabet -- the
+/// view of any vertex whose radius-r neighborhood is k-in-k-out regular
+/// (Figure 5's (T*, lambda) truncated at r).  O(k^2 r) interner lookups;
+/// types[v] == complete_view_type_id(k, r) <=> is_complete_view(view(g,v,r)).
+TypeId complete_view_type_id(int k, int r,
+                             TypeInterner& interner = TypeInterner::global());
+
+}  // namespace lapx::core

@@ -2,7 +2,9 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "lapx/core/refine.hpp"
 #include "lapx/runtime/parallel.hpp"
 
 namespace lapx::core {
@@ -21,21 +23,76 @@ std::vector<bool> run_vertices(std::int64_t n, const Body& body) {
   return std::vector<bool>(buf.begin(), buf.end());
 }
 
+// Type-class index over a per-vertex TypeId vector: cls[v] is the class of
+// v, rep[c] the first vertex (in id order) of class c -- deterministic
+// whatever the thread count, because the ids come from the refinement
+// engine's rendezvous pass.
+struct TypeClasses {
+  std::vector<std::size_t> cls;
+  std::vector<Vertex> rep;
+};
+
+TypeClasses classify(const std::vector<TypeId>& types) {
+  TypeClasses tc;
+  tc.cls.resize(types.size());
+  std::unordered_map<TypeId, std::size_t> index;
+  index.reserve(types.size());
+  for (std::size_t v = 0; v < types.size(); ++v) {
+    const auto [it, inserted] = index.try_emplace(types[v], tc.rep.size());
+    if (inserted) tc.rep.push_back(static_cast<Vertex>(v));
+    tc.cls[v] = it->second;
+  }
+  return tc;
+}
+
 }  // namespace
 
 std::vector<bool> run_po(const LDigraph& g, const VertexPoAlgorithm& algo,
                          int r) {
-  return run_vertices(g.num_vertices(), [&](std::int64_t v) {
-    return algo(view(g, static_cast<Vertex>(v), r)) != 0;
-  });
+  // A PO algorithm is by definition a function of the truncated view, so it
+  // runs once per view-type class (on the class's first vertex, whose tree
+  // is materialized as the witness) and the answer is scattered.
+  const auto tc = classify(bulk_view_type_ids(g, r));
+  std::vector<unsigned char> out(tc.rep.size());
+  runtime::parallel_for(static_cast<std::int64_t>(tc.rep.size()),
+                        [&](std::int64_t c) {
+                          out[static_cast<std::size_t>(c)] =
+                              algo(view(g, tc.rep[static_cast<std::size_t>(c)],
+                                        r)) != 0
+                                  ? 1
+                                  : 0;
+                        });
+  std::vector<bool> result(tc.cls.size());
+  for (std::size_t v = 0; v < tc.cls.size(); ++v)
+    result[v] = out[tc.cls[v]] != 0;
+  return result;
 }
 
 std::vector<bool> run_oi(const graph::Graph& g, const order::Keys& keys,
                          const VertexOiAlgorithm& algo, int r) {
-  return run_vertices(g.num_vertices(), [&](std::int64_t v) {
-    return algo(canonicalize_oi(
-               extract_ball(g, keys, static_cast<graph::Vertex>(v), r))) != 0;
+  // Same dedup for OI: the canonical ball handed to the algorithm is a
+  // function of the interned ordered-ball tuple (the `original` traceback
+  // is not part of the OI-visible input), so one evaluation per class.
+  const Vertex n = g.num_vertices();
+  std::vector<TypeId> types(static_cast<std::size_t>(n));
+  runtime::parallel_for(n, [&](std::int64_t v) {
+    types[static_cast<std::size_t>(v)] = order::ordered_ball_type_id(
+        g, keys, static_cast<graph::Vertex>(v), r);
   });
+  const auto tc = classify(types);
+  std::vector<unsigned char> out(tc.rep.size());
+  runtime::parallel_for(
+      static_cast<std::int64_t>(tc.rep.size()), [&](std::int64_t c) {
+        out[static_cast<std::size_t>(c)] =
+            algo(canonicalize_oi(extract_ball(
+                g, keys, tc.rep[static_cast<std::size_t>(c)], r))) != 0
+                ? 1
+                : 0;
+      });
+  std::vector<bool> result(tc.cls.size());
+  for (std::size_t v = 0; v < tc.cls.size(); ++v)
+    result[v] = out[tc.cls[v]] != 0;
+  return result;
 }
 
 std::vector<bool> run_id(const graph::Graph& g, const order::Keys& ids,
@@ -48,13 +105,25 @@ std::vector<bool> run_id(const graph::Graph& g, const order::Keys& ids,
 std::vector<bool> run_po_edges(const LDigraph& g, const EdgePoAlgorithm& algo,
                                int r) {
   const graph::Graph underlying = g.underlying_graph();
+  // The move selection is a function of the view type, so the algorithm
+  // runs once per class; the per-vertex translation of moves to edge ids
+  // (including the missing-arc check) still happens at every vertex.
+  const auto tc = classify(bulk_view_type_ids(g, r));
+  std::vector<EdgeMarksPo> class_marks(tc.rep.size());
+  runtime::parallel_for(static_cast<std::int64_t>(tc.rep.size()),
+                        [&](std::int64_t c) {
+                          class_marks[static_cast<std::size_t>(c)] =
+                              algo(view(g, tc.rep[static_cast<std::size_t>(c)],
+                                        r));
+                        });
   // Two endpoints may mark the same edge, so the parallel phase only
   // collects each vertex's marked edge ids; the bits are set serially.
   std::vector<std::vector<std::size_t>> marked(
       static_cast<std::size_t>(g.num_vertices()));
   runtime::parallel_for(g.num_vertices(), [&](std::int64_t vi) {
     const Vertex v = static_cast<Vertex>(vi);
-    for (const auto& [move, selected] : algo(view(g, v, r))) {
+    for (const auto& [move, selected] :
+         class_marks[tc.cls[static_cast<std::size_t>(vi)]]) {
       if (!selected) continue;
       const auto w = move.outgoing ? g.out_neighbor(v, move.label)
                                    : g.in_neighbor(v, move.label);
@@ -111,11 +180,34 @@ std::vector<bool> run_id_edges(const graph::Graph& g, const order::Keys& ids,
 bool po_outputs_lift_invariant(const LDigraph& lift, const LDigraph& base,
                                const std::vector<graph::Vertex>& phi,
                                const VertexPoAlgorithm& algo, int r) {
+  // Both graphs are typed against the same interner, so the algorithm runs
+  // once per distinct type across the two graphs; per-vertex outputs are
+  // then compared exactly as before (equal types give equal outputs by the
+  // PO contract, unequal types may still agree in output).
+  const auto lift_types = bulk_view_type_ids(lift, r);
+  const auto base_types = bulk_view_type_ids(base, r);
+  std::unordered_map<TypeId, std::size_t> index;
+  std::vector<std::pair<bool, Vertex>> rep;  // (from base?, vertex)
+  for (std::size_t v = 0; v < lift_types.size(); ++v)
+    if (index.try_emplace(lift_types[v], rep.size()).second)
+      rep.emplace_back(false, static_cast<Vertex>(v));
+  for (std::size_t v = 0; v < base_types.size(); ++v)
+    if (index.try_emplace(base_types[v], rep.size()).second)
+      rep.emplace_back(true, static_cast<Vertex>(v));
+  std::vector<int> out(rep.size());
+  runtime::parallel_for(static_cast<std::int64_t>(rep.size()),
+                        [&](std::int64_t c) {
+                          const auto& [from_base, v] =
+                              rep[static_cast<std::size_t>(c)];
+                          out[static_cast<std::size_t>(c)] =
+                              algo(view(from_base ? base : lift, v, r));
+                        });
   return runtime::parallel_reduce(
       lift.num_vertices(), true,
       [&](std::int64_t v) {
-        return algo(view(lift, static_cast<Vertex>(v), r)) ==
-               algo(view(base, phi.at(static_cast<std::size_t>(v)), r));
+        return out[index.at(lift_types[static_cast<std::size_t>(v)])] ==
+               out[index.at(base_types.at(
+                   phi.at(static_cast<std::size_t>(v))))];
       },
       [](bool a, bool b) { return a && b; });
 }

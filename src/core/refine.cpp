@@ -1,0 +1,300 @@
+#include "lapx/core/refine.hpp"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "lapx/runtime/parallel.hpp"
+
+namespace lapx::core {
+
+namespace {
+
+// Heterogeneous lookup so the rendezvous table can probe with a
+// string_view over the scratch key and only copy bytes on first occurrence.
+struct BytesHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct BytesEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+using RendezvousMap =
+    std::unordered_map<std::string, std::uint32_t, BytesHash, BytesEq>;
+
+std::string_view as_bytes(const std::uint64_t* data, std::size_t n) {
+  return {reinterpret_cast<const char*>(data), n * sizeof(std::uint64_t)};
+}
+
+// Index of the step (v, move{outgoing, label}) inside its vertex's span.
+std::uint32_t step_index_of(const graph::LDigraph& g, graph::Vertex v,
+                            bool outgoing, graph::Label label,
+                            std::uint32_t base) {
+  const auto arcs = outgoing ? g.out_arcs(v) : g.in_arcs(v);
+  const auto it = std::lower_bound(
+      arcs.begin(), arcs.end(), label,
+      [](const std::pair<graph::Label, graph::Vertex>& a, graph::Label l) {
+        return a.first < l;
+      });
+  const auto pos = static_cast<std::uint32_t>(it - arcs.begin());
+  return base + (outgoing ? static_cast<std::uint32_t>(g.in_degree(v)) : 0u) +
+         pos;
+}
+
+}  // namespace
+
+ViewRefiner::ViewRefiner(const LDigraph& g, TypeInterner& interner)
+    : g_(g), interner_(interner) {
+  const Vertex n = g.num_vertices();
+  step_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (Vertex v = 0; v < n; ++v)
+    step_off_[static_cast<std::size_t>(v) + 1] =
+        step_off_[v] + static_cast<std::uint32_t>(g.degree(v));
+  const std::size_t steps = step_off_[n];
+  step_vertex_.resize(steps);
+  step_succ_.resize(steps);
+  step_edge_tag_.resize(steps);
+  step_move_bits_.resize(steps);
+  runtime::parallel_for(n, [&](std::int64_t vi) {
+    const auto v = static_cast<Vertex>(vi);
+    std::uint32_t s = step_off_[v];
+    // In-arc steps first (outgoing == false), then out-arc steps: both span
+    // lists are sorted by label, so the steps land in (outgoing, label)
+    // order -- the order view() emits children in.
+    for (const auto& [l, w] : g_.in_arcs(v)) {
+      step_vertex_[s] = static_cast<std::uint32_t>(v);
+      // Following the in-arc backwards arrives at w via move {false, l};
+      // the state it realizes excludes the inverse step {true, l} at w.
+      step_succ_[s] = step_index_of(g_, w, true, l, step_off_[w]);
+      step_edge_tag_[s] = type_tag::kViewEdge | static_cast<std::uint32_t>(l);
+      step_move_bits_[s] = static_cast<std::uint32_t>(l);
+      ++s;
+    }
+    for (const auto& [l, w] : g_.out_arcs(v)) {
+      step_vertex_[s] = static_cast<std::uint32_t>(v);
+      step_succ_[s] = step_index_of(g_, w, false, l, step_off_[w]);
+      step_edge_tag_[s] = type_tag::kViewEdge | (std::uint64_t{1} << 32) |
+                          static_cast<std::uint32_t>(l);
+      step_move_bits_[s] =
+          0x80000000u | static_cast<std::uint32_t>(l);
+      ++s;
+    }
+  });
+
+  // Round 0: every state is the empty node -- one class.
+  const TypeId empty = interner_.intern_node(type_tag::kViewNode, nullptr, 0);
+  t_prev_.assign(steps, empty);
+  t_cur_.resize(steps);
+  entries_.resize(steps);
+  state_class_.assign(steps, 0);
+  state_rep_.assign(steps ? 1 : 0, 0);
+  state_distinct_ = steps ? 1 : 0;
+
+  // Radius 0: every vertex has the same single-node view.
+  const TypeId root0 =
+      interner_.intern_node(type_tag::kViewRoot | 0u, &empty, 1);
+  roots_.emplace_back(static_cast<std::size_t>(n), root0);
+  root_distinct_.push_back(n ? 1 : 0);
+  root_class_.assign(static_cast<std::size_t>(n), 0);
+  root_rep_.assign(n ? 1 : 0, 0);
+}
+
+void ViewRefiner::advance() {
+  const Vertex n = g_.num_vertices();
+  const int next_radius = radius() + 1;
+  const std::uint64_t root_tag =
+      type_tag::kViewRoot | static_cast<std::uint32_t>(next_radius);
+
+  // Rendezvous entry per step against the previous round's state types.
+  // Parallel, per-index slots only -- content is thread-count-independent.
+  if (!states_stable_ || !roots_stable_) {
+    runtime::parallel_for(n, [&](std::int64_t vi) {
+      const auto v = static_cast<Vertex>(vi);
+      for (std::uint32_t j = step_off_[v]; j < step_off_[v + 1]; ++j)
+        entries_[j] = (static_cast<std::uint64_t>(step_move_bits_[j]) << 32) |
+                      t_prev_[step_succ_[j]];
+    });
+  }
+
+  std::vector<TypeId> tmp_edges;
+
+  // --- Roots at next_radius: the tuple over ALL steps of v. ---
+  std::vector<TypeId> roots(static_cast<std::size_t>(n));
+  std::size_t root_distinct;
+  if (roots_stable_) {
+    // The root partition stopped changing; intern one tuple per class from
+    // its representative and scatter by the recorded labels.
+    std::vector<TypeId> class_type(root_rep_.size());
+    for (std::size_t c = 0; c < root_rep_.size(); ++c) {
+      const Vertex v = static_cast<Vertex>(root_rep_[c]);
+      tmp_edges.clear();
+      for (std::uint32_t j = step_off_[v]; j < step_off_[v + 1]; ++j) {
+        const TypeId sub = t_prev_[step_succ_[j]];
+        tmp_edges.push_back(interner_.intern_node(step_edge_tag_[j], &sub, 1));
+      }
+      const TypeId body = interner_.intern_node(
+          type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
+      class_type[c] = interner_.intern_node(root_tag, &body, 1);
+    }
+    runtime::parallel_for(n, [&](std::int64_t v) {
+      roots[static_cast<std::size_t>(v)] =
+          class_type[root_class_[static_cast<std::size_t>(v)]];
+    });
+    root_distinct = root_rep_.size();
+  } else {
+    RendezvousMap dedup;
+    root_rep_.clear();
+    std::vector<TypeId> class_type;
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t lo = step_off_[v], hi = step_off_[v + 1];
+      const auto key = as_bytes(entries_.data() + lo, hi - lo);
+      if (const auto it = dedup.find(key); it != dedup.end()) {
+        root_class_[static_cast<std::size_t>(v)] = it->second;
+        roots[static_cast<std::size_t>(v)] = class_type[it->second];
+        continue;
+      }
+      tmp_edges.clear();
+      for (std::uint32_t j = lo; j < hi; ++j) {
+        const TypeId sub = t_prev_[step_succ_[j]];
+        tmp_edges.push_back(interner_.intern_node(step_edge_tag_[j], &sub, 1));
+      }
+      const TypeId body = interner_.intern_node(
+          type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
+      const auto cls = static_cast<std::uint32_t>(class_type.size());
+      class_type.push_back(interner_.intern_node(root_tag, &body, 1));
+      root_rep_.push_back(static_cast<std::uint32_t>(v));
+      dedup.emplace(std::string(key), cls);
+      root_class_[static_cast<std::size_t>(v)] = cls;
+      roots[static_cast<std::size_t>(v)] = class_type[cls];
+    }
+    root_distinct = class_type.size();
+    // Once the states are stable the root tuples (as a partition of the
+    // vertices) cannot change either; from now on one intern per class.
+    roots_stable_ = states_stable_;
+  }
+  roots_.push_back(std::move(roots));
+  root_distinct_.push_back(root_distinct);
+
+  // --- States: the tuple over the steps of s's vertex, s excluded. ---
+  if (states_stable_) {
+    std::vector<TypeId> class_type(state_rep_.size());
+    for (std::size_t c = 0; c < state_rep_.size(); ++c) {
+      const std::uint32_t s = state_rep_[c];
+      const Vertex v = static_cast<Vertex>(step_vertex_[s]);
+      tmp_edges.clear();
+      for (std::uint32_t j = step_off_[v]; j < step_off_[v + 1]; ++j) {
+        if (j == s) continue;
+        const TypeId sub = t_prev_[step_succ_[j]];
+        tmp_edges.push_back(interner_.intern_node(step_edge_tag_[j], &sub, 1));
+      }
+      class_type[c] = interner_.intern_node(
+          type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
+    }
+    runtime::parallel_for(static_cast<std::int64_t>(t_cur_.size()),
+                          [&](std::int64_t s) {
+                            t_cur_[static_cast<std::size_t>(s)] =
+                                class_type[state_class_[
+                                    static_cast<std::size_t>(s)]];
+                          });
+  } else {
+    RendezvousMap dedup;
+    state_rep_.clear();
+    std::vector<TypeId> class_type;
+    std::vector<std::uint64_t> key_scratch;
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t lo = step_off_[v], hi = step_off_[v + 1];
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        key_scratch.clear();
+        for (std::uint32_t j = lo; j < hi; ++j)
+          if (j != s) key_scratch.push_back(entries_[j]);
+        const auto key = as_bytes(key_scratch.data(), key_scratch.size());
+        if (const auto it = dedup.find(key); it != dedup.end()) {
+          state_class_[s] = it->second;
+          t_cur_[s] = class_type[it->second];
+          continue;
+        }
+        tmp_edges.clear();
+        for (std::uint32_t j = lo; j < hi; ++j) {
+          if (j == s) continue;
+          const TypeId sub = t_prev_[step_succ_[j]];
+          tmp_edges.push_back(
+              interner_.intern_node(step_edge_tag_[j], &sub, 1));
+        }
+        const auto cls = static_cast<std::uint32_t>(class_type.size());
+        class_type.push_back(interner_.intern_node(
+            type_tag::kViewNode, tmp_edges.data(), tmp_edges.size()));
+        state_rep_.push_back(s);
+        dedup.emplace(std::string(key), cls);
+        state_class_[s] = cls;
+        t_cur_[s] = class_type[cls];
+      }
+    }
+    // Equal class count + monotone refinement => identical partition, which
+    // is then a fixed point of the splitting step: stable forever.
+    states_stable_ = class_type.size() == state_distinct_;
+    state_distinct_ = class_type.size();
+  }
+  t_prev_.swap(t_cur_);
+}
+
+const std::vector<TypeId>& ViewRefiner::types_at(int radius) {
+  if (radius < 0) throw std::invalid_argument("ViewRefiner: negative radius");
+  while (this->radius() < radius) advance();
+  return roots_[static_cast<std::size_t>(radius)];
+}
+
+std::size_t ViewRefiner::distinct_at(int radius) {
+  types_at(radius);
+  return root_distinct_[static_cast<std::size_t>(radius)];
+}
+
+std::vector<TypeId> bulk_view_type_ids(const LDigraph& g, int r,
+                                       TypeInterner& interner) {
+  ViewRefiner refiner(g, interner);
+  return refiner.types_at(r);
+}
+
+TypeId complete_view_type_id(int k, int r, TypeInterner& interner) {
+  // Arrival moves of the complete tree, in step order: {false, 0..k-1} then
+  // {true, 0..k-1}; move m and move (m + k) % 2k are inverses.
+  const int moves = 2 * k;
+  const auto edge_tag = [](int m, int k) {
+    return type_tag::kViewEdge |
+           (m >= k ? (std::uint64_t{1} << 32) : std::uint64_t{0}) |
+           static_cast<std::uint32_t>(m % k);
+  };
+  const TypeId empty = interner.intern_node(type_tag::kViewNode, nullptr, 0);
+  std::vector<TypeId> prev(static_cast<std::size_t>(moves), empty), cur(prev);
+  std::vector<TypeId> edges;
+  for (int depth = 1; depth < r; ++depth) {
+    for (int m = 0; m < moves; ++m) {
+      edges.clear();
+      for (int j = 0; j < moves; ++j) {
+        if (j == (m + k) % moves) continue;
+        const TypeId sub = prev[static_cast<std::size_t>(j)];
+        edges.push_back(interner.intern_node(edge_tag(j, k), &sub, 1));
+      }
+      cur[static_cast<std::size_t>(m)] =
+          interner.intern_node(type_tag::kViewNode, edges.data(), edges.size());
+    }
+    prev.swap(cur);
+  }
+  edges.clear();
+  if (r > 0)
+    for (int j = 0; j < moves; ++j) {
+      const TypeId sub = prev[static_cast<std::size_t>(j)];
+      edges.push_back(interner.intern_node(edge_tag(j, k), &sub, 1));
+    }
+  const TypeId body =
+      interner.intern_node(type_tag::kViewNode, edges.data(), edges.size());
+  return interner.intern_node(
+      type_tag::kViewRoot | static_cast<std::uint32_t>(r), &body, 1);
+}
+
+}  // namespace lapx::core

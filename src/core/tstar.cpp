@@ -15,6 +15,11 @@ std::vector<std::pair<Word, group::Elem>> enumerate_words(
     int k, int radius, const group::Elem& identity,
     const std::function<group::Elem(const group::Elem&, const Move&)>& step) {
   std::vector<std::pair<Word, group::Elem>> result;
+  // The enumeration visits exactly the complete-tree node count; reserving
+  // it once keeps the DFS allocation-free (complete_tree_size is clamped by
+  // the callers' small radii, but cap defensively anyway).
+  result.reserve(static_cast<std::size_t>(
+      std::min<std::int64_t>(complete_tree_size(k, radius), 1 << 20)));
   Word word;
   std::function<void(const group::Elem&)> dfs = [&](const group::Elem& value) {
     result.emplace_back(word, value);

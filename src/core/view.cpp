@@ -1,7 +1,6 @@
 #include "lapx/core/view.hpp"
 
 #include <algorithm>
-#include <deque>
 
 namespace lapx::core {
 
@@ -17,32 +16,39 @@ ViewTree view(const LDigraph& g, Vertex v, int r) {
   ViewTree t;
   t.alphabet = g.alphabet_size();
   t.radius = r;
+  // The complete tree bounds the node count; build the hint with an early
+  // cutoff so huge (k, r) combinations (where complete_tree_size would
+  // overflow and the BFS stops far earlier anyway) never trigger an absurd
+  // allocation.
+  constexpr std::int64_t kReserveCap = 1 << 20;
+  std::int64_t cap = 1, layer = 2 * t.alphabet;
+  for (int depth = 1; depth <= r && cap < kReserveCap; ++depth) {
+    cap += layer;
+    layer *= 2 * t.alphabet - 1;
+  }
+  cap = std::min(cap, kReserveCap);
+  t.nodes.reserve(static_cast<std::size_t>(cap));
+  t.children.reserve(static_cast<std::size_t>(cap));
   t.nodes.push_back(ViewTree::Node{v, -1, Move{}, 0});
   t.children.emplace_back();
-  std::deque<int> queue{0};
-  while (!queue.empty()) {
-    const int cur = queue.front();
-    queue.pop_front();
-    const auto& node = t.nodes[cur];
-    if (node.depth == r) continue;
-    const Vertex u = node.image;
-    const int depth = node.depth;
-    // Enumerate moves in canonical order: incoming letters first by label,
-    // then outgoing -- any fixed order works; children stay sorted by
-    // (outgoing, label) because Move's ordering is (outgoing, label).
-    std::vector<std::pair<Move, Vertex>> steps;
-    for (const auto& [l, w] : g.in_arcs(u)) steps.push_back({Move{false, l}, w});
-    for (const auto& [l, w] : g.out_arcs(u)) steps.push_back({Move{true, l}, w});
-    std::sort(steps.begin(), steps.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [move, target] : steps) {
-      if (cur != 0 && move == t.nodes[cur].via.inverse()) continue;
+  // BFS frontier: t.nodes itself is in BFS order, so a cursor replaces the
+  // queue -- no per-node scratch at all.  Arc spans are sorted by label and
+  // incoming precedes outgoing, which is exactly Move's (outgoing, label)
+  // order, so children come out sorted without materializing a step list.
+  for (int cur = 0; cur < static_cast<int>(t.nodes.size()); ++cur) {
+    if (t.nodes[cur].depth == r) continue;
+    const Vertex u = t.nodes[cur].image;
+    const int depth = t.nodes[cur].depth;
+    const Move skip = cur == 0 ? Move{true, -1} : t.nodes[cur].via.inverse();
+    const auto extend = [&](Move move, Vertex target) {
+      if (cur != 0 && move == skip) return;
       const int child = static_cast<int>(t.nodes.size());
       t.nodes.push_back(ViewTree::Node{target, cur, move, depth + 1});
       t.children.emplace_back();
       t.children[cur].push_back(child);
-      queue.push_back(child);
-    }
+    };
+    for (const auto& [l, w] : g.in_arcs(u)) extend(Move{false, l}, w);
+    for (const auto& [l, w] : g.out_arcs(u)) extend(Move{true, l}, w);
   }
   return t;
 }

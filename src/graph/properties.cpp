@@ -1,6 +1,7 @@
 #include "lapx/graph/properties.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <stdexcept>
@@ -76,20 +77,51 @@ std::vector<int> bfs_distances(const Graph& g, Vertex source) {
   return dist;
 }
 
+namespace {
+
+// Per-thread epoch-stamped BFS scratch: bulk callers (ordered-ball typing,
+// OI simulations) extract one ball per vertex, and a fresh O(n) dist vector
+// per call made those sweeps quadratic.  A bumped epoch invalidates every
+// mark at once; the arrays are only ever grown.
+struct BallScratch {
+  std::vector<std::uint32_t> stamp;
+  std::vector<int> dist;
+  std::vector<Vertex> queue;
+  std::uint32_t epoch = 0;
+
+  void begin(std::size_t n) {
+    if (stamp.size() < n) {
+      stamp.resize(n, 0);
+      dist.resize(n, 0);
+    }
+    if (++epoch == 0) {  // wrapped: every stale stamp looks fresh again
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+    queue.clear();
+  }
+};
+
+}  // namespace
+
 std::vector<Vertex> ball(const Graph& g, Vertex v, int r) {
-  std::vector<Vertex> result;
-  std::vector<int> dist(g.num_vertices(), -1);
-  std::deque<Vertex> queue{v};
-  dist.at(v) = 0;
-  result.push_back(v);
-  while (!queue.empty()) {
-    const Vertex u = queue.front();
-    queue.pop_front();
-    if (dist[u] == r) continue;
+  if (v < 0 || v >= g.num_vertices())
+    throw std::out_of_range("ball: root out of range");
+  static thread_local BallScratch s;
+  s.begin(static_cast<std::size_t>(g.num_vertices()));
+  std::vector<Vertex> result{v};
+  s.stamp[static_cast<std::size_t>(v)] = s.epoch;
+  s.dist[static_cast<std::size_t>(v)] = 0;
+  s.queue.push_back(v);
+  for (std::size_t head = 0; head < s.queue.size(); ++head) {
+    const Vertex u = s.queue[head];
+    if (s.dist[static_cast<std::size_t>(u)] == r) continue;
+    const int next = s.dist[static_cast<std::size_t>(u)] + 1;
     for (Vertex w : g.neighbors(u))
-      if (dist[w] == -1) {
-        dist[w] = dist[u] + 1;
-        queue.push_back(w);
+      if (s.stamp[static_cast<std::size_t>(w)] != s.epoch) {
+        s.stamp[static_cast<std::size_t>(w)] = s.epoch;
+        s.dist[static_cast<std::size_t>(w)] = next;
+        s.queue.push_back(w);
         result.push_back(w);
       }
   }

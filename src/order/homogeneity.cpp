@@ -1,7 +1,6 @@
 #include "lapx/order/homogeneity.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <numeric>
 #include <stdexcept>
 #include <unordered_map>
@@ -33,11 +32,20 @@ Keys identity_keys(Vertex n) {
 
 namespace {
 
-// Ball vertices sorted by key, plus the position map old-vertex -> index.
+// Ball vertices sorted by key, plus a position index old-vertex -> index.
+// The index is a vertex-sorted vector probed by binary search: balls are
+// small, so lower_bound beats a hash map and allocates one flat block.
 struct SortedBall {
-  std::vector<Vertex> vertices;  // sorted by key ascending
-  std::unordered_map<Vertex, int> position;
+  std::vector<Vertex> vertices;                  // sorted by key ascending
+  std::vector<std::pair<Vertex, int>> position;  // sorted by vertex id
   int root_pos = -1;
+
+  int find(Vertex w) const {
+    const auto it = std::lower_bound(
+        position.begin(), position.end(), w,
+        [](const std::pair<Vertex, int>& p, Vertex v) { return p.first < v; });
+    return it != position.end() && it->first == w ? it->second : -1;
+  }
 };
 
 SortedBall sorted_ball(const std::vector<Vertex>& ball_vertices,
@@ -48,25 +56,65 @@ SortedBall sorted_ball(const std::vector<Vertex>& ball_vertices,
             [&](Vertex a, Vertex b) { return keys.at(a) < keys.at(b); });
   sb.position.reserve(sb.vertices.size());
   for (std::size_t i = 0; i < sb.vertices.size(); ++i)
-    sb.position[sb.vertices[i]] = static_cast<int>(i);
-  sb.root_pos = sb.position.at(root);
+    sb.position.emplace_back(sb.vertices[i], static_cast<int>(i));
+  std::sort(sb.position.begin(), sb.position.end());
+  sb.root_pos = sb.find(root);
   return sb;
+}
+
+// Reusable per-thread BFS scratch with epoch-stamped visited marks: bulk
+// typing (measure_homogeneity, materialize_homogeneous) calls the ball
+// extractor once per vertex, and a fresh O(n) dist vector per call turned
+// those sweeps quadratic on ~3e5-vertex Cayley graphs.  The stamp array is
+// only ever grown; a bumped epoch invalidates all marks at once.
+struct BallScratch {
+  std::vector<std::uint32_t> stamp;
+  std::vector<int> dist;
+  std::vector<Vertex> queue;
+  std::uint32_t epoch = 0;
+
+  void begin(std::size_t n) {
+    if (stamp.size() < n) {
+      stamp.resize(n, 0);
+      dist.resize(n, 0);
+    }
+    if (++epoch == 0) {  // wrapped: every stale stamp looks fresh again
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+    queue.clear();
+  }
+  bool seen(Vertex v) const {
+    return stamp[static_cast<std::size_t>(v)] == epoch;
+  }
+  void mark(Vertex v, int d) {
+    stamp[static_cast<std::size_t>(v)] = epoch;
+    dist[static_cast<std::size_t>(v)] = d;
+  }
+};
+
+BallScratch& ball_scratch() {
+  static thread_local BallScratch scratch;
+  return scratch;
 }
 
 // Ball in the underlying graph of an L-digraph (arcs traversed both ways).
 std::vector<Vertex> digraph_ball(const LDigraph& d, Vertex v, int r) {
-  std::vector<int> dist(d.num_vertices(), -1);
-  std::deque<Vertex> queue{v};
-  dist.at(v) = 0;
+  if (v < 0 || v >= d.num_vertices())
+    throw std::out_of_range("digraph_ball: root out of range");
+  BallScratch& s = ball_scratch();
+  s.begin(static_cast<std::size_t>(d.num_vertices()));
+  s.mark(v, 0);
+  s.queue.push_back(v);
   std::vector<Vertex> members{v};
-  while (!queue.empty()) {
-    const Vertex u = queue.front();
-    queue.pop_front();
-    if (dist[u] == r) continue;
+  for (std::size_t head = 0; head < s.queue.size(); ++head) {
+    const Vertex u = s.queue[head];
+    if (s.dist[static_cast<std::size_t>(u)] == r) continue;
+    const int next = s.dist[static_cast<std::size_t>(u)] + 1;
     auto visit = [&](Vertex w) {
-      if (dist[w] == -1) {
-        dist[w] = dist[u] + 1;
-        queue.push_back(w);
+      if (!s.seen(w)) {
+        s.mark(w, next);
+        s.queue.push_back(w);
         members.push_back(w);
       }
     };
@@ -91,9 +139,9 @@ std::vector<std::pair<int, int>> collect_edges(const Graph& g,
   std::vector<std::pair<int, int>> edges;
   for (std::size_t i = 0; i < sb.vertices.size(); ++i) {
     for (Vertex w : g.neighbors(sb.vertices[i])) {
-      auto it = sb.position.find(w);
-      if (it != sb.position.end() && static_cast<int>(i) < it->second)
-        edges.emplace_back(static_cast<int>(i), it->second);
+      const int pos = sb.find(w);
+      if (pos >= 0 && static_cast<int>(i) < pos)
+        edges.emplace_back(static_cast<int>(i), pos);
     }
   }
   std::sort(edges.begin(), edges.end());
@@ -105,9 +153,8 @@ std::vector<std::tuple<int, int, Label>> collect_arcs(const LDigraph& d,
   std::vector<std::tuple<int, int, Label>> arcs;
   for (std::size_t i = 0; i < sb.vertices.size(); ++i) {
     for (const auto& [l, w] : d.out_arcs(sb.vertices[i])) {
-      auto it = sb.position.find(w);
-      if (it != sb.position.end())
-        arcs.emplace_back(static_cast<int>(i), it->second, l);
+      const int pos = sb.find(w);
+      if (pos >= 0) arcs.emplace_back(static_cast<int>(i), pos, l);
     }
   }
   std::sort(arcs.begin(), arcs.end());

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "lapx/graph/port_numbering.hpp"
 #include "lapx/runtime/parallel.hpp"
@@ -328,9 +329,48 @@ core::ViewTree knowledge_to_view(const Knowledge& k, int radius, int delta) {
   return t;
 }
 
+namespace {
+
+// Hash-conses the view encoded by a knowledge tree directly -- the same
+// bottom-up tuple view_type_id builds from a ViewTree, so the TypeIds
+// coincide with view_type_id(knowledge_to_view(...)) without materializing
+// the tree.
+core::TypeId intern_knowledge(const Knowledge::Node& k, int arrived_port,
+                              int depth_left, int delta,
+                              core::TypeInterner& interner) {
+  if (depth_left <= 0)
+    return interner.intern_node(core::type_tag::kViewNode, nullptr, 0);
+  std::vector<core::TypeId> edges;
+  for (const ChildEntry& c : sorted_children(k, arrived_port, delta)) {
+    core::TypeId sub;
+    if (depth_left == 1) {
+      // Leaf level: the subtree is empty regardless of deeper knowledge.
+      sub = interner.intern_node(core::type_tag::kViewNode, nullptr, 0);
+    } else {
+      if (!k.has_neighbor(c.port))
+        throw std::logic_error("knowledge too shallow for requested radius");
+      sub = intern_knowledge(k.neighbor(c.port), c.back_port, depth_left - 1,
+                             delta, interner);
+    }
+    const std::uint64_t payload =
+        (static_cast<std::uint64_t>(c.outgoing ? 1 : 0) << 32) |
+        static_cast<std::uint32_t>(c.label);
+    edges.push_back(
+        interner.intern_node(core::type_tag::kViewEdge | payload, &sub, 1));
+  }
+  return interner.intern_node(core::type_tag::kViewNode, edges.data(),
+                              edges.size());
+}
+
+}  // namespace
+
 core::TypeId knowledge_view_type_id(const Knowledge& k, int radius, int delta,
                                     core::TypeInterner& interner) {
-  return core::view_type_id(knowledge_to_view(k, radius, delta), interner);
+  const core::TypeId body =
+      intern_knowledge(k.root(), -1, radius, delta, interner);
+  return interner.intern_node(
+      core::type_tag::kViewRoot | static_cast<std::uint32_t>(radius), &body,
+      1);
 }
 
 std::vector<bool> run_po_via_messages(const graph::Graph& g,
@@ -340,13 +380,38 @@ std::vector<bool> run_po_via_messages(const graph::Graph& g,
                                       int r, int delta) {
   const auto knowledge = gather_full_information(g, pn, orient, r);
   const graph::Vertex n = g.num_vertices();
-  std::vector<unsigned char> buf(static_cast<std::size_t>(n));
+  // Classify every node by its (materialization-free) view type, then run
+  // the algorithm once per class: the one place a ViewTree is still built
+  // is the per-class witness handed to the algorithm.
+  std::vector<core::TypeId> types(static_cast<std::size_t>(n));
   runtime::parallel_for(n, [&](std::int64_t v) {
-    buf[static_cast<std::size_t>(v)] =
-        algo(knowledge_to_view(knowledge[static_cast<std::size_t>(v)], r,
-                               delta)) != 0;
+    types[static_cast<std::size_t>(v)] =
+        knowledge_view_type_id(knowledge[static_cast<std::size_t>(v)], r,
+                               delta);
   });
-  return std::vector<bool>(buf.begin(), buf.end());
+  std::unordered_map<core::TypeId, std::size_t> index;
+  std::vector<graph::Vertex> rep;
+  std::vector<std::size_t> cls(static_cast<std::size_t>(n));
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const auto [it, inserted] =
+        index.try_emplace(types[static_cast<std::size_t>(v)], rep.size());
+    if (inserted) rep.push_back(v);
+    cls[static_cast<std::size_t>(v)] = it->second;
+  }
+  std::vector<unsigned char> out(rep.size());
+  runtime::parallel_for(static_cast<std::int64_t>(rep.size()),
+                        [&](std::int64_t c) {
+                          out[static_cast<std::size_t>(c)] =
+                              algo(knowledge_to_view(
+                                  knowledge[static_cast<std::size_t>(
+                                      rep[static_cast<std::size_t>(c)])],
+                                  r, delta)) != 0;
+                        });
+  std::vector<bool> result(static_cast<std::size_t>(n));
+  for (graph::Vertex v = 0; v < n; ++v)
+    result[static_cast<std::size_t>(v)] =
+        out[cls[static_cast<std::size_t>(v)]] != 0;
+  return result;
 }
 
 }  // namespace lapx::runtime

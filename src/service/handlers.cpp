@@ -8,6 +8,7 @@
 #include "lapx/algorithms/oi.hpp"
 #include "lapx/algorithms/po.hpp"
 #include "lapx/core/model.hpp"
+#include "lapx/core/refine.hpp"
 #include "lapx/core/view.hpp"
 #include "lapx/graph/generators.hpp"
 #include "lapx/graph/io.hpp"
@@ -107,15 +108,19 @@ Json handle_views(const Request& req, const GraphEntry& entry) {
   const int r = static_cast<int>(int_field(req, "radius", 1, 0, kMaxRadius));
   const graph::LDigraph& ld = entry.ldigraph();
   const auto n = static_cast<std::int64_t>(ld.num_vertices());
-  std::vector<core::TypeId> types(static_cast<std::size_t>(n), core::kNoType);
-  runtime::parallel_for(n, [&](std::int64_t v) {
-    types[static_cast<std::size_t>(v)] =
-        core::view_type_id(core::view(ld, static_cast<graph::Vertex>(v), r));
-  });
-  // Class sizes via one sort; ids are interner-order-dependent but the
-  // counts (all we emit) are not.
+  // Whole-graph refinement: one pass types every vertex with no per-vertex
+  // tree materialization.  Counts (all we emit) are id-order-free, so the
+  // response bytes are identical to the legacy per-vertex path.
+  std::vector<core::TypeId> types = core::bulk_view_type_ids(ld, r);
+  const auto alphabet = ld.alphabet_size();
+  // A view is complete iff its type equals the complete-tree type.
+  const core::TypeId complete_type = core::complete_view_type_id(alphabet, r);
+  std::int64_t complete = 0;
+  for (const core::TypeId t : types)
+    if (t == complete_type) ++complete;
+  // Class sizes via one sort.
   std::sort(types.begin(), types.end());
-  std::int64_t distinct = 0, largest = 0, complete = 0;
+  std::int64_t distinct = 0, largest = 0;
   for (std::size_t i = 0; i < types.size();) {
     std::size_t j = i;
     while (j < types.size() && types[j] == types[i]) ++j;
@@ -123,11 +128,6 @@ Json handle_views(const Request& req, const GraphEntry& entry) {
     largest = std::max(largest, static_cast<std::int64_t>(j - i));
     i = j;
   }
-  const auto alphabet = ld.alphabet_size();
-  for (std::int64_t v = 0; v < n; ++v)
-    if (core::is_complete_view(
-            core::view(ld, static_cast<graph::Vertex>(v), r)))
-      ++complete;
   Json out = Json::object();
   out.set("radius", Json::integer(r));
   out.set("alphabet", Json::integer(alphabet));

@@ -1,0 +1,172 @@
+// Cross-validation of the whole-graph view-type refinement engine
+// (core/refine.hpp) against the legacy per-vertex oracle
+// view_type_id(view(g, v, r)): the engine must produce the *same TypeIds in
+// the same interner* on every graph family the experiments use, at every
+// radius, and independently of the thread count.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "lapx/core/refine.hpp"
+#include "lapx/core/view.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/lift.hpp"
+#include "lapx/group/homogeneous.hpp"
+#include "lapx/runtime/parallel.hpp"
+
+namespace {
+
+using namespace lapx::core;
+using lapx::graph::directed_cycle;
+using lapx::graph::directed_torus;
+using lapx::graph::LDigraph;
+using lapx::graph::Vertex;
+
+// Engine and oracle share one fresh interner, so agreement must be exact
+// TypeId equality, not just equality as a partition.
+void expect_engine_matches_legacy(const LDigraph& g, int max_r) {
+  TypeInterner interner;
+  ViewRefiner refiner(g, interner);
+  for (int r = 0; r <= max_r; ++r) {
+    const auto& types = refiner.types_at(r);
+    ASSERT_EQ(static_cast<Vertex>(types.size()), g.num_vertices());
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(types[static_cast<std::size_t>(v)],
+                view_type_id(view(g, v, r), interner))
+          << "vertex " << v << " radius " << r;
+  }
+}
+
+TEST(Refine, DirectedCycle) {
+  expect_engine_matches_legacy(directed_cycle(9), 4);
+}
+
+TEST(Refine, DirectedTori) {
+  expect_engine_matches_legacy(directed_torus({6, 6}), 3);
+  expect_engine_matches_legacy(directed_torus({3, 4}), 4);
+  expect_engine_matches_legacy(directed_torus({3, 3, 3}), 3);
+}
+
+TEST(Refine, RandomLifts) {
+  std::mt19937_64 rng(42);
+  const LDigraph base = directed_torus({3, 4});
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto lift = lapx::graph::random_lift(base, 4, rng);
+    expect_engine_matches_legacy(lift.graph, 3);
+  }
+}
+
+TEST(Refine, HighGirthConstruction) {
+  // A Theorem 3.2 instance: 2-regular, girth > 5 -- deep stable refinement.
+  std::mt19937_64 rng(11);
+  auto spec = lapx::group::design_homogeneous(1, 2, 4, rng);
+  ASSERT_TRUE(spec.has_value());
+  spec->m = 4;
+  const auto h = lapx::group::materialize_homogeneous(
+      *spec, 1 << 20, /*take_component=*/true);
+  expect_engine_matches_legacy(h.digraph, 3);
+}
+
+TEST(Refine, OneRegularMatching) {
+  // Self-loop-free 1-regular digraph (a perfect matching of arcs): every
+  // state has zero children, and root types split by arc direction.
+  LDigraph g(6, 1);
+  g.add_arc(0, 1, 0);
+  g.add_arc(2, 3, 0);
+  g.add_arc(5, 4, 0);
+  expect_engine_matches_legacy(g, 3);
+}
+
+TEST(Refine, DisconnectedMixedComponents) {
+  // A cycle, an isolated vertex, and a path-ish fragment in one graph.
+  LDigraph g(8, 2);
+  g.add_arc(0, 1, 0);
+  g.add_arc(1, 2, 0);
+  g.add_arc(2, 0, 0);
+  // vertex 3 isolated
+  g.add_arc(4, 5, 1);
+  g.add_arc(5, 6, 0);
+  g.add_arc(7, 5, 0);
+  expect_engine_matches_legacy(g, 4);
+}
+
+TEST(Refine, EmptyAndSingleVertex) {
+  expect_engine_matches_legacy(LDigraph(0, 2), 2);
+  expect_engine_matches_legacy(LDigraph(1, 2), 2);
+}
+
+TEST(Refine, DistinctCountsMatchPartition) {
+  const LDigraph g = directed_torus({6, 6});
+  TypeInterner interner;
+  ViewRefiner refiner(g, interner);
+  for (int r : {0, 1, 2}) {
+    const auto& types = refiner.types_at(r);
+    std::vector<TypeId> sorted(types);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    EXPECT_EQ(refiner.distinct_at(r), sorted.size());
+  }
+  // The 6x6 torus has one radius-1 class of "interior" vertices plus the
+  // wrap-affected ones; radius grows never merges classes.
+  EXPECT_LE(refiner.distinct_at(1), refiner.distinct_at(2));
+}
+
+TEST(Refine, ThreadCountIndependentTypeIds) {
+  // Rendezvous interning: the raw TypeId values (not just the partition)
+  // must be identical at 1 and 8 threads.
+  std::mt19937_64 rng(7);
+  const auto lift = lapx::graph::random_lift(directed_torus({3, 4}), 3, rng);
+  const int old_threads = lapx::runtime::thread_count();
+  lapx::runtime::set_thread_count(1);
+  TypeInterner interner1;
+  const auto ids1 = bulk_view_type_ids(lift.graph, 3, interner1);
+  lapx::runtime::set_thread_count(8);
+  TypeInterner interner8;
+  const auto ids8 = bulk_view_type_ids(lift.graph, 3, interner8);
+  lapx::runtime::set_thread_count(old_threads);
+  EXPECT_EQ(ids1, ids8);
+}
+
+TEST(Refine, CompleteViewTypeId) {
+  // complete_view_type_id must equal the legacy type exactly where
+  // is_complete_view holds, and differ where it does not.
+  const LDigraph torus = directed_torus({6, 6});  // 2-in-2-out regular
+  TypeInterner interner;
+  for (int r : {0, 1, 2, 3}) {
+    const TypeId complete =
+        complete_view_type_id(torus.alphabet_size(), r, interner);
+    for (Vertex v = 0; v < torus.num_vertices(); v += 7) {
+      const ViewTree t = view(torus, v, r);
+      EXPECT_EQ(view_type_id(t, interner) == complete, is_complete_view(t));
+    }
+  }
+  // On an irregular graph no view is complete.
+  LDigraph path(3, 1);
+  path.add_arc(0, 1, 0);
+  path.add_arc(1, 2, 0);
+  TypeInterner interner2;
+  const TypeId complete = complete_view_type_id(1, 2, interner2);
+  for (Vertex v = 0; v < 3; ++v)
+    EXPECT_NE(view_type_id(view(path, v, 2), interner2), complete);
+}
+
+TEST(Refine, StabilityFastPathStaysExact) {
+  // Push a high-girth-ish regular graph far past stabilization; the
+  // per-class fast path must keep matching the oracle at every radius.
+  const LDigraph g = directed_torus({5, 5});
+  TypeInterner interner;
+  ViewRefiner refiner(g, interner);
+  refiner.types_at(6);
+  EXPECT_TRUE(refiner.stable());
+  for (int r = 4; r <= 6; ++r) {
+    const auto& types = refiner.types_at(r);
+    for (Vertex v = 0; v < g.num_vertices(); v += 3)
+      EXPECT_EQ(types[static_cast<std::size_t>(v)],
+                view_type_id(view(g, v, r), interner))
+          << "radius " << r << " vertex " << v;
+  }
+}
+
+}  // namespace

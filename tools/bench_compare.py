@@ -21,8 +21,16 @@ baselines).
 Reports are matched by their embedded ``name`` field, not by filename, so
 the two directories may use different naming schemes.
 
+After the gate verdict the script prints an **informational** wall-time
+trend: per report, baseline vs current ``table_wall_seconds`` and every
+``phases`` entry with the relative delta.  The trend never affects the exit
+status (timings are machine-dependent); ``--trend-report PATH`` additionally
+writes it to a file so CI can upload it as an artifact and perf PRs can
+attribute their wins table by table.
+
 Usage:
   bench_compare.py BASELINE_DIR CURRENT_DIR [--rel-tol X] [--abs-tol Y]
+                   [--trend-report PATH]
   bench_compare.py --self-test BASELINE_DIR
 
 ``--self-test`` perturbs a copy of the baselines (one flipped check, one
@@ -109,6 +117,37 @@ def compare(baselines, currents, rel_tol=REL_TOL, abs_tol=ABS_TOL, out=sys.stdou
     return failures, warnings
 
 
+def _fmt_seconds_delta(baseline, current):
+    if baseline is None and current is None:
+        return "n/a"
+    if baseline is None:
+        return "n/a -> %.3fs" % current
+    if current is None:
+        return "%.3fs -> n/a" % baseline
+    if baseline > 0:
+        return "%.3fs -> %.3fs (%+.1f%%)" % (
+            baseline, current, 100.0 * (current - baseline) / baseline)
+    return "%.3fs -> %.3fs" % (baseline, current)
+
+
+def trend_lines(baselines, currents):
+    """Informational wall-time trend, baseline vs current.  Never gates."""
+    lines = ["wall-time trend (informational, never gates):"]
+    for name in sorted(set(baselines) | set(currents)):
+        base = baselines.get(name) or {}
+        cur = currents.get(name) or {}
+        lines.append("  %-38s %s" % (
+            name, _fmt_seconds_delta(base.get("table_wall_seconds"),
+                                     cur.get("table_wall_seconds"))))
+        base_phases = base.get("phases", {})
+        cur_phases = cur.get("phases", {})
+        for phase in sorted(set(base_phases) | set(cur_phases)):
+            lines.append("    %-36s %s" % (
+                phase, _fmt_seconds_delta(base_phases.get(phase),
+                                          cur_phases.get(phase))))
+    return lines
+
+
 def self_test(baseline_dir):
     """Perturb a copy of the baselines; the gate must catch every injection."""
     baselines = load_reports(baseline_dir)
@@ -144,7 +183,24 @@ def self_test(baseline_dir):
         print("self-test FAILED: identical reports flagged as regressions",
               file=sys.stderr)
         return 1
-    print("self-test OK: gate detects flipped checks and deviated values")
+    # The trend is purely informational: a doubled wall time must appear in
+    # the trend lines yet produce zero failures.
+    slowed = copy.deepcopy(baselines)
+    slowed[donor_check]["table_wall_seconds"] = (
+        2.0 * baselines[donor_check].get("table_wall_seconds", 1.0) + 1.0)
+    with tempfile.TemporaryFile(mode="w+") as sink:
+        slow_failures, _ = compare(baselines, slowed, out=sink)
+    trend = trend_lines(baselines, slowed)
+    if slow_failures:
+        print("self-test FAILED: wall-time change gated the build",
+              file=sys.stderr)
+        return 1
+    if len(trend) <= len(baselines) or "->" not in "".join(trend):
+        print("self-test FAILED: trend report missing wall-time deltas",
+              file=sys.stderr)
+        return 1
+    print("self-test OK: gate detects flipped checks and deviated values; "
+          "trend stays informational")
     return 0
 
 
@@ -157,15 +213,24 @@ def main(argv):
     parser.add_argument("--self-test", action="store_true",
                         help="inject regressions into a copy of the baselines "
                              "and assert the gate catches them")
+    parser.add_argument("--trend-report", metavar="PATH",
+                        help="also write the informational wall-time trend "
+                             "to this file (for CI artifact upload)")
     args = parser.parse_args(argv)
     try:
         if args.self_test:
             return self_test(args.baseline_dir)
         if not args.current_dir:
             parser.error("CURRENT_DIR is required unless --self-test")
-        failures, _ = compare(load_reports(args.baseline_dir),
-                              load_reports(args.current_dir),
+        baselines = load_reports(args.baseline_dir)
+        currents = load_reports(args.current_dir)
+        failures, _ = compare(baselines, currents,
                               rel_tol=args.rel_tol, abs_tol=args.abs_tol)
+        trend = trend_lines(baselines, currents)
+        print("\n".join(trend))
+        if args.trend_report:
+            with open(args.trend_report, "w") as f:
+                f.write("\n".join(trend) + "\n")
         return 1 if failures else 0
     except IOError as e:
         print("bench_compare: %s" % e, file=sys.stderr)
