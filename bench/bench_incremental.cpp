@@ -1,0 +1,299 @@
+// E18: incremental delta-refinement -- single-edit requery vs from-scratch.
+//
+// The paper's locality argument (a vertex's output depends only on its
+// radius-r view) makes graph edits cheap: cutting or healing one arc can
+// only change view types within distance r of its endpoints, so a session
+// that keeps its per-round RefineState re-refines a small frontier instead
+// of the whole graph.  This bench measures that claim on two instances:
+//
+//   * a 2-dimensional torus (the Figure 6(b) playground), and
+//   * a large random lift of the directed 3x4 torus -- the instance family
+//     the lower-bound machinery actually runs on, and where from-scratch
+//     refinement is expensive enough for the delta path to matter.
+//
+// For every timed edit the delta-refined TypeIds are compared against a
+// from-scratch RefineState over the same interner: identity is exact, not
+// statistical.  Acceptance asks for >= 5x on the large lift.
+//
+// The second table drives the in-process lapxd Service with a pipelined
+// stream that interleaves `mutate` (cut/heal) with `views`/`analyze`
+// requeries at 1 and 4 scheduler executors: the transcripts must be
+// byte-identical -- mutations are admin ops resolved inline at submission
+// order, so executor width must stay invisible in the bytes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lapx/core/refine.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/lift.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/runtime/parallel.hpp"
+#include "lapx/service/ordering.hpp"
+#include "lapx/service/service.hpp"
+
+namespace {
+
+using lapx::bench::check;
+using lapx::bench::fmt;
+using lapx::bench::phase;
+using lapx::bench::print_header;
+using lapx::bench::print_row;
+using lapx::bench::value;
+using lapx::core::RefineState;
+using lapx::core::TypeInterner;
+using lapx::graph::Arc;
+using lapx::graph::LDigraph;
+using lapx::service::ResponseSequencer;
+using lapx::service::Service;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double median_of(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+struct EditTrialResult {
+  double delta_seconds = 0.0;  // median per timed edit
+  double full_seconds = 0.0;   // median over the paired from-scratch runs
+  bool ids_identical = true;   // delta vs scratch, every edit
+  std::size_t last_dirty = 0;
+  std::size_t last_frontier = 0;
+  int edits = 0;
+};
+
+// Alternating cut/heal single-arc edits: each timed step removes (or
+// re-adds) one deterministically chosen arc, delta-refines the persistent
+// state, and races a from-scratch refinement of the same graph over the
+// same (warm) interner.  Warmth is symmetric: both paths see an interner
+// that already holds every type of the unedited graph, so the ratio
+// isolates the frontier restriction rather than hash-table cold-start.
+// The first cut/heal pair is an untimed warm-up (it populates the delta
+// path's reusable scratch generations) and the timed edits are summarized
+// by their medians, so one scheduler hiccup cannot flip the gated ratio.
+EditTrialResult run_edit_trial(LDigraph g, int radius, int pairs,
+                               std::uint64_t seed) {
+  EditTrialResult out;
+  TypeInterner interner;
+  RefineState state(g, interner, /*keep_rounds=*/true);
+  state.types_at(radius);  // prime: the session's existing refinement
+  std::mt19937_64 rng(seed);
+  std::vector<double> delta_times, full_times;
+  for (int p = 0; p < pairs + 1; ++p) {
+    const bool warmup = p == 0;
+    const auto& arcs = g.arcs();
+    const Arc cut = arcs[rng() % arcs.size()];
+    for (const bool healing : {false, true}) {
+      if (healing)
+        g.add_arc(cut.from, cut.to, cut.label);
+      else
+        g.remove_arc(cut.from, cut.to);
+
+      phase("delta-requery");
+      auto t0 = std::chrono::steady_clock::now();
+      const RefineState::DeltaStats st = state.refine_delta(g);
+      const std::vector<lapx::core::TypeId> delta_ids = state.types_at(radius);
+      if (!warmup) delta_times.push_back(seconds_since(t0));
+
+      phase("full-refine");
+      t0 = std::chrono::steady_clock::now();
+      RefineState scratch(g, interner);
+      const std::vector<lapx::core::TypeId>& full_ids =
+          scratch.types_at(radius);
+      if (!warmup) full_times.push_back(seconds_since(t0));
+
+      out.ids_identical = out.ids_identical && delta_ids == full_ids;
+      out.last_dirty = st.dirty_vertices;
+      out.last_frontier = st.frontier_vertices;
+      if (!warmup) ++out.edits;
+    }
+  }
+  out.delta_seconds = median_of(std::move(delta_times));
+  out.full_seconds = median_of(std::move(full_times));
+  return out;
+}
+
+void print_edit_table() {
+  print_header("E18  incremental delta-refinement: edit + requery",
+               "an edit changes view types only within radius r of its "
+               "endpoints; re-refining that frontier beats from-scratch "
+               "refinement >= 5x on the large lift");
+  constexpr int kRadius = 3;
+  constexpr int kPairs = 4;  // cut+heal pairs => 2*kPairs timed edits each
+
+  struct Instance {
+    const char* name;
+    LDigraph graph;
+    bool gate;  // acceptance gates on the large lift only
+  };
+  std::mt19937_64 lift_rng(2012);  // PODC'12 -- fixed so values stay stable
+  std::vector<Instance> instances;
+  instances.push_back(
+      {"torus 24x24",
+       lapx::graph::to_ldigraph(lapx::graph::torus({24, 24})), false});
+  instances.push_back(
+      {"lift 2000x(3x4)",
+       lapx::graph::random_lift(lapx::graph::directed_torus({3, 4}), 2000,
+                                lift_rng)
+           .graph,
+       true});
+
+  print_row({"instance", "n", "arcs", "full ms/edit", "delta ms/edit",
+             "speedup", "frontier"});
+  for (Instance& inst : instances) {
+    const auto n = inst.graph.num_vertices();
+    const auto arcs = inst.graph.num_arcs();
+    const EditTrialResult res =
+        run_edit_trial(std::move(inst.graph), kRadius, kPairs, 42);
+    const double per_full = res.full_seconds * 1e3;
+    const double per_delta = res.delta_seconds * 1e3;
+    const double speedup =
+        res.delta_seconds > 0 ? res.full_seconds / res.delta_seconds : 0.0;
+    print_row({inst.name, std::to_string(n), std::to_string(arcs),
+               fmt(per_full, 3), fmt(per_delta, 3), fmt(speedup, 1) + "x",
+               std::to_string(res.last_frontier) + "/" + std::to_string(n)});
+    const std::string tag = inst.gate ? "lift" : "torus";
+    check(res.ids_identical,
+          "delta TypeIds byte-identical to from-scratch (" + tag + ", " +
+              std::to_string(res.edits) + " edits, r=" +
+              std::to_string(kRadius) + ")");
+    if (inst.gate)
+      check(speedup >= 5.0,
+            "single-edit requery >= 5x full recompute (large lift)");
+    // The frontier is a deterministic function of graph + seed + radius;
+    // the timings are not and stay out of the gated values.
+    value(tag + "_last_dirty", static_cast<double>(res.last_dirty));
+    value(tag + "_last_frontier", static_cast<double>(res.last_frontier));
+    value(tag + "_edits", static_cast<double>(res.edits));
+  }
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Service transcripts: mutate + requery across executor widths.
+
+// A torus edge by index, from the same generator the service uses, so the
+// mutate requests below are valid without asking the daemon.
+std::vector<std::string> mutate_requery_stream() {
+  const auto edges = lapx::graph::torus({8, 8}).edges();
+  std::vector<std::string> reqs;
+  int id = 1;
+  auto add = [&](const std::string& body) {
+    reqs.push_back("{\"id\":" + std::to_string(id++) + "," + body + "}");
+  };
+  add(R"("op":"generate","name":"g","family":"torus","args":[8,8])");
+  for (int k = 0; k < 6; ++k) {
+    const auto [u, v] = edges[static_cast<std::size_t>(k * 17 + 3) %
+                              edges.size()];
+    const std::string uv =
+        "\"u\":" + std::to_string(u) + ",\"v\":" + std::to_string(v);
+    add(R"("op":"views","graph":"g","radius":2)");
+    add(R"("op":"homogeneity","graph":"g","radius":1)");
+    add(R"("op":"mutate","name":"g","edits":[{"op":"remove",)" + uv + "}]");
+    add(R"("op":"views","graph":"g","radius":2)");
+    add(R"("op":"analyze","graph":"g")");
+    add(R"("op":"mutate","name":"g","edits":[{"op":"add",)" + uv + "}]");
+    add(R"("op":"views","graph":"g","radius":2)");
+  }
+  add(R"("op":"session_info")");
+  return reqs;
+}
+
+std::string run_transcript(int executors, const std::vector<std::string>& reqs) {
+  Service::Options opt;
+  opt.scheduler.executors = executors;
+  Service svc(opt);
+  std::string bytes;
+  ResponseSequencer sequencer;
+  constexpr std::size_t kWindow = 16;
+  for (const std::string& r : reqs) {
+    sequencer.enqueue(svc.submit(r));
+    if (sequencer.in_flight() >= kWindow) sequencer.drain_one(bytes);
+    sequencer.drain_ready(bytes);
+  }
+  sequencer.drain_all(bytes);
+  return bytes;
+}
+
+void print_transcript_table() {
+  print_header("E18b lapxd mutate/requery transcripts vs executor width",
+               "mutations are inline admin ops and queries pin their epoch "
+               "at submission, so transcripts are byte-identical at any "
+               "executor count");
+  phase("service-transcript");
+  // Pin the pool: the axis under test is the scheduler width.
+  lapx::runtime::set_thread_count(1);
+  const std::vector<std::string> reqs = mutate_requery_stream();
+  std::printf("stream: %zu requests (6 cut/heal mutate pairs interleaved "
+              "with views/homogeneity/analyze requeries)\n\n",
+              reqs.size());
+  const std::string t1 = run_transcript(1, reqs);
+  const std::string t4 = run_transcript(4, reqs);
+  lapx::runtime::set_thread_count(0);
+  print_row({"executors", "transcript bytes"});
+  print_row({"1", std::to_string(t1.size())});
+  print_row({"4", std::to_string(t4.size())});
+  std::printf("\n");
+  check(!t1.empty() && t1 == t4,
+        "mutate/requery transcript byte-identical at executors 1 vs 4");
+  check(t1.find("\"error\"") == std::string::npos,
+        "no error envelopes in the mutate/requery stream");
+  value("transcript_requests", static_cast<double>(reqs.size()));
+  value("transcript_bytes", static_cast<double>(t1.size()));
+  std::printf("\n");
+}
+
+void print_tables() {
+  print_edit_table();
+  print_transcript_table();
+}
+
+void BM_DeltaRequery(benchmark::State& state) {
+  std::mt19937_64 rng(2012);
+  auto lift =
+      lapx::graph::random_lift(lapx::graph::directed_torus({3, 4}), 500, rng);
+  LDigraph g = std::move(lift.graph);
+  TypeInterner interner;
+  RefineState st(g, interner, /*keep_rounds=*/true);
+  st.types_at(3);
+  const Arc cut = g.arcs()[rng() % g.arcs().size()];
+  bool present = true;
+  for (auto _ : state) {
+    if (present)
+      g.remove_arc(cut.from, cut.to);
+    else
+      g.add_arc(cut.from, cut.to, cut.label);
+    present = !present;
+    st.refine_delta(g);
+    benchmark::DoNotOptimize(st.types_at(3));
+  }
+}
+BENCHMARK(BM_DeltaRequery);
+
+void BM_FullRefine(benchmark::State& state) {
+  std::mt19937_64 rng(2012);
+  auto lift =
+      lapx::graph::random_lift(lapx::graph::directed_torus({3, 4}), 500, rng);
+  const LDigraph g = std::move(lift.graph);
+  TypeInterner interner;
+  RefineState(g, interner).types_at(3);  // warm the interner once
+  for (auto _ : state) {
+    RefineState fresh(g, interner);
+    benchmark::DoNotOptimize(fresh.types_at(3));
+  }
+}
+BENCHMARK(BM_FullRefine);
+
+}  // namespace
+
+LAPX_BENCH_MAIN(print_tables)

@@ -37,7 +37,21 @@
 // tuple per class from a representative instead of deduplicating all
 // states.  High-girth and Cayley graphs stabilize after ~girth rounds, so
 // deep radii cost O(classes * k) per round.
+//
+// Incremental delta-refinement (DESIGN.md "Delta-refinement"): a state
+// constructed with keep_rounds retains every round's state table, and
+// refine_delta(g') replays the recurrence after a graph edit touching only
+// the radius-i ball around the structurally-changed vertices at round i.
+// Soundness rides on locality: T_i[s] is a function of the (move, succ)
+// signature of s's vertex and the T_{i-1} values of its neighbors, so a
+// vertex whose signature is unchanged and whose distance from every changed
+// vertex exceeds i - 1 keeps its exact TypeId.  Identity of the recomputed
+// ids with a from-scratch refine is free: intern_node is hash-consed, so
+// equal structure means equal id within one interner, and the frontier pass
+// runs serially in vertex order, keeping fresh ids thread-count-independent
+// just like the rendezvous pass.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -47,12 +61,16 @@
 
 namespace lapx::core {
 
-/// Incremental whole-graph view typing: advances radius by radius, keeping
-/// the root types of every radius computed so far.
-class ViewRefiner {
+/// Persistent whole-graph view typing: advances radius by radius, keeping
+/// the root types of every radius computed so far, and (with keep_rounds)
+/// every round's edge-state table so the refinement survives graph edits
+/// via refine_delta.  Copyable; a copy forks the state (session epochs
+/// clone it, then refine_delta the clone against the mutated graph).
+class RefineState {
  public:
-  explicit ViewRefiner(const LDigraph& g,
-                       TypeInterner& interner = TypeInterner::global());
+  explicit RefineState(const LDigraph& g,
+                       TypeInterner& interner = TypeInterner::global(),
+                       bool keep_rounds = false);
 
   /// types[v] == view_type_id(view(g, v, radius)) for every vertex v.
   /// Advances the refinement as needed; earlier radii stay cached.
@@ -70,17 +88,47 @@ class ViewRefiner {
   /// True once the state partition stopped splitting.
   bool stable() const { return states_stable_; }
 
- private:
-  void advance();  // one synchronous round: radius() + 1
+  /// True when per-round tables are retained, i.e. refine_delta is legal.
+  bool keeps_rounds() const { return keep_rounds_; }
 
-  const LDigraph& g_;
-  TypeInterner& interner_;
+  /// What one refine_delta pass did (instrumentation; not part of any
+  /// deterministic response -- frontier sizes depend on the computed
+  /// radius, which depends on query history).
+  struct DeltaStats {
+    std::size_t dirty_vertices = 0;     ///< signature-changed seed set
+    std::size_t frontier_vertices = 0;  ///< ball around the seed at the last round
+    std::size_t total_vertices = 0;
+    int rounds = 0;
+    bool full_rebuild = false;  ///< shrunk graph: state rebuilt from scratch
+  };
+
+  /// Re-binds the state to `g` (the edited graph) and re-refines only the
+  /// edit frontier: round i recomputes the states and roots of vertices
+  /// within distance i - 1 of a vertex whose incident-arc signature
+  /// changed.  After the call, types_at(r) for every previously computed r
+  /// equals what a from-scratch RefineState(g).types_at(r) would return --
+  /// identical TypeIds, same interner.  Requires keep_rounds; `g` must
+  /// outlive the state (or the next refine_delta).  Vertex ids must be
+  /// stable across the edit (append-only growth is fine; shrinking falls
+  /// back to a full rebuild).
+  DeltaStats refine_delta(const LDigraph& g);
+
+ private:
+  void build_steps();  // CSR over *g_'s non-backtracking steps
+  void fill_vertex_steps(graph::Vertex v);  // one vertex's span of the CSR
+  void advance();      // one synchronous round: radius() + 1
+  void reset_partitions();  // conservative: next advance() re-deduplicates
+
+  const LDigraph* g_;
+  TypeInterner* interner_;
+  bool keep_rounds_ = false;
 
   // Flattened non-backtracking steps, grouped by vertex, sorted by
   // (outgoing, label) within a vertex: in-arcs (label order) then out-arcs.
   std::vector<std::uint32_t> step_off_;       // per vertex; size n+1
   std::vector<std::uint32_t> step_vertex_;    // owning vertex of each step
   std::vector<std::uint32_t> step_succ_;      // state index the step leads to
+  std::vector<std::uint32_t> step_nbr_;       // neighbor vertex of each step
   std::vector<std::uint64_t> step_edge_tag_;  // kViewEdge | move payload
   std::vector<std::uint32_t> step_move_bits_; // outgoing<<31 | label
 
@@ -100,7 +148,22 @@ class ViewRefiner {
 
   std::vector<std::vector<TypeId>> roots_;  // per radius, per vertex
   std::vector<std::size_t> root_distinct_;  // per radius
+
+  // Only with keep_rounds: round_states_[i][s] = T_i[s], i = 0..radius().
+  std::vector<std::vector<TypeId>> round_states_;
+
+  // refine_delta scratch: the retired CSR + round tables of the previous
+  // generation.  Swapped, never freed -- a steady-state session alternates
+  // between two generations of buffers, so a delta pass allocates nothing
+  // after the first call.
+  std::vector<std::uint32_t> scratch_off_, scratch_vertex_, scratch_succ_,
+      scratch_nbr_, scratch_move_;
+  std::vector<std::uint64_t> scratch_tag_;
+  std::vector<std::vector<TypeId>> scratch_rounds_;
 };
+
+/// The engine's historical name; new code should say RefineState.
+using ViewRefiner = RefineState;
 
 /// One-shot convenience: radius-r root types for every vertex.
 std::vector<TypeId> bulk_view_type_ids(

@@ -1,9 +1,11 @@
 #include "lapx/core/refine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "lapx/runtime/parallel.hpp"
 
@@ -28,6 +30,11 @@ struct BytesEq {
 using RendezvousMap =
     std::unordered_map<std::string, std::uint32_t, BytesHash, BytesEq>;
 
+// root_distinct_ sentinel: refine_delta defers the per-round distinct-root
+// count to the first distinct_at call (counting is O(n log n), the delta
+// itself only O(frontier)).
+constexpr std::size_t kDistinctUnknown = static_cast<std::size_t>(-1);
+
 std::string_view as_bytes(const std::uint64_t* data, std::size_t n) {
   return {reinterpret_cast<const char*>(data), n * sizeof(std::uint64_t)};
 }
@@ -49,8 +56,8 @@ std::uint32_t step_index_of(const graph::LDigraph& g, graph::Vertex v,
 
 }  // namespace
 
-ViewRefiner::ViewRefiner(const LDigraph& g, TypeInterner& interner)
-    : g_(g), interner_(interner) {
+void RefineState::build_steps() {
+  const LDigraph& g = *g_;
   const Vertex n = g.num_vertices();
   step_off_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (Vertex v = 0; v < n; ++v)
@@ -59,36 +66,49 @@ ViewRefiner::ViewRefiner(const LDigraph& g, TypeInterner& interner)
   const std::size_t steps = step_off_[n];
   step_vertex_.resize(steps);
   step_succ_.resize(steps);
+  step_nbr_.resize(steps);
   step_edge_tag_.resize(steps);
   step_move_bits_.resize(steps);
-  runtime::parallel_for(n, [&](std::int64_t vi) {
-    const auto v = static_cast<Vertex>(vi);
-    std::uint32_t s = step_off_[v];
-    // In-arc steps first (outgoing == false), then out-arc steps: both span
-    // lists are sorted by label, so the steps land in (outgoing, label)
-    // order -- the order view() emits children in.
-    for (const auto& [l, w] : g_.in_arcs(v)) {
-      step_vertex_[s] = static_cast<std::uint32_t>(v);
-      // Following the in-arc backwards arrives at w via move {false, l};
-      // the state it realizes excludes the inverse step {true, l} at w.
-      step_succ_[s] = step_index_of(g_, w, true, l, step_off_[w]);
-      step_edge_tag_[s] = type_tag::kViewEdge | static_cast<std::uint32_t>(l);
-      step_move_bits_[s] = static_cast<std::uint32_t>(l);
-      ++s;
-    }
-    for (const auto& [l, w] : g_.out_arcs(v)) {
-      step_vertex_[s] = static_cast<std::uint32_t>(v);
-      step_succ_[s] = step_index_of(g_, w, false, l, step_off_[w]);
-      step_edge_tag_[s] = type_tag::kViewEdge | (std::uint64_t{1} << 32) |
-                          static_cast<std::uint32_t>(l);
-      step_move_bits_[s] =
-          0x80000000u | static_cast<std::uint32_t>(l);
-      ++s;
-    }
-  });
+  runtime::parallel_for(
+      n, [&](std::int64_t vi) { fill_vertex_steps(static_cast<Vertex>(vi)); });
+}
+
+void RefineState::fill_vertex_steps(graph::Vertex v) {
+  const LDigraph& g = *g_;
+  std::uint32_t s = step_off_[v];
+  // In-arc steps first (outgoing == false), then out-arc steps: both span
+  // lists are sorted by label, so the steps land in (outgoing, label)
+  // order -- the order view() emits children in.
+  for (const auto& [l, w] : g.in_arcs(v)) {
+    step_vertex_[s] = static_cast<std::uint32_t>(v);
+    // Following the in-arc backwards arrives at w via move {false, l};
+    // the state it realizes excludes the inverse step {true, l} at w.
+    step_succ_[s] = step_index_of(g, w, true, l, step_off_[w]);
+    step_nbr_[s] = static_cast<std::uint32_t>(w);
+    step_edge_tag_[s] = type_tag::kViewEdge | static_cast<std::uint32_t>(l);
+    step_move_bits_[s] = static_cast<std::uint32_t>(l);
+    ++s;
+  }
+  for (const auto& [l, w] : g.out_arcs(v)) {
+    step_vertex_[s] = static_cast<std::uint32_t>(v);
+    step_succ_[s] = step_index_of(g, w, false, l, step_off_[w]);
+    step_nbr_[s] = static_cast<std::uint32_t>(w);
+    step_edge_tag_[s] = type_tag::kViewEdge | (std::uint64_t{1} << 32) |
+                        static_cast<std::uint32_t>(l);
+    step_move_bits_[s] = 0x80000000u | static_cast<std::uint32_t>(l);
+    ++s;
+  }
+}
+
+RefineState::RefineState(const LDigraph& g, TypeInterner& interner,
+                         bool keep_rounds)
+    : g_(&g), interner_(&interner), keep_rounds_(keep_rounds) {
+  build_steps();
+  const Vertex n = g.num_vertices();
+  const std::size_t steps = step_off_[static_cast<std::size_t>(n)];
 
   // Round 0: every state is the empty node -- one class.
-  const TypeId empty = interner_.intern_node(type_tag::kViewNode, nullptr, 0);
+  const TypeId empty = interner_->intern_node(type_tag::kViewNode, nullptr, 0);
   t_prev_.assign(steps, empty);
   t_cur_.resize(steps);
   entries_.resize(steps);
@@ -98,15 +118,18 @@ ViewRefiner::ViewRefiner(const LDigraph& g, TypeInterner& interner)
 
   // Radius 0: every vertex has the same single-node view.
   const TypeId root0 =
-      interner_.intern_node(type_tag::kViewRoot | 0u, &empty, 1);
+      interner_->intern_node(type_tag::kViewRoot | 0u, &empty, 1);
   roots_.emplace_back(static_cast<std::size_t>(n), root0);
   root_distinct_.push_back(n ? 1 : 0);
   root_class_.assign(static_cast<std::size_t>(n), 0);
   root_rep_.assign(n ? 1 : 0, 0);
+  if (keep_rounds_) round_states_.push_back(t_prev_);
 }
 
-void ViewRefiner::advance() {
-  const Vertex n = g_.num_vertices();
+void RefineState::advance() {
+  const LDigraph& g = *g_;
+  TypeInterner& interner = *interner_;
+  const Vertex n = g.num_vertices();
   const int next_radius = radius() + 1;
   const std::uint64_t root_tag =
       type_tag::kViewRoot | static_cast<std::uint32_t>(next_radius);
@@ -136,11 +159,11 @@ void ViewRefiner::advance() {
       tmp_edges.clear();
       for (std::uint32_t j = step_off_[v]; j < step_off_[v + 1]; ++j) {
         const TypeId sub = t_prev_[step_succ_[j]];
-        tmp_edges.push_back(interner_.intern_node(step_edge_tag_[j], &sub, 1));
+        tmp_edges.push_back(interner.intern_node(step_edge_tag_[j], &sub, 1));
       }
-      const TypeId body = interner_.intern_node(
+      const TypeId body = interner.intern_node(
           type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
-      class_type[c] = interner_.intern_node(root_tag, &body, 1);
+      class_type[c] = interner.intern_node(root_tag, &body, 1);
     }
     runtime::parallel_for(n, [&](std::int64_t v) {
       roots[static_cast<std::size_t>(v)] =
@@ -162,12 +185,12 @@ void ViewRefiner::advance() {
       tmp_edges.clear();
       for (std::uint32_t j = lo; j < hi; ++j) {
         const TypeId sub = t_prev_[step_succ_[j]];
-        tmp_edges.push_back(interner_.intern_node(step_edge_tag_[j], &sub, 1));
+        tmp_edges.push_back(interner.intern_node(step_edge_tag_[j], &sub, 1));
       }
-      const TypeId body = interner_.intern_node(
+      const TypeId body = interner.intern_node(
           type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
       const auto cls = static_cast<std::uint32_t>(class_type.size());
-      class_type.push_back(interner_.intern_node(root_tag, &body, 1));
+      class_type.push_back(interner.intern_node(root_tag, &body, 1));
       root_rep_.push_back(static_cast<std::uint32_t>(v));
       dedup.emplace(std::string(key), cls);
       root_class_[static_cast<std::size_t>(v)] = cls;
@@ -191,9 +214,9 @@ void ViewRefiner::advance() {
       for (std::uint32_t j = step_off_[v]; j < step_off_[v + 1]; ++j) {
         if (j == s) continue;
         const TypeId sub = t_prev_[step_succ_[j]];
-        tmp_edges.push_back(interner_.intern_node(step_edge_tag_[j], &sub, 1));
+        tmp_edges.push_back(interner.intern_node(step_edge_tag_[j], &sub, 1));
       }
-      class_type[c] = interner_.intern_node(
+      class_type[c] = interner.intern_node(
           type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
     }
     runtime::parallel_for(static_cast<std::int64_t>(t_cur_.size()),
@@ -224,10 +247,10 @@ void ViewRefiner::advance() {
           if (j == s) continue;
           const TypeId sub = t_prev_[step_succ_[j]];
           tmp_edges.push_back(
-              interner_.intern_node(step_edge_tag_[j], &sub, 1));
+              interner.intern_node(step_edge_tag_[j], &sub, 1));
         }
         const auto cls = static_cast<std::uint32_t>(class_type.size());
-        class_type.push_back(interner_.intern_node(
+        class_type.push_back(interner.intern_node(
             type_tag::kViewNode, tmp_edges.data(), tmp_edges.size()));
         state_rep_.push_back(s);
         dedup.emplace(std::string(key), cls);
@@ -241,22 +264,305 @@ void ViewRefiner::advance() {
     state_distinct_ = class_type.size();
   }
   t_prev_.swap(t_cur_);
+  if (keep_rounds_) round_states_.push_back(t_prev_);
 }
 
-const std::vector<TypeId>& ViewRefiner::types_at(int radius) {
-  if (radius < 0) throw std::invalid_argument("ViewRefiner: negative radius");
+const std::vector<TypeId>& RefineState::types_at(int radius) {
+  if (radius < 0) throw std::invalid_argument("RefineState: negative radius");
   while (this->radius() < radius) advance();
   return roots_[static_cast<std::size_t>(radius)];
 }
 
-std::size_t ViewRefiner::distinct_at(int radius) {
+std::size_t RefineState::distinct_at(int radius) {
   types_at(radius);
-  return root_distinct_[static_cast<std::size_t>(radius)];
+  std::size_t& d = root_distinct_[static_cast<std::size_t>(radius)];
+  if (d == kDistinctUnknown) {
+    // Deferred by refine_delta: counting costs O(n log n) per round while a
+    // delta pass touches only the frontier, so the count is reconstructed
+    // here on first demand.
+    std::vector<TypeId> sorted(roots_[static_cast<std::size_t>(radius)]);
+    std::sort(sorted.begin(), sorted.end());
+    d = static_cast<std::size_t>(
+        std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+  }
+  return d;
+}
+
+void RefineState::reset_partitions() {
+  const auto n = static_cast<std::size_t>(g_->num_vertices());
+  const std::size_t steps = step_off_.empty() ? 0 : step_off_.back();
+  state_class_.resize(steps);
+  state_rep_.clear();
+  state_distinct_ = 0;
+  states_stable_ = false;
+  root_class_.resize(n);
+  root_rep_.clear();
+  roots_stable_ = false;
+}
+
+RefineState::DeltaStats RefineState::refine_delta(const LDigraph& g) {
+  if (!keep_rounds_)
+    throw std::logic_error(
+        "refine_delta requires a RefineState built with keep_rounds");
+  const int max_r = radius();  // >= 0 always (radius 0 exists from birth)
+  const auto old_n = static_cast<Vertex>(step_off_.size()) - 1;
+  DeltaStats stats;
+  stats.rounds = max_r;
+  stats.total_vertices = static_cast<std::size_t>(g.num_vertices());
+  if (g.num_vertices() < old_n) {
+    // Vertex removal shifts ids; nothing transplants.  Rebuild wholesale.
+    RefineState fresh(g, *interner_, /*keep_rounds=*/true);
+    fresh.types_at(max_r);
+    *this = std::move(fresh);
+    stats.full_rebuild = true;
+    stats.dirty_vertices = stats.total_vertices;
+    stats.frontier_vertices = stats.total_vertices;
+    return stats;
+  }
+
+  // Retire the old CSR and tables into member scratch.  Swapping (rather
+  // than freeing) matters: the large-lift tables are mmap-sized, and a
+  // malloc/munmap cycle per edit costs as much as the refinement itself.
+  // The new CSR is PATCHED, not rebuilt: a delta pass must not pay
+  // build_steps' full O(steps) label-scan cost for an edit that touched a
+  // handful of vertices.
+  scratch_off_.swap(step_off_);
+  scratch_vertex_.swap(step_vertex_);
+  scratch_succ_.swap(step_succ_);
+  scratch_nbr_.swap(step_nbr_);
+  scratch_move_.swap(step_move_bits_);
+  scratch_tag_.swap(step_edge_tag_);
+  scratch_rounds_.swap(round_states_);
+  const std::vector<std::uint32_t>& old_off = scratch_off_;
+  const std::vector<std::uint32_t>& old_vertex = scratch_vertex_;
+  const std::vector<std::uint32_t>& old_succ = scratch_succ_;
+  const std::vector<std::uint32_t>& old_nbr = scratch_nbr_;
+  const std::vector<std::uint32_t>& old_move = scratch_move_;
+  const std::vector<std::uint64_t>& old_tag = scratch_tag_;
+  std::vector<std::vector<TypeId>>& old_rounds = scratch_rounds_;
+  // round_states_ now holds the husks from two generations ago -- their
+  // capacity seeds this generation's tables.
+  std::vector<std::vector<TypeId>> spare = std::move(round_states_);
+  round_states_.clear();
+  auto take_spare = [&spare]() {
+    std::vector<TypeId> buf;
+    if (!spare.empty()) {
+      buf = std::move(spare.back());
+      spare.pop_back();
+    }
+    return buf;
+  };
+  g_ = &g;
+  const Vertex n = g.num_vertices();
+  step_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (Vertex v = 0; v < n; ++v)
+    step_off_[static_cast<std::size_t>(v) + 1] =
+        step_off_[v] + static_cast<std::uint32_t>(g.degree(v));
+  const std::size_t steps = step_off_[static_cast<std::size_t>(n)];
+
+  // Seed: a vertex is dirty when its incident-step SIGNATURE changed --
+  // the per-span sequence of (move bits, successor vertex) pairs, compared
+  // straight off the adjacency in the same (outgoing, label) enumeration
+  // order fill_vertex_steps uses.  T_1 is a pure function of the
+  // signature, and the signature also pins the identity of every successor
+  // state, so a clean vertex's old table values transplant verbatim.
+  // Serial on purpose: the whole scan is ~one pass over the adjacency, and
+  // the pool's wake/barrier costs more than the scan itself at this size.
+  std::vector<char> in_frontier(static_cast<std::size_t>(n), 0);
+  std::vector<Vertex> frontier;
+  for (Vertex v = 0; v < n; ++v) {
+    bool same = v < old_n &&
+                step_off_[v + 1] - step_off_[v] == old_off[v + 1] - old_off[v];
+    if (same) {
+      std::uint32_t k = old_off[v];
+      for (const auto& [l, w] : g.in_arcs(v)) {
+        if (old_move[k] != static_cast<std::uint32_t>(l) ||
+            old_nbr[k] != static_cast<std::uint32_t>(w)) {
+          same = false;
+          break;
+        }
+        ++k;
+      }
+      if (same)
+        for (const auto& [l, w] : g.out_arcs(v)) {
+          if (old_move[k] != (0x80000000u | static_cast<std::uint32_t>(l)) ||
+              old_nbr[k] != static_cast<std::uint32_t>(w)) {
+            same = false;
+            break;
+          }
+          ++k;
+        }
+    }
+    if (!same) {
+      in_frontier[static_cast<std::size_t>(v)] = 1;
+      frontier.push_back(v);
+    }
+  }
+  stats.dirty_vertices = frontier.size();
+
+  // Patch the CSR.  Dirty spans refill from scratch; clean spans block-copy
+  // (within a run of clean vertices the old-vs-new offset delta is
+  // constant, because degrees change only at signature-changed vertices).
+  // A clean step's successor index shifts by its target span's offset
+  // delta -- unless the target itself is dirty and may have reordered its
+  // span, which costs one label scan.
+  step_vertex_.resize(steps);
+  step_succ_.resize(steps);
+  step_nbr_.resize(steps);
+  step_edge_tag_.resize(steps);
+  step_move_bits_.resize(steps);
+  {
+    Vertex run_start = 0;
+    for (std::size_t fi = 0; fi <= frontier.size(); ++fi) {
+      const Vertex stop = fi < frontier.size() ? frontier[fi] : n;
+      if (run_start < stop) {
+        const std::uint32_t lo = step_off_[run_start];
+        const std::uint32_t olo = old_off[run_start];
+        const std::uint32_t len = step_off_[stop] - lo;
+        std::copy(old_vertex.begin() + olo, old_vertex.begin() + olo + len,
+                  step_vertex_.begin() + lo);
+        std::copy(old_nbr.begin() + olo, old_nbr.begin() + olo + len,
+                  step_nbr_.begin() + lo);
+        std::copy(old_move.begin() + olo, old_move.begin() + olo + len,
+                  step_move_bits_.begin() + lo);
+        std::copy(old_tag.begin() + olo, old_tag.begin() + olo + len,
+                  step_edge_tag_.begin() + lo);
+        for (std::uint32_t j = 0; j < len; ++j) {
+          const std::uint32_t os = old_succ[olo + j];
+          const auto w = static_cast<Vertex>(old_nbr[olo + j]);
+          if (in_frontier[static_cast<std::size_t>(w)]) {
+            const std::uint32_t mb = old_move[olo + j];
+            step_succ_[lo + j] = step_index_of(
+                g, w, (mb & 0x80000000u) == 0,
+                static_cast<graph::Label>(mb & 0x7fffffffu), step_off_[w]);
+          } else {
+            step_succ_[lo + j] = os - old_off[w] + step_off_[w];
+          }
+        }
+      }
+      if (fi < frontier.size()) {
+        fill_vertex_steps(frontier[fi]);
+        run_start = frontier[fi] + 1;
+      }
+    }
+  }
+
+  // Round 0 is edit-proof: every state is the empty node, every root the
+  // same single-node view; only the lengths can change (growth).
+  const TypeId empty = interner_->intern_node(type_tag::kViewNode, nullptr, 0);
+  const TypeId root0 =
+      interner_->intern_node(type_tag::kViewRoot | 0u, &empty, 1);
+  round_states_.reserve(old_rounds.size());
+  {
+    std::vector<TypeId> r0 = take_spare();
+    r0.assign(steps, empty);
+    round_states_.push_back(std::move(r0));
+  }
+  roots_[0].assign(static_cast<std::size_t>(n), root0);
+  root_distinct_[0] = n ? 1 : 0;
+
+  // Round i re-derives exactly the ball of radius i-1 around the seed (in
+  // the new graph): outside it, both the vertex signature and every input
+  // T_{i-1} value are unchanged, so hash-consing guarantees the old TypeId
+  // is still the right answer.  The frontier pass is serial in ascending
+  // vertex order, so freshly interned ids are thread-count-independent --
+  // the same guarantee the rendezvous pass gives a from-scratch refine.
+
+  // Unchanged step layout (pure rewires, or a cut healed earlier) lets each
+  // old round table transplant by move; otherwise clean spans are copied in
+  // contiguous runs -- degrees shift only at signature-changed vertices, so
+  // between two dirty vertices the old-vs-new offset delta is constant and
+  // the whole run is one block copy.
+  const bool same_layout = old_off == step_off_;
+  std::vector<TypeId> tmp_edges;
+  for (int i = 1; i <= max_r; ++i) {
+    std::vector<TypeId> t;
+    if (same_layout) {
+      t = std::move(old_rounds[static_cast<std::size_t>(i)]);
+    } else {
+      t = take_spare();
+      t.resize(steps);  // stale tail is fine: clean spans are copied below,
+                        // frontier spans recomputed, and that covers steps
+      const std::vector<TypeId>& old_t =
+          old_rounds[static_cast<std::size_t>(i)];
+      Vertex run_start = 0;
+      for (std::size_t fi = 0; fi <= frontier.size(); ++fi) {
+        const Vertex stop = fi < frontier.size() ? frontier[fi] : n;
+        if (run_start < stop) {  // all-clean => every vertex < old_n
+          const std::uint32_t lo = step_off_[run_start];
+          const std::uint32_t len = step_off_[stop] - lo;
+          std::copy(old_t.begin() + old_off[run_start],
+                    old_t.begin() + old_off[run_start] + len, t.begin() + lo);
+        }
+        if (fi < frontier.size()) run_start = frontier[fi] + 1;
+      }
+    }
+    const std::vector<TypeId>& prev =
+        round_states_[static_cast<std::size_t>(i) - 1];
+    const std::uint64_t root_tag =
+        type_tag::kViewRoot | static_cast<std::uint32_t>(i);
+    std::vector<TypeId>& roots = roots_[static_cast<std::size_t>(i)];
+    roots.resize(static_cast<std::size_t>(n), TypeId{});
+    for (const Vertex v : frontier) {
+      const std::uint32_t lo = step_off_[v], hi = step_off_[v + 1];
+      tmp_edges.clear();
+      for (std::uint32_t j = lo; j < hi; ++j) {
+        const TypeId sub = prev[step_succ_[j]];
+        tmp_edges.push_back(interner_->intern_node(step_edge_tag_[j], &sub, 1));
+      }
+      const TypeId body = interner_->intern_node(
+          type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
+      roots[static_cast<std::size_t>(v)] =
+          interner_->intern_node(root_tag, &body, 1);
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        tmp_edges.clear();
+        for (std::uint32_t j = lo; j < hi; ++j) {
+          if (j == s) continue;
+          const TypeId sub = prev[step_succ_[j]];
+          tmp_edges.push_back(
+              interner_->intern_node(step_edge_tag_[j], &sub, 1));
+        }
+        t[s] = interner_->intern_node(type_tag::kViewNode, tmp_edges.data(),
+                                      tmp_edges.size());
+      }
+    }
+    round_states_.push_back(std::move(t));
+    root_distinct_[static_cast<std::size_t>(i)] = kDistinctUnknown;
+    if (i < max_r) {
+      // Grow the ball by one step for the next round, then restore
+      // ascending order so the recompute loop stays deterministic.
+      const std::size_t end = frontier.size();
+      for (std::size_t idx = 0; idx < end; ++idx) {
+        const Vertex v = frontier[idx];
+        auto visit = [&](Vertex w) {
+          if (!in_frontier[static_cast<std::size_t>(w)]) {
+            in_frontier[static_cast<std::size_t>(w)] = 1;
+            frontier.push_back(w);
+          }
+        };
+        for (const auto& [l, w] : g.in_arcs(v)) visit(w);
+        for (const auto& [l, w] : g.out_arcs(v)) visit(w);
+      }
+      std::sort(frontier.begin(), frontier.end());
+    }
+  }
+  stats.frontier_vertices = frontier.size();
+
+  // Re-arm the incremental machinery on the last reconciled round; the
+  // partitions may have split, so the next advance() takes the full
+  // rendezvous path rather than trusting stale stability flags.
+  t_prev_ = round_states_.back();
+  // Size-only: advance()'s forced-unstable path rewrites every element of
+  // these (and of the partition labels) before reading any of them.
+  t_cur_.resize(steps);
+  entries_.resize(steps);
+  reset_partitions();
+  return stats;
 }
 
 std::vector<TypeId> bulk_view_type_ids(const LDigraph& g, int r,
                                        TypeInterner& interner) {
-  ViewRefiner refiner(g, interner);
+  RefineState refiner(g, interner);
   return refiner.types_at(r);
 }
 

@@ -46,6 +46,33 @@ void LDigraph::add_arc(Vertex u, Vertex v, Label label) {
   ++num_arcs_;
 }
 
+Label LDigraph::remove_arc(Vertex u, Vertex v) {
+  check_vertex(u);
+  check_vertex(v);
+  auto& out = out_[u];
+  const auto it = std::find_if(out.begin(), out.end(),
+                               [v](const auto& p) { return p.second == v; });
+  if (it == out.end())
+    throw MutationError("no arc (" + std::to_string(u) + "," +
+                        std::to_string(v) + ")");
+  const Label label = it->first;
+  out.erase(it);
+  auto& in = in_[v];
+  in.erase(std::find_if(in.begin(), in.end(), [label](const auto& p) {
+    return p.first == label;
+  }));
+  arc_list_.erase(std::find(arc_list_.begin(), arc_list_.end(),
+                            Arc{u, v, label}));
+  --num_arcs_;
+  return label;
+}
+
+void LDigraph::add_vertices(Vertex count) {
+  if (count < 0) throw MutationError("negative vertex count");
+  out_.resize(out_.size() + static_cast<std::size_t>(count));
+  in_.resize(in_.size() + static_cast<std::size_t>(count));
+}
+
 std::optional<Vertex> LDigraph::out_neighbor(Vertex v, Label l) const {
   check_vertex(v);
   for (const auto& [label, w] : out_[v])

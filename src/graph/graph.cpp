@@ -19,10 +19,16 @@ Graph Graph::from_edges(Vertex n, const std::vector<Edge>& edges) {
 EdgeId Graph::add_edge(Vertex u, Vertex v) {
   check_vertex(u);
   check_vertex(v);
-  if (u == v) throw std::invalid_argument("self-loop at " + std::to_string(u));
+  if (u == v) throw MutationError("self-loop at " + std::to_string(u));
   if (has_edge(u, v))
-    throw std::invalid_argument("parallel edge {" + std::to_string(u) + "," +
-                                std::to_string(v) + "}");
+    throw MutationError("parallel edge {" + std::to_string(u) + "," +
+                        std::to_string(v) + "}");
+  if (edge_list_.size() >= kMaxGraphEdges)
+    throw MutationError("edge count would overflow EdgeId");
+  for (Vertex x : {u, v})
+    if (degree(x) >= kMaxGraphDegree)
+      throw MutationError("degree at " + std::to_string(x) +
+                          " would overflow the port-label alphabet");
   auto insert_sorted = [](std::vector<Vertex>& vec, Vertex x) {
     vec.insert(std::lower_bound(vec.begin(), vec.end(), x), x);
   };
@@ -33,6 +39,38 @@ EdgeId Graph::add_edge(Vertex u, Vertex v) {
   const auto id = static_cast<EdgeId>(edge_list_.size() - 1);
   incident_[u].push_back(id);
   incident_[v].push_back(id);
+  return id;
+}
+
+EdgeId Graph::remove_edge(Vertex u, Vertex v) {
+  check_vertex(u);
+  check_vertex(v);
+  if (!has_edge(u, v))
+    throw MutationError("no edge {" + std::to_string(u) + "," +
+                        std::to_string(v) + "}");
+  const EdgeId id = edge_id(u, v);
+  auto erase_sorted = [](std::vector<Vertex>& vec, Vertex x) {
+    vec.erase(std::lower_bound(vec.begin(), vec.end(), x));
+  };
+  erase_sorted(adj_[u], v);
+  erase_sorted(adj_[v], u);
+  auto erase_id = [this](Vertex w, EdgeId e) {
+    auto& inc = incident_[w];
+    inc.erase(std::find(inc.begin(), inc.end(), e));
+  };
+  erase_id(u, id);
+  erase_id(v, id);
+  const auto last = static_cast<EdgeId>(edge_list_.size() - 1);
+  if (id != last) {
+    // Keep ids dense: the last edge takes over the freed slot.
+    const Edge moved = edge_list_[last];
+    edge_list_[id] = moved;
+    for (Vertex w : {moved.first, moved.second}) {
+      auto& inc = incident_[w];
+      *std::find(inc.begin(), inc.end(), last) = id;
+    }
+  }
+  edge_list_.pop_back();
   return id;
 }
 

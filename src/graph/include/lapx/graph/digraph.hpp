@@ -53,6 +53,16 @@ class LDigraph {
   /// an out-of-range label.
   void add_arc(Vertex u, Vertex v, Label label);
 
+  /// Removes the (unique) arc u -> v and returns the label it carried.
+  /// Throws MutationError if no such arc exists.  O(deg) for the adjacency
+  /// update plus O(|arcs|) to keep the insertion-order arc list compact.
+  Label remove_arc(Vertex u, Vertex v);
+
+  /// Appends `count` isolated vertices (ids num_vertices()..+count-1);
+  /// existing vertices, arcs, and labels are untouched.  This is the
+  /// in-place growth primitive grow_lift (lift.hpp) builds on.
+  void add_vertices(Vertex count);
+
   Vertex num_vertices() const { return static_cast<Vertex>(out_.size()); }
   std::size_t num_arcs() const { return num_arcs_; }
   Label alphabet_size() const { return alphabet_; }

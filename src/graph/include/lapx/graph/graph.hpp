@@ -12,7 +12,14 @@
 //    edge-subset solutions (matchings, edge covers, edge dominating sets) are
 //    bit vectors indexed by these ids.
 //  * The class maintains the invariant "simple graph": no self-loops, no
-//    parallel edges.  Violations throw std::invalid_argument.
+//    parallel edges.  Violations throw MutationError (an
+//    std::invalid_argument, so legacy catch sites keep working).
+//  * Mutation ops guard the same overflow classes as the edge-list reader
+//    (graph/io.cpp): the edge count is capped below the EdgeId range (ids
+//    would otherwise wrap silently) and the per-vertex degree is capped so
+//    that the port-label encoding i * Delta + j (port_numbering.hpp) can
+//    never overflow a Label -- an unguarded add_edge used to be able to
+//    push Delta^2 past 2^31 and corrupt every port label downstream.
 
 #include <cstdint>
 #include <span>
@@ -32,6 +39,22 @@ using EdgeId = std::int32_t;
 /// An undirected edge, stored with endpoints .first < .second.
 using Edge = std::pair<Vertex, Vertex>;
 
+/// Typed failure of a graph mutation (simplicity violation, id/label
+/// overflow, missing edge).  Derives from std::invalid_argument so callers
+/// that predate the type keep catching it.
+class MutationError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Largest edge count a Graph accepts: one below the EdgeId range, so ids
+/// never wrap.  (The service and the edge-list reader cap far lower.)
+inline constexpr std::size_t kMaxGraphEdges = 0x7fffffff;
+
+/// Largest degree a Graph accepts: floor(sqrt(2^31 - 1)), so the port-label
+/// alphabet Delta^2 of to_ldigraph always fits a Label.
+inline constexpr int kMaxGraphDegree = 46340;
+
 /// A simple undirected graph with stable edge ids.
 class Graph {
  public:
@@ -44,9 +67,16 @@ class Graph {
   /// edges, or out-of-range endpoints.
   static Graph from_edges(Vertex n, const std::vector<Edge>& edges);
 
-  /// Adds the undirected edge {u, v} and returns its id.
-  /// Throws std::invalid_argument if the edge would violate simplicity.
+  /// Adds the undirected edge {u, v} and returns its id.  Throws
+  /// MutationError if the edge would violate simplicity, exceed
+  /// kMaxGraphEdges, or push an endpoint past kMaxGraphDegree.
   EdgeId add_edge(Vertex u, Vertex v);
+
+  /// Removes the undirected edge {u, v} and returns the id it occupied.
+  /// Edge ids stay dense: the edge with the largest id moves into the freed
+  /// slot (so exactly one surviving edge may change id, and only downwards).
+  /// Throws MutationError if the edge is absent.
+  EdgeId remove_edge(Vertex u, Vertex v);
 
   Vertex num_vertices() const { return static_cast<Vertex>(adj_.size()); }
   std::size_t num_edges() const { return edge_list_.size(); }

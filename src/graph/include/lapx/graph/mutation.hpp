@@ -1,0 +1,52 @@
+#pragma once
+// Batched edge edits and the locality frontier they touch.
+//
+// The paper's locality argument (Section 2) is exactly what makes graph
+// edits cheap to re-analyze: a vertex's radius-r view is a function of the
+// arcs within distance r, so editing the edge {u, v} can only change the
+// views of vertices within distance r of u or v.  Under the default port
+// numbering (port_numbering.hpp) an edit additionally renumbers ports at
+// its own endpoints -- sorted adjacency shifts there and nowhere else --
+// so the changed arcs stay incident to the edit endpoints and the ball
+// bound holds for the induced L-digraph too.  The one global exception is
+// the alphabet: the label encoding is i * Delta + j with Delta the maximum
+// degree, so an edit batch that changes max_degree relabels arcs
+// everywhere; affected_frontier detects that and reports every vertex.
+//
+// affected_frontier runs its BFS over the union of the old and the new
+// adjacency (a removed edge still transports "this arc disappeared from
+// your view" outwards), which is why it takes the post-edit graph plus the
+// edit list rather than the graph alone.
+
+#include <span>
+#include <vector>
+
+#include "lapx/graph/graph.hpp"
+
+namespace lapx::graph {
+
+/// One undirected edge edit.
+struct EdgeEdit {
+  enum class Kind { kAdd, kRemove };
+  Kind kind = Kind::kAdd;
+  Vertex u = -1;
+  Vertex v = -1;
+
+  bool operator==(const EdgeEdit&) const = default;
+};
+
+/// Applies the edits to g in order.  Throws MutationError on the first
+/// invalid edit (self-loop, duplicate add, missing remove, overflow
+/// guards), leaving g with every *earlier* edit applied -- callers that
+/// need all-or-nothing semantics apply the batch to a copy.
+void apply_edits(Graph& g, std::span<const EdgeEdit> edits);
+
+/// The vertices whose radius-r view (default port numbering) can differ
+/// between the pre-edit graph and `g`, the POST-edit graph, sorted
+/// ascending.  This is the radius-r ball around the edit endpoints in the
+/// union of old and new adjacency -- or every vertex of g when the batch
+/// changed the maximum degree (the port-label alphabet shifts globally).
+std::vector<Vertex> affected_frontier(const Graph& g,
+                                      std::span<const EdgeEdit> edits, int r);
+
+}  // namespace lapx::graph

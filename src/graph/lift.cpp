@@ -125,6 +125,36 @@ Lift random_lift(const LDigraph& G, int l, std::mt19937_64& rng) {
   });
 }
 
+Vertex grow_lift(Lift& lift, const LDigraph& G, int extra,
+                 std::mt19937_64& rng) {
+  if (extra < 1) throw std::invalid_argument("lift growth must be >= 1");
+  const Vertex base_n = G.num_vertices();
+  if (static_cast<Vertex>(lift.phi.size()) != lift.graph.num_vertices())
+    throw std::invalid_argument("lift phi size mismatch");
+  for (Vertex b : lift.phi)
+    if (b < 0 || b >= base_n)
+      throw std::invalid_argument("lift phi out of base range");
+  if (lift.graph.alphabet_size() != G.alphabet_size())
+    throw std::invalid_argument("lift alphabet mismatch");
+  const Vertex first = lift.graph.num_vertices();
+  lift.graph.add_vertices(base_n * extra);
+  lift.phi.resize(static_cast<std::size_t>(first) +
+                  static_cast<std::size_t>(base_n) * extra);
+  for (Vertex g = 0; g < base_n; ++g)
+    for (int i = 0; i < extra; ++i)
+      lift.phi[static_cast<std::size_t>(first) + g * extra + i] = g;
+  std::vector<int> sigma(static_cast<std::size_t>(extra));
+  for (const Arc& a : G.arcs()) {
+    std::iota(sigma.begin(), sigma.end(), 0);
+    std::shuffle(sigma.begin(), sigma.end(), rng);
+    for (int i = 0; i < extra; ++i)
+      lift.graph.add_arc(first + a.from * extra + i,
+                         first + a.to * extra + sigma[static_cast<std::size_t>(i)],
+                         a.label);
+  }
+  return first;
+}
+
 Lift disjoint_copies(const LDigraph& G, int l) {
   return voltage_lift(G, l, [&](const Arc&) {
     std::vector<int> id(l);

@@ -1,0 +1,82 @@
+#include "lapx/graph/mutation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace lapx::graph {
+
+void apply_edits(Graph& g, std::span<const EdgeEdit> edits) {
+  for (const EdgeEdit& e : edits) {
+    if (e.kind == EdgeEdit::Kind::kAdd)
+      g.add_edge(e.u, e.v);
+    else
+      g.remove_edge(e.u, e.v);
+  }
+}
+
+std::vector<Vertex> affected_frontier(const Graph& g,
+                                      std::span<const EdgeEdit> edits, int r) {
+  const Vertex n = g.num_vertices();
+  if (r < 0) throw std::invalid_argument("negative radius");
+  auto everything = [n] {
+    std::vector<Vertex> all(static_cast<std::size_t>(n));
+    for (Vertex v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+    return all;
+  };
+
+  // Reconstruct the pre-edit degrees from the post-edit graph: an add
+  // raised both endpoint degrees by one, a remove lowered them.  If the
+  // maximum degree moved, the port-label alphabet Delta^2 moved with it
+  // and every arc label in the induced L-digraph is suspect.
+  std::vector<int> old_degree(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v)
+    old_degree[static_cast<std::size_t>(v)] = g.degree(v);
+  for (const EdgeEdit& e : edits) {
+    const int shift = e.kind == EdgeEdit::Kind::kAdd ? -1 : 1;
+    for (Vertex x : {e.u, e.v}) {
+      if (x < 0 || x >= n) throw MutationError("edit endpoint out of range");
+      old_degree[static_cast<std::size_t>(x)] += shift;
+    }
+  }
+  const int new_max = g.max_degree();
+  int old_max = 0;
+  for (int d : old_degree) old_max = std::max(old_max, d);
+  if (old_max != new_max) return everything();
+
+  // BFS to depth r from every edit endpoint over the union adjacency:
+  // g's neighbors plus the endpoints of removed edges (the old graph had
+  // those edges, and information about their disappearance travels along
+  // them).  Removed-edge adjacency is tiny, so it rides in a side list.
+  std::vector<std::vector<Vertex>> removed(static_cast<std::size_t>(n));
+  for (const EdgeEdit& e : edits)
+    if (e.kind == EdgeEdit::Kind::kRemove) {
+      removed[static_cast<std::size_t>(e.u)].push_back(e.v);
+      removed[static_cast<std::size_t>(e.v)].push_back(e.u);
+    }
+  std::vector<int> depth(static_cast<std::size_t>(n), -1);
+  std::vector<Vertex> queue;
+  for (const EdgeEdit& e : edits)
+    for (Vertex x : {e.u, e.v})
+      if (depth[static_cast<std::size_t>(x)] < 0) {
+        depth[static_cast<std::size_t>(x)] = 0;
+        queue.push_back(x);
+      }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex v = queue[head];
+    const int d = depth[static_cast<std::size_t>(v)];
+    if (d == r) continue;
+    auto visit = [&](Vertex w) {
+      if (depth[static_cast<std::size_t>(w)] < 0) {
+        depth[static_cast<std::size_t>(w)] = d + 1;
+        queue.push_back(w);
+      }
+    };
+    for (Vertex w : g.neighbors(v)) visit(w);
+    for (Vertex w : removed[static_cast<std::size_t>(v)]) visit(w);
+  }
+  std::sort(queue.begin(), queue.end());
+  return queue;
+}
+
+}  // namespace lapx::graph

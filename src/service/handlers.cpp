@@ -27,8 +27,8 @@ using graph::Graph;
 
 // Service-side instance bounds: `generate`/`upload` accept untrusted
 // parameters, so they are capped well below what a local batch run allows.
-constexpr long long kMaxServiceVertices = 1 << 20;
-constexpr long long kMaxServiceEdges = 1 << 22;
+// Instance caps (kMaxServiceVertices/kMaxServiceEdges) live in
+// handlers.hpp so the admin-side mutate cap check shares them.
 constexpr std::int64_t kMaxRadius = 8;
 
 [[noreturn]] void bad(const std::string& message) {
@@ -108,10 +108,12 @@ Json handle_views(const Request& req, const GraphEntry& entry) {
   const int r = static_cast<int>(int_field(req, "radius", 1, 0, kMaxRadius));
   const graph::LDigraph& ld = entry.ldigraph();
   const auto n = static_cast<std::int64_t>(ld.num_vertices());
-  // Whole-graph refinement: one pass types every vertex with no per-vertex
-  // tree materialization.  Counts (all we emit) are id-order-free, so the
-  // response bytes are identical to the legacy per-vertex path.
-  std::vector<core::TypeId> types = core::bulk_view_type_ids(ld, r);
+  // Whole-graph refinement through the entry's persistent RefineState:
+  // one pass types every vertex, stays cached for deeper radii on the
+  // same epoch, and survives mutation via delta-refinement.  Same global
+  // interner as bulk_view_type_ids, so counts (all we emit) -- and hence
+  // the response bytes -- are identical to the from-scratch path.
+  std::vector<core::TypeId> types = entry.view_types(r);
   const auto alphabet = ld.alphabet_size();
   // A view is complete iff its type equals the complete-tree type.
   const core::TypeId complete_type = core::complete_view_type_id(alphabet, r);
@@ -338,6 +340,45 @@ graph::Graph parse_uploaded_graph(const Request& req) {
   } catch (const std::exception& e) {
     bad(e.what());
   }
+}
+
+std::vector<graph::EdgeEdit> parse_edge_edits(const Request& req) {
+  constexpr std::size_t kMaxEditBatch = 4096;
+  const Json* edits = req.body.find("edits");
+  if (edits == nullptr || !edits->is_array())
+    bad("missing array field \"edits\"");
+  if (edits->items().empty()) bad("field \"edits\" must be non-empty");
+  if (edits->items().size() > kMaxEditBatch)
+    throw ServiceError(ErrorCode::kTooLarge,
+                       "edit batch too large (> " +
+                           std::to_string(kMaxEditBatch) + ")");
+  std::vector<graph::EdgeEdit> out;
+  out.reserve(edits->items().size());
+  for (const Json& e : edits->items()) {
+    if (!e.is_object()) bad("each edit must be an object");
+    const Json* op = e.find("op");
+    if (op == nullptr || !op->is_string())
+      bad("edit missing string field \"op\"");
+    graph::EdgeEdit edit;
+    if (op->as_string() == "add") {
+      edit.kind = graph::EdgeEdit::Kind::kAdd;
+    } else if (op->as_string() == "remove") {
+      edit.kind = graph::EdgeEdit::Kind::kRemove;
+    } else {
+      bad("edit op must be \"add\" or \"remove\"");
+    }
+    for (const char* key : {"u", "v"}) {
+      const Json* c = e.find(key);
+      if (c == nullptr || !c->is_int())
+        bad(std::string("edit missing integer field \"") + key + "\"");
+      if (c->as_int() < 0 || c->as_int() > kMaxServiceVertices)
+        bad(std::string("edit endpoint \"") + key + "\" out of range");
+      (key[0] == 'u' ? edit.u : edit.v) =
+          static_cast<graph::Vertex>(c->as_int());
+    }
+    out.push_back(edit);
+  }
+  return out;
 }
 
 }  // namespace lapx::service

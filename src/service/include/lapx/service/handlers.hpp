@@ -12,7 +12,9 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "lapx/graph/mutation.hpp"
 #include "lapx/service/protocol.hpp"
 #include "lapx/service/session_store.hpp"
 
@@ -29,6 +31,10 @@ class ServiceError : public std::runtime_error {
   ErrorCode code_;
 };
 
+/// Service-side instance caps, shared by generate, upload, and mutate.
+inline constexpr long long kMaxServiceVertices = 1 << 20;
+inline constexpr long long kMaxServiceEdges = 1 << 22;
+
 /// True for ops dispatched through cache + scheduler (analyze,
 /// homogeneity, views, optimum, run, fractional).
 bool is_query_op(const std::string& op);
@@ -44,5 +50,11 @@ graph::Graph build_generated_graph(const Request& req);
 
 /// Parses a `upload` request's edge-list text under service-side limits.
 graph::Graph parse_uploaded_graph(const Request& req);
+
+/// Parses a `mutate` request's "edits" array -- objects of the form
+/// {"op": "add"|"remove", "u": int, "v": int} -- under a batch-size cap.
+/// Validates shape only; endpoint/edge validity is checked against the
+/// graph by apply_edits.
+std::vector<graph::EdgeEdit> parse_edge_edits(const Request& req);
 
 }  // namespace lapx::service

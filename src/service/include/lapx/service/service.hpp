@@ -12,9 +12,13 @@
 //         -> result cache probe  ..................... warm: O(lookup)
 //         -> batch scheduler (bounded queue, coalescing, deadline)
 //         -> handler on runtime/parallel -> cache fill (first writer wins)
-// Mutating/admin ops (generate, upload, drop, list, stats, ping,
-// cache_save, cache_info, shutdown) run inline on the calling thread;
-// they only touch the mutex-guarded store/cache/persistence layers.
+// Mutating/admin ops (generate, upload, mutate, drop, list, stats,
+// session_info, ping, cache_save, cache_info, shutdown) run inline on the
+// calling thread; they only touch the mutex-guarded store/cache/
+// persistence layers.  `mutate` edits a stored graph in place (next
+// epoch of the same session); running inline in submission order is what
+// makes the epoch sequence -- and with it every later response -- a pure
+// function of the request sequence.
 //
 // With Options::cache_dir set, the result cache is durable: construction
 // replays the snapshot + journal from that directory (re-interning each
@@ -41,7 +45,10 @@
 // cache, and across scheduler executor counts -- a warm hit replays the
 // cold computation's exact bytes (the cache is first-writer-wins, so a
 // fingerprint's bytes never change while resident), and the envelope is a
-// pure function of the request id.
+// pure function of the request id.  `mutate` and `session_info` ARE
+// covered: they surface epochs, store counters, and the stable FNV
+// content hash (never raw interner ids, which depend on process
+// history), all pure functions of the request sequence.
 
 #include <atomic>
 #include <chrono>

@@ -3,11 +3,28 @@
 //
 // A resident service answers many queries against the same instances, so
 // graphs live here once, together with the expensive artifacts derived
-// from them (the default port-numbered L-digraph today; anything a future
-// request type needs can join GraphEntry).  Entries are handed out as
-// shared_ptr<const GraphEntry>: the shared_ptr count IS the reference
-// count, so eviction or replacement never invalidates an in-flight
-// request -- the evicted entry simply dies when its last request drops it.
+// from them (the default port-numbered L-digraph and, lazily, the
+// whole-graph RefineState; anything a future request type needs can join
+// GraphEntry).  Entries are handed out as shared_ptr<const GraphEntry>:
+// the shared_ptr count IS the reference count, so eviction, replacement,
+// or mutation never invalidates an in-flight request -- the superseded
+// entry simply dies when its last request drops it.
+//
+// Epochs: a name is a *session* whose graph evolves.  Every binding
+// carries an epoch counter -- 1 for a fresh put, previous + 1 when a put
+// overwrites or a mutate edits the bound graph.  An in-flight query pins
+// its epoch (it holds the entry shared_ptr it resolved); mutation
+// installs the next epoch without touching the old one.  `content_hex`
+// is a stable FNV-1a 64 hash of the canonical edge-list text -- unlike
+// raw interner ids it never depends on process history, so it is safe to
+// surface in deterministic responses.
+//
+// Mutation: `mutate` applies a batch of edge edits to a copy of the
+// bound graph (atomic: a bad edit throws graph::MutationError and leaves
+// the binding untouched) and installs the result as the next epoch.  If
+// the old epoch had a materialized RefineState, the new entry forks it
+// and delta-refines only the edit frontier (core::RefineState::
+// refine_delta) instead of re-refining the whole graph.
 //
 // Eviction: the store holds at most `max_graphs` named entries; inserting
 // beyond that evicts the least-recently-used name.  `content_id` is the
@@ -20,35 +37,67 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "lapx/core/interner.hpp"
+#include "lapx/core/refine.hpp"
 #include "lapx/graph/digraph.hpp"
 #include "lapx/graph/graph.hpp"
+#include "lapx/graph/mutation.hpp"
 
 namespace lapx::service {
 
-/// A stored graph plus lazily-derived shared artifacts.
+/// A stored graph plus lazily-derived shared artifacts.  One immutable
+/// epoch of a session; mutation creates the next entry, it never edits
+/// this one.
 class GraphEntry {
  public:
-  GraphEntry(graph::Graph g, std::string edge_list, core::TypeId content);
+  GraphEntry(graph::Graph g, std::string edge_list, core::TypeId content,
+             std::uint64_t epoch);
 
   const graph::Graph& graph() const { return graph_; }
   const std::string& edge_list() const { return edge_list_; }
   core::TypeId content_id() const { return content_id_; }
 
+  /// 1 for a fresh binding; previous + 1 after each overwrite or mutate.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// FNV-1a 64 of the canonical edge-list text, 16 hex digits.  Stable
+  /// across processes and executor counts (raw interner ids are not).
+  const std::string& content_hex() const { return content_hex_; }
+
   /// The default port-numbered L-digraph (PO substrate), built on first
   /// use and shared by every subsequent request touching this entry.
   const graph::LDigraph& ldigraph() const;
+
+  /// Radius-r view types of every vertex against the global interner --
+  /// identical ids to core::bulk_view_type_ids(ldigraph(), r).  The
+  /// refinement state is built on first use, kept (with per-round
+  /// tables) for deeper radii and for delta-forking by mutate.
+  std::vector<core::TypeId> view_types(int r) const;
+
+  /// True when the refinement state has been materialized (stats only).
+  bool has_refine_state() const;
+
+  /// Pre-publication hook used by SessionStore::mutate: if `prev` has a
+  /// materialized RefineState, fork it and re-refine only the edit
+  /// frontier against this entry's graph.  Must be called before the
+  /// entry is visible to other threads.
+  void fork_refine_from(const GraphEntry& prev) const;
 
  private:
   graph::Graph graph_;
   std::string edge_list_;
   core::TypeId content_id_;
+  std::uint64_t epoch_;
+  std::string content_hex_;
   mutable std::once_flag ld_once_;
   mutable std::unique_ptr<graph::LDigraph> ld_;
+  mutable std::mutex refine_mu_;
+  mutable std::unique_ptr<core::RefineState> refine_;
 };
 
 class SessionStore {
@@ -60,6 +109,8 @@ class SessionStore {
     std::uint64_t inserted = 0;
     std::uint64_t evicted = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t overwritten = 0;  ///< puts that replaced a live binding
+    std::uint64_t mutated = 0;      ///< successful mutate calls
     std::size_t resident = 0;
   };
 
@@ -74,6 +125,15 @@ class SessionStore {
   /// Looks up a name, refreshing its LRU position; nullptr when absent.
   std::shared_ptr<const GraphEntry> get(const std::string& name);
 
+  /// Applies `edits` to a copy of the graph bound to `name` and installs
+  /// the result as the next epoch, delta-forking the refinement state
+  /// when one is materialized.  Returns the new entry, or nullptr when
+  /// the name is absent.  Throws graph::MutationError on an invalid edit
+  /// (the binding is left untouched).  Mutations are serialized, so
+  /// epochs of one name are strictly increasing.
+  std::shared_ptr<const GraphEntry> mutate(
+      const std::string& name, std::span<const graph::EdgeEdit> edits);
+
   /// Removes a binding; false when the name is absent.
   bool drop(const std::string& name);
 
@@ -87,6 +147,7 @@ class SessionStore {
 
   Options opt_;
   mutable std::mutex mu_;
+  std::mutex mutate_mu_;  // serializes mutate's clone+rebind sequence
   // LRU list front = most recent; map values point into the list.
   struct Slot {
     std::string name;

@@ -146,6 +146,74 @@ std::string Service::admin(const Request& req) {
     auto entry = store_.put(name, parse_uploaded_graph(req));
     return ok_response(req.id, graph_summary(name, *entry).dump());
   }
+  if (req.op == "mutate") {
+    // Admin (not query): mutation changes state, so it runs inline in
+    // submission order -- epochs are deterministic for a given request
+    // sequence -- and is never cached.  The response surfaces the stable
+    // content hash, NOT a raw interner id (those depend on process
+    // history and would break the cross-executor determinism invariant).
+    const std::string name = name_field(req);
+    const std::vector<graph::EdgeEdit> edits = parse_edge_edits(req);
+    {
+      const auto cur = store_.get(name);
+      if (cur == nullptr)
+        throw ServiceError(ErrorCode::kNotFound, "no such graph: " + name);
+      long long adds = 0;
+      for (const graph::EdgeEdit& e : edits)
+        if (e.kind == graph::EdgeEdit::Kind::kAdd) ++adds;
+      if (static_cast<long long>(cur->graph().num_edges()) + adds >
+          kMaxServiceEdges)
+        throw ServiceError(ErrorCode::kTooLarge, "mutated graph too large");
+    }
+    std::shared_ptr<const GraphEntry> entry;
+    try {
+      entry = store_.mutate(name, edits);
+    } catch (const std::invalid_argument& e) {
+      // MutationError and the vertex range checks both land here.
+      throw ServiceError(ErrorCode::kBadRequest, e.what());
+    } catch (const std::out_of_range& e) {
+      throw ServiceError(ErrorCode::kBadRequest, e.what());
+    }
+    if (entry == nullptr)
+      throw ServiceError(ErrorCode::kNotFound, "no such graph: " + name);
+    Json out = graph_summary(name, *entry);
+    out.set("epoch",
+            Json::integer(static_cast<std::int64_t>(entry->epoch())));
+    out.set("content", Json::string(entry->content_hex()));
+    return ok_response(req.id, out.dump());
+  }
+  if (req.op == "session_info") {
+    // Deterministic by design (unlike stats' cache/scheduler sections):
+    // epochs, content hashes, and store counters are pure functions of
+    // the request sequence, so this op is safe to include in transcript
+    // diffs across executor counts and cold/warm cache states.
+    Json sessions = Json::array();
+    for (const std::string& name : store_.names()) {
+      if (auto entry = store_.get(name)) {
+        Json s = graph_summary(name, *entry);
+        s.set("epoch",
+              Json::integer(static_cast<std::int64_t>(entry->epoch())));
+        s.set("content", Json::string(entry->content_hex()));
+        sessions.push_back(std::move(s));
+      }
+    }
+    const auto gs = store_.stats();
+    Json store = Json::object();
+    store.set("resident",
+              Json::integer(static_cast<std::int64_t>(gs.resident)));
+    store.set("inserted",
+              Json::integer(static_cast<std::int64_t>(gs.inserted)));
+    store.set("evicted", Json::integer(static_cast<std::int64_t>(gs.evicted)));
+    store.set("dropped", Json::integer(static_cast<std::int64_t>(gs.dropped)));
+    store.set("overwritten",
+              Json::integer(static_cast<std::int64_t>(gs.overwritten)));
+    store.set("mutated",
+              Json::integer(static_cast<std::int64_t>(gs.mutated)));
+    Json out = Json::object();
+    out.set("sessions", std::move(sessions));
+    out.set("store", std::move(store));
+    return ok_response(req.id, out.dump());
+  }
   if (req.op == "drop") {
     const std::string name = name_field(req);
     if (!store_.drop(name))
@@ -195,6 +263,10 @@ std::string Service::admin(const Request& req) {
               Json::integer(static_cast<std::int64_t>(gs.inserted)));
     store.set("evicted", Json::integer(static_cast<std::int64_t>(gs.evicted)));
     store.set("dropped", Json::integer(static_cast<std::int64_t>(gs.dropped)));
+    store.set("overwritten",
+              Json::integer(static_cast<std::int64_t>(gs.overwritten)));
+    store.set("mutated",
+              Json::integer(static_cast<std::int64_t>(gs.mutated)));
     Json out = Json::object();
     out.set("cache", std::move(cache));
     out.set("scheduler", std::move(sched));

@@ -8,17 +8,64 @@
 
 namespace lapx::service {
 
+namespace {
+
+std::string fnv1a64_hex(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = "0123456789abcdef"[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
 GraphEntry::GraphEntry(graph::Graph g, std::string edge_list,
-                       core::TypeId content)
+                       core::TypeId content, std::uint64_t epoch)
     : graph_(std::move(g)),
       edge_list_(std::move(edge_list)),
-      content_id_(content) {}
+      content_id_(content),
+      epoch_(epoch),
+      content_hex_(fnv1a64_hex(edge_list_)) {}
 
 const graph::LDigraph& GraphEntry::ldigraph() const {
   std::call_once(ld_once_, [this] {
     ld_ = std::make_unique<graph::LDigraph>(graph::to_ldigraph(graph_));
   });
   return *ld_;
+}
+
+std::vector<core::TypeId> GraphEntry::view_types(int r) const {
+  std::lock_guard<std::mutex> lock(refine_mu_);
+  if (!refine_)
+    refine_ = std::make_unique<core::RefineState>(
+        ldigraph(), core::TypeInterner::global(), /*keep_rounds=*/true);
+  return refine_->types_at(r);
+}
+
+bool GraphEntry::has_refine_state() const {
+  std::lock_guard<std::mutex> lock(refine_mu_);
+  return refine_ != nullptr;
+}
+
+void GraphEntry::fork_refine_from(const GraphEntry& prev) const {
+  // Pre-publication: this entry is not yet visible, so taking prev's lock
+  // then ours cannot cycle with any other lock order.
+  std::unique_ptr<core::RefineState> forked;
+  {
+    std::lock_guard<std::mutex> plock(prev.refine_mu_);
+    if (!prev.refine_) return;  // nothing materialized; stay lazy
+    forked = std::make_unique<core::RefineState>(*prev.refine_);
+  }
+  forked->refine_delta(ldigraph());
+  std::lock_guard<std::mutex> lock(refine_mu_);
+  refine_ = std::move(forked);
 }
 
 SessionStore::SessionStore(Options opt) : opt_(opt) {
@@ -29,11 +76,18 @@ std::shared_ptr<const GraphEntry> SessionStore::put(const std::string& name,
                                                     graph::Graph g) {
   std::string text = graph::to_edge_list(g);
   const core::TypeId content = core::TypeInterner::global().intern(text);
-  auto entry =
-      std::make_shared<const GraphEntry>(std::move(g), std::move(text),
-                                         content);
   std::lock_guard<std::mutex> lock(mu_);
-  if (auto it = index_.find(name); it != index_.end()) lru_.erase(it->second);
+  std::uint64_t epoch = 1;
+  if (auto it = index_.find(name); it != index_.end()) {
+    // Overwriting a live binding is a new epoch of the same session, and
+    // is counted -- a silent drop used to be invisible in the stats.
+    epoch = it->second->entry->epoch() + 1;
+    lru_.erase(it->second);
+    ++stats_.overwritten;
+  }
+  auto entry = std::make_shared<const GraphEntry>(std::move(g),
+                                                  std::move(text), content,
+                                                  epoch);
   lru_.push_front(Slot{name, entry});
   index_[name] = lru_.begin();
   ++stats_.inserted;
@@ -49,6 +103,32 @@ std::shared_ptr<const GraphEntry> SessionStore::get(const std::string& name) {
   lru_.splice(lru_.begin(), lru_, it->second);
   it->second = lru_.begin();
   return lru_.front().entry;
+}
+
+std::shared_ptr<const GraphEntry> SessionStore::mutate(
+    const std::string& name, std::span<const graph::EdgeEdit> edits) {
+  // mutate_mu_ serializes the whole read-copy-install sequence, so two
+  // concurrent mutates of one name produce consecutive epochs instead of
+  // racing to install siblings of the same parent.  mu_ itself is only
+  // held for the map operations, never across the clone or the delta.
+  std::lock_guard<std::mutex> mlock(mutate_mu_);
+  const std::shared_ptr<const GraphEntry> old = get(name);
+  if (!old) return nullptr;
+  graph::Graph g = old->graph();
+  graph::apply_edits(g, edits);  // throws MutationError; binding untouched
+  std::string text = graph::to_edge_list(g);
+  const core::TypeId content = core::TypeInterner::global().intern(text);
+  auto entry = std::make_shared<const GraphEntry>(std::move(g),
+                                                  std::move(text), content,
+                                                  old->epoch() + 1);
+  entry->fork_refine_from(*old);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;  // dropped concurrently
+  it->second->entry = entry;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.mutated;
+  return entry;
 }
 
 bool SessionStore::drop(const std::string& name) {
@@ -81,6 +161,7 @@ void SessionStore::evict_locked() {
   index_.erase(victim.name);
   lru_.pop_back();
   ++stats_.evicted;
+  stats_.resident = lru_.size();
 }
 
 }  // namespace lapx::service

@@ -9,6 +9,7 @@
 #include "lapx/graph/generators.hpp"
 #include "lapx/graph/graph.hpp"
 #include "lapx/graph/lift.hpp"
+#include "lapx/graph/mutation.hpp"
 #include "lapx/graph/port_numbering.hpp"
 #include "lapx/graph/properties.hpp"
 
@@ -254,6 +255,143 @@ TEST(Properties, ComponentOfLDigraph) {
   auto [comp, members] = component_of(two_copies.graph, 0);
   EXPECT_EQ(comp.num_vertices(), 6);
   EXPECT_EQ(members.size(), 6u);
+}
+
+// ------------------------------------------------------------- mutation --
+
+TEST(Mutation, RemoveEdgeKeepsIdsDense) {
+  Graph g(5);
+  g.add_edge(0, 1);  // id 0
+  g.add_edge(1, 2);  // id 1
+  g.add_edge(2, 3);  // id 2
+  g.add_edge(3, 4);  // id 3
+  const EdgeId freed = g.remove_edge(1, 2);
+  EXPECT_EQ(freed, 1);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_FALSE(g.has_edge(1, 2));
+  // The last edge {3,4} moved into the freed slot; ids stay 0..m-1 and
+  // incident lists must reference the moved id, not the stale one.
+  EXPECT_EQ(g.edges()[1], (Edge{3, 4}));
+  EXPECT_EQ(g.edge_id(3, 4), 1);
+  EXPECT_EQ(g.edge_id(0, 1), 0);
+  for (Vertex v = 0; v < 5; ++v)
+    for (EdgeId id : g.incident_edges(v)) EXPECT_LT(id, 3);
+  // Removing the absent edge again is a typed error.
+  EXPECT_THROW(g.remove_edge(1, 2), MutationError);
+  // Re-adding restores adjacency (with a fresh id).
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(Mutation, AddEdgeHardeningMatchesReaderGuards) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  // The same classes of corruption graph/io.cpp's reader rejects are
+  // typed errors here: self-loops, duplicates, degree overflow.
+  EXPECT_THROW(g.add_edge(1, 1), MutationError);
+  EXPECT_THROW(g.add_edge(1, 0), MutationError);
+  // MutationError stays catchable as std::invalid_argument for old call
+  // sites.
+  EXPECT_THROW(g.add_edge(2, 2), std::invalid_argument);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Mutation, ApplyEditsIsOrderedAndThrowsOnFirstBadEdit) {
+  Graph g = cycle(5);
+  const std::vector<EdgeEdit> ok{{EdgeEdit::Kind::kRemove, 0, 1},
+                                 {EdgeEdit::Kind::kAdd, 0, 2}};
+  apply_edits(g, ok);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  // In-order: the second edit sees the first's effect, so remove-then-
+  // readd of the same pair is legal in one batch...
+  Graph h = cycle(5);
+  const std::vector<EdgeEdit> readd{{EdgeEdit::Kind::kRemove, 1, 2},
+                                    {EdgeEdit::Kind::kAdd, 1, 2}};
+  apply_edits(h, readd);
+  EXPECT_TRUE(h.has_edge(1, 2));
+  // ...while a bad edit throws at its position, leaving earlier edits
+  // applied (callers wanting atomicity edit a copy, as the store does).
+  Graph k = cycle(5);
+  const std::vector<EdgeEdit> bad{{EdgeEdit::Kind::kRemove, 0, 1},
+                                  {EdgeEdit::Kind::kAdd, 3, 3}};
+  EXPECT_THROW(apply_edits(k, bad), MutationError);
+  EXPECT_FALSE(k.has_edge(0, 1));
+}
+
+TEST(Mutation, AffectedFrontierIsTheEditBall) {
+  // On a long cycle the radius-r frontier of one removed edge is exactly
+  // the set within distance r of its endpoints -- measured in the union
+  // graph, i.e. THROUGH the removed edge as well.
+  Graph g = cycle(20);
+  std::vector<EdgeEdit> edits{{EdgeEdit::Kind::kRemove, 0, 1}};
+  apply_edits(g, edits);
+  const auto f1 = affected_frontier(g, edits, 1);
+  EXPECT_EQ(f1, (std::vector<Vertex>{0, 1, 2, 19}));
+  const auto f2 = affected_frontier(g, edits, 2);
+  EXPECT_EQ(f2, (std::vector<Vertex>{0, 1, 2, 3, 18, 19}));
+  const auto f0 = affected_frontier(g, edits, 0);
+  EXPECT_EQ(f0, (std::vector<Vertex>{0, 1}));
+}
+
+TEST(Mutation, AffectedFrontierGoesGlobalWhenMaxDegreeMoves) {
+  // Adding a chord to a cycle raises the max degree 2 -> 3: every port
+  // label in the induced L-digraph is suspect, so the frontier must be
+  // all vertices regardless of radius.
+  Graph g = cycle(12);
+  std::vector<EdgeEdit> edits{{EdgeEdit::Kind::kAdd, 0, 6}};
+  apply_edits(g, edits);
+  const auto f = affected_frontier(g, edits, 1);
+  EXPECT_EQ(f.size(), 12u);
+  // A degree-preserving rewire on a 4-regular torus stays local.
+  Graph t = torus({5, 5});
+  std::vector<EdgeEdit> rewire{{EdgeEdit::Kind::kRemove, 0, 1},
+                               {EdgeEdit::Kind::kRemove, 12, 13},
+                               {EdgeEdit::Kind::kAdd, 0, 13},
+                               {EdgeEdit::Kind::kAdd, 12, 1}};
+  apply_edits(t, rewire);
+  const auto ft = affected_frontier(t, rewire, 1);
+  EXPECT_LT(ft.size(), 25u);
+  // Out-of-range endpoints are typed errors.
+  std::vector<EdgeEdit> oob{{EdgeEdit::Kind::kAdd, 0, 99}};
+  EXPECT_THROW(affected_frontier(t, oob, 1), MutationError);
+}
+
+TEST(Mutation, LDigraphRemoveArcAndAddVertices) {
+  LDigraph g = directed_cycle(6);
+  const Label l = g.remove_arc(2, 3);
+  EXPECT_EQ(l, 0);
+  EXPECT_EQ(g.num_arcs(), 5u);
+  EXPECT_FALSE(g.out_neighbor(2, 0).has_value());
+  EXPECT_THROW(g.remove_arc(2, 3), MutationError);
+  g.add_vertices(2);
+  EXPECT_EQ(g.num_vertices(), 8);
+  g.add_arc(2, 6, 0);
+  g.add_arc(6, 7, 0);
+  EXPECT_EQ(g.num_arcs(), 7u);
+}
+
+TEST(Mutation, GrowLiftPreservesCoveringAndOldViews) {
+  std::mt19937_64 rng(17);
+  const LDigraph base = directed_torus({3, 3});
+  auto lift = random_lift(base, 2, rng);
+  const Vertex old_n = lift.graph.num_vertices();
+  const auto old_arcs = lift.graph.arcs();
+  const Vertex first = grow_lift(lift, base, 3, rng);
+  EXPECT_EQ(first, old_n);
+  EXPECT_EQ(lift.graph.num_vertices(), old_n + 3 * base.num_vertices());
+  std::string why;
+  EXPECT_TRUE(is_covering_map(lift.graph, base, lift.phi, &why)) << why;
+  // Disjoint growth: every old arc is untouched, and no new arc touches
+  // an old vertex.
+  for (std::size_t i = 0; i < old_arcs.size(); ++i)
+    EXPECT_EQ(lift.graph.arcs()[i], old_arcs[i]);
+  for (std::size_t i = old_arcs.size(); i < lift.graph.arcs().size(); ++i) {
+    EXPECT_GE(lift.graph.arcs()[i].from, first);
+    EXPECT_GE(lift.graph.arcs()[i].to, first);
+  }
+  EXPECT_THROW(grow_lift(lift, base, 0, rng), std::invalid_argument);
 }
 
 }  // namespace

@@ -578,6 +578,104 @@ TEST(Service, StatsReportExecutorsAndCompleted) {
   EXPECT_EQ(sched->find("completed")->as_int(), 1);
 }
 
+TEST(Service, MutateAdvancesEpochsAndRequeriesFreshContent) {
+  Service svc;
+  svc.handle(R"({"op":"generate","name":"g","family":"torus","args":[6,6]})");
+  const Json info1 = Json::parse(svc.handle(R"({"op":"session_info"})"));
+  const std::string original =
+      info1.find("result")->find("sessions")->items()[0]
+          .find("content")->as_string();
+  EXPECT_EQ(original.size(), 16u);
+  const std::string v1 =
+      svc.handle(R"({"op":"views","graph":"g","radius":2})");
+  // Cut the highest-id torus edge (a pure pop, so healing it later restores
+  // the serialized edge list exactly); epoch and content hash both move.
+  const auto [lu, lv] = lapx::graph::torus({6, 6}).edges().back();
+  const std::string cut_req =
+      std::string(R"({"op":"mutate","name":"g","edits":[{"op":"remove",)") +
+      "\"u\":" + std::to_string(lu) + ",\"v\":" + std::to_string(lv) + "}]}";
+  const Json cut = Json::parse(svc.handle(cut_req));
+  ASSERT_TRUE(cut.find("ok")->as_bool()) << cut.dump();
+  EXPECT_EQ(cut.find("result")->find("epoch")->as_int(), 2);
+  EXPECT_EQ(cut.find("result")->find("m")->as_int(), 71);
+  const std::string cut_content =
+      cut.find("result")->find("content")->as_string();
+  EXPECT_EQ(cut_content.size(), 16u);
+  EXPECT_NE(cut_content, original);
+  // The requery sees the new epoch: a fresh fingerprint, so a cache miss
+  // (the aggregate views payload itself may or may not change bytes).
+  const auto mid = svc.cache().stats();
+  svc.handle(R"({"op":"views","graph":"g","radius":2})");
+  EXPECT_EQ(svc.cache().stats().misses, mid.misses + 1);
+  // Healing the edit restores the original content hash AND hits the
+  // result cache with the original bytes: content addressing spans epochs.
+  const std::string heal_req =
+      std::string(R"({"op":"mutate","name":"g","edits":[{"op":"add",)") +
+      "\"u\":" + std::to_string(lu) + ",\"v\":" + std::to_string(lv) + "}]}";
+  const Json heal = Json::parse(svc.handle(heal_req));
+  EXPECT_EQ(heal.find("result")->find("epoch")->as_int(), 3);
+  EXPECT_EQ(heal.find("result")->find("content")->as_string(), original);
+  const auto before = svc.cache().stats();
+  EXPECT_EQ(svc.handle(R"({"op":"views","graph":"g","radius":2})"), v1);
+  EXPECT_EQ(svc.cache().stats().hits, before.hits + 1);
+}
+
+TEST(Service, MutateErrorEnvelopes) {
+  Service svc;
+  svc.handle(R"({"op":"generate","name":"g","family":"cycle","args":[8]})");
+  // Unknown name -> not_found.
+  EXPECT_NE(svc.handle(R"({"op":"mutate","name":"nope","edits":)"
+                       R"([{"op":"remove","u":0,"v":1}]})")
+                .find("\"code\":\"not_found\""),
+            std::string::npos);
+  // Structural violations -> bad_request, and the graph is untouched.
+  for (const char* edits :
+       {R"([{"op":"add","u":3,"v":3}])",     // self-loop
+        R"([{"op":"add","u":0,"v":1}])",     // parallel edge
+        R"([{"op":"remove","u":0,"v":4}])",  // absent edge
+        R"([{"op":"add","u":0,"v":99}])",    // endpoint out of range
+        R"([{"op":"frobnicate","u":0,"v":1}])",
+        R"([])", R"("not an array")"}) {
+    const std::string resp = svc.handle(
+        std::string(R"({"op":"mutate","name":"g","edits":)") + edits + "}");
+    EXPECT_NE(resp.find("\"code\":\"bad_request\""), std::string::npos)
+        << edits << " -> " << resp;
+  }
+  const Json info = Json::parse(svc.handle(R"({"op":"session_info"})"));
+  const Json* s = info.find("result")->find("sessions");
+  ASSERT_EQ(s->items().size(), 1u);
+  EXPECT_EQ(s->items()[0].find("epoch")->as_int(), 1);  // nothing advanced
+  EXPECT_EQ(s->items()[0].find("m")->as_int(), 8);
+}
+
+TEST(Service, SessionInfoReportsEpochsAndStoreCounters) {
+  Service svc;
+  svc.handle(R"({"op":"generate","name":"a","family":"cycle","args":[6]})");
+  svc.handle(R"({"op":"generate","name":"b","family":"torus","args":[4,4]})");
+  svc.handle(R"({"op":"generate","name":"a","family":"cycle","args":[7]})");
+  svc.handle(
+      R"({"op":"mutate","name":"b","edits":[{"op":"remove","u":0,"v":1}]})");
+  const Json info = Json::parse(svc.handle(R"({"op":"session_info"})"));
+  ASSERT_TRUE(info.find("ok")->as_bool());
+  const Json* sessions = info.find("result")->find("sessions");
+  ASSERT_EQ(sessions->items().size(), 2u);  // sorted: a, b
+  EXPECT_EQ(sessions->items()[0].find("graph")->as_string(), "a");
+  EXPECT_EQ(sessions->items()[0].find("epoch")->as_int(), 2);  // overwrite
+  EXPECT_EQ(sessions->items()[1].find("graph")->as_string(), "b");
+  EXPECT_EQ(sessions->items()[1].find("epoch")->as_int(), 2);  // mutate
+  EXPECT_EQ(sessions->items()[1].find("content")->as_string().size(), 16u);
+  const Json* store = info.find("result")->find("store");
+  EXPECT_EQ(store->find("resident")->as_int(), 2);
+  EXPECT_EQ(store->find("inserted")->as_int(), 3);
+  EXPECT_EQ(store->find("overwritten")->as_int(), 1);
+  EXPECT_EQ(store->find("mutated")->as_int(), 1);
+  // The stats op surfaces the same counters in its store section.
+  const Json stats = Json::parse(svc.handle(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.find("result")->find("store")->find("overwritten")->as_int(),
+            1);
+  EXPECT_EQ(stats.find("result")->find("store")->find("mutated")->as_int(), 1);
+}
+
 TEST(Service, PipelinedSubmitMatchesSynchronousTranscript) {
   // The merge layer's contract end to end, in process: a pipelined burst
   // through submit() + ResponseSequencer against 4 executors produces the

@@ -1,0 +1,187 @@
+// SessionStore semantics: LRU eviction accounting, overwrite epochs, the
+// pinning contract (shared_ptr holders survive eviction AND mutation), and
+// epoch consistency under concurrent get/mutate -- the store-side half of
+// the incremental-session design (DESIGN.md "Delta-refinement").
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lapx/core/refine.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/mutation.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/service/session_store.hpp"
+
+namespace {
+
+using lapx::graph::EdgeEdit;
+using lapx::service::GraphEntry;
+using lapx::service::SessionStore;
+
+SessionStore::Options capped(std::size_t max) {
+  SessionStore::Options opt;
+  opt.max_graphs = max;
+  return opt;
+}
+
+TEST(SessionStore, LruEvictionOrderAndResidentAccounting) {
+  SessionStore store(capped(2));
+  store.put("a", lapx::graph::cycle(4));
+  store.put("b", lapx::graph::cycle(5));
+  // Touch "a" so "b" is now least recently used.
+  ASSERT_NE(store.get("a"), nullptr);
+  store.put("c", lapx::graph::cycle(6));
+  EXPECT_EQ(store.get("b"), nullptr);
+  EXPECT_NE(store.get("a"), nullptr);
+  EXPECT_NE(store.get("c"), nullptr);
+  const auto s = store.stats();
+  EXPECT_EQ(s.inserted, 3u);
+  EXPECT_EQ(s.evicted, 1u);
+  // Eviction must be reflected in `resident` on every path, not just put.
+  EXPECT_EQ(s.resident, 2u);
+  EXPECT_EQ(s.overwritten, 0u);
+}
+
+TEST(SessionStore, OverwriteCountsAndAdvancesEpoch) {
+  SessionStore store;
+  const auto first = store.put("g", lapx::graph::cycle(4));
+  EXPECT_EQ(first->epoch(), 1u);
+  const auto second = store.put("g", lapx::graph::cycle(9));
+  EXPECT_EQ(second->epoch(), 2u);
+  EXPECT_NE(first->content_hex(), second->content_hex());
+  const auto s = store.stats();
+  EXPECT_EQ(s.inserted, 2u);
+  EXPECT_EQ(s.overwritten, 1u);  // the silent drop is silent no more
+  EXPECT_EQ(s.resident, 1u);
+  // The first epoch's holder still has a fully usable entry.
+  EXPECT_EQ(first->graph().num_vertices(), 4);
+}
+
+TEST(SessionStore, PinnedEntrySurvivesEviction) {
+  SessionStore store(capped(1));
+  const auto pin = store.put("victim", lapx::graph::cycle(7));
+  store.put("usurper", lapx::graph::cycle(3));
+  EXPECT_EQ(store.get("victim"), nullptr);
+  // The pin keeps the evicted entry (and its derived artifacts) alive.
+  EXPECT_EQ(pin->graph().num_vertices(), 7);
+  EXPECT_EQ(pin->ldigraph().num_vertices(), 7);
+  EXPECT_EQ(pin->view_types(2).size(), 7u);
+}
+
+TEST(SessionStore, MutateAdvancesEpochAndRoundTripsContent) {
+  SessionStore store;
+  const auto v1 = store.put("g", lapx::graph::torus({4, 4}));
+  const std::string original = v1->content_hex();
+  // Cut the highest-id edge: removing it is a pure pop (no swap-with-last
+  // id churn), so healing it re-appends the same normalized pair at the
+  // same slot and the serialized edge list round-trips byte for byte.
+  const auto [lu, lv] = v1->graph().edges().back();
+  std::vector<EdgeEdit> cut{{EdgeEdit::Kind::kRemove, lu, lv}};
+  const auto v2 = store.mutate("g", cut);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->epoch(), 2u);
+  EXPECT_NE(v2->content_hex(), original);
+  EXPECT_EQ(v2->graph().num_edges(), v1->graph().num_edges() - 1);
+  // The old epoch is pinned by v1 and untouched by the mutation.
+  EXPECT_EQ(v1->graph().num_edges(), 32u);
+  std::vector<EdgeEdit> heal{{EdgeEdit::Kind::kAdd, lu, lv}};
+  const auto v3 = store.mutate("g", heal);
+  ASSERT_NE(v3, nullptr);
+  EXPECT_EQ(v3->epoch(), 3u);
+  // Content addressing is stable: undoing the edit restores the hash.
+  EXPECT_EQ(v3->content_hex(), original);
+  EXPECT_EQ(store.stats().mutated, 2u);
+}
+
+TEST(SessionStore, MutateForksRefineStateWithExactIds) {
+  SessionStore store;
+  const auto v1 = store.put("g", lapx::graph::torus({5, 5}));
+  // Materialize the refinement on epoch 1 so the mutation takes the
+  // delta-fork path rather than starting lazy.
+  v1->view_types(3);
+  ASSERT_TRUE(v1->has_refine_state());
+  std::vector<EdgeEdit> cut{{EdgeEdit::Kind::kRemove, 0, 1}};
+  const auto v2 = store.mutate("g", cut);
+  ASSERT_NE(v2, nullptr);
+  ASSERT_TRUE(v2->has_refine_state());  // forked, not lazy
+  // The forked ids must be byte-identical to a from-scratch refinement of
+  // the mutated graph in the same (global) interner.
+  EXPECT_EQ(v2->view_types(3),
+            lapx::core::bulk_view_type_ids(v2->ldigraph(), 3));
+  // And the old epoch still answers for the old graph.
+  EXPECT_EQ(v1->view_types(3),
+            lapx::core::bulk_view_type_ids(
+                lapx::graph::to_ldigraph(v1->graph()), 3));
+}
+
+TEST(SessionStore, MutateAbsentNameAndBadEdit) {
+  SessionStore store;
+  std::vector<EdgeEdit> cut{{EdgeEdit::Kind::kRemove, 0, 1}};
+  EXPECT_EQ(store.mutate("ghost", cut), nullptr);
+  const auto v1 = store.put("g", lapx::graph::cycle(5));
+  std::vector<EdgeEdit> bad{{EdgeEdit::Kind::kAdd, 0, 1}};  // already there
+  EXPECT_THROW(store.mutate("g", bad), lapx::graph::MutationError);
+  // Atomicity: the failed mutation left the binding (and epoch) alone.
+  const auto cur = store.get("g");
+  ASSERT_NE(cur, nullptr);
+  EXPECT_EQ(cur->epoch(), 1u);
+  EXPECT_EQ(cur.get(), v1.get());
+  EXPECT_EQ(store.stats().mutated, 0u);
+}
+
+TEST(SessionStore, ConcurrentGetAndMutatePinEpochs) {
+  // Readers resolve-and-pin while a writer streams mutations; every
+  // reader must see an internally consistent epoch (the n/m the epoch was
+  // created with), epochs must be strictly increasing per mutate, and
+  // pinned entries must stay valid arbitrarily long after replacement.
+  SessionStore store;
+  store.put("g", lapx::graph::torus({4, 4}));
+  constexpr int kMutations = 40;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    std::vector<EdgeEdit> cut{{EdgeEdit::Kind::kRemove, 0, 1}};
+    std::vector<EdgeEdit> heal{{EdgeEdit::Kind::kAdd, 0, 1}};
+    std::uint64_t last = 1;
+    for (int i = 0; i < kMutations; ++i) {
+      const auto e = store.mutate("g", i % 2 == 0 ? cut : heal);
+      ASSERT_NE(e, nullptr);
+      EXPECT_EQ(e->epoch(), last + 1);
+      last = e->epoch();
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      // Pin an epoch up front: the writer may finish all its mutations
+      // before this thread gets scheduled, so the loop below can be empty.
+      const std::shared_ptr<const GraphEntry> oldest = store.get("g");
+      ASSERT_NE(oldest, nullptr);
+      std::uint64_t seen = oldest->epoch();
+      while (!done.load()) {
+        const auto e = store.get("g");
+        ASSERT_NE(e, nullptr);
+        // Epochs only move forward under a single writer.
+        EXPECT_GE(e->epoch(), seen);
+        seen = e->epoch();
+        // Entry-internal consistency: epoch parity decides whether the
+        // {0,1} edge is present (writer alternates cut/heal from epoch 2).
+        const std::size_t m = e->graph().num_edges();
+        EXPECT_EQ(m, e->epoch() % 2 == 0 ? 31u : 32u);
+        EXPECT_EQ(e->view_types(1).size(), 16u);
+      }
+      // The first pinned epoch is still fully usable after ~kMutations
+      // replacements.
+      EXPECT_EQ(oldest->graph().num_vertices(), 16);
+      EXPECT_EQ(oldest->view_types(1).size(), 16u);
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(store.stats().mutated, static_cast<std::uint64_t>(kMutations));
+}
+
+}  // namespace

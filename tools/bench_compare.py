@@ -199,8 +199,32 @@ def self_test(baseline_dir):
         print("self-test FAILED: trend report missing wall-time deltas",
               file=sys.stderr)
         return 1
+    # Same contract for per-table phase timers: a shifted phase must show up
+    # as an indented trend line with a delta, and still never gate.
+    donor_phase = next(
+        (n for n, r in sorted(baselines.items()) if r.get("phases")), None)
+    if donor_phase is None:
+        print("self-test: baselines carry no phase timers", file=sys.stderr)
+        return 1
+    shifted = copy.deepcopy(baselines)
+    phase = sorted(shifted[donor_phase]["phases"])[0]
+    shifted[donor_phase]["phases"][phase] = (
+        2.0 * baselines[donor_phase]["phases"][phase] + 1.0)
+    with tempfile.TemporaryFile(mode="w+") as sink:
+        phase_failures, _ = compare(baselines, shifted, out=sink)
+    if phase_failures:
+        print("self-test FAILED: phase-timer change gated the build",
+              file=sys.stderr)
+        return 1
+    phase_line = next((l for l in trend_lines(baselines, shifted)
+                       if l.startswith("    ") and l.lstrip().startswith(phase)
+                       and "->" in l), None)
+    if phase_line is None:
+        print("self-test FAILED: trend report missing the shifted phase "
+              "timer %r" % phase, file=sys.stderr)
+        return 1
     print("self-test OK: gate detects flipped checks and deviated values; "
-          "trend stays informational")
+          "wall-time and phase trends stay informational")
     return 0
 
 

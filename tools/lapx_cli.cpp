@@ -63,6 +63,13 @@ int usage() {
       "             [--cache-dir DIR] [--queue-depth N] [--max-graphs N] |\n"
       "       call [--pipeline] <endpoint> [json-request]\n"
       "endpoints: unix:PATH | tcp:PORT | a /path | a bare port\n"
+      "wire ops: ping | generate | upload | mutate | drop | list |\n"
+      "          session_info | stats | cache_save | cache_info |\n"
+      "          shutdown | analyze | homogeneity | views | optimum |\n"
+      "          run | fractional\n"
+      "          (mutate edits a stored graph in place: {\"op\":\"mutate\",\n"
+      "           \"name\":N, \"edits\":[{\"op\":\"add|remove\",\"u\":U,\"v\":V}]}\n"
+      "           -> new epoch; queries re-refine only the edit frontier)\n"
       "env: LAPXD_EXECUTORS sets the serve executor default,\n"
       "     LAPXD_CACHE_DIR the result-cache persistence dir\n");
   return kExitUsage;
