@@ -4,13 +4,16 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace lapx::service {
@@ -21,44 +24,79 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
+// Runs `attempt` (returns a connected fd, or -1 with errno set) under the
+// retry policy: ECONNREFUSED/ENOENT mean "daemon not (re)bound yet" and
+// are retried with doubling backoff; anything else is permanent.
+template <typename Attempt>
+int connect_with_retry(Attempt&& attempt, const Client::Retry& retry,
+                       const std::string& what) {
+  auto backoff = retry.initial_backoff;
+  const int attempts = retry.attempts < 1 ? 1 : retry.attempts;
+  for (int i = 0;; ++i) {
+    const int fd = attempt();
+    if (fd >= 0) return fd;
+    if ((errno != ECONNREFUSED && errno != ENOENT) || i + 1 >= attempts)
+      sys_fail(what);
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, retry.max_backoff);
+  }
+}
+
 }  // namespace
 
-Client Client::connect_unix(const std::string& path) {
+Client Client::connect_unix(const std::string& path, const Retry& retry) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof addr.sun_path)
     throw std::runtime_error("unix socket path too long: " + path);
   std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) sys_fail("socket");
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(fd);
-    sys_fail("connect " + path);
-  }
+  const int fd = connect_with_retry(
+      [&] {
+        const int s = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (s < 0) sys_fail("socket");
+        if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0) {
+          const int saved = errno;
+          ::close(s);
+          errno = saved;
+          return -1;
+        }
+        return s;
+      },
+      retry, "connect " + path);
   return Client(fd);
 }
 
-Client Client::connect_tcp(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) sys_fail("socket");
+Client Client::connect_tcp(int port, const Retry& retry) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(fd);
-    sys_fail("connect 127.0.0.1:" + std::to_string(port));
-  }
+  const int fd = connect_with_retry(
+      [&] {
+        const int s = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (s < 0) sys_fail("socket");
+        if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0) {
+          const int saved = errno;
+          ::close(s);
+          errno = saved;
+          return -1;
+        }
+        return s;
+      },
+      retry, "connect 127.0.0.1:" + std::to_string(port));
   return Client(fd);
 }
 
-Client Client::connect(const std::string& endpoint) {
+Client Client::connect(const std::string& endpoint, const Retry& retry) {
   if (endpoint.rfind("unix:", 0) == 0)
-    return connect_unix(endpoint.substr(5));
+    return connect_unix(endpoint.substr(5), retry);
   if (endpoint.rfind("tcp:", 0) == 0)
-    return connect_tcp(std::stoi(endpoint.substr(4)));
-  if (endpoint.find('/') != std::string::npos) return connect_unix(endpoint);
-  return connect_tcp(std::stoi(endpoint));
+    return connect_tcp(std::stoi(endpoint.substr(4)), retry);
+  if (endpoint.find('/') != std::string::npos)
+    return connect_unix(endpoint, retry);
+  return connect_tcp(std::stoi(endpoint), retry);
 }
 
 Client::Client(Client&& other) noexcept
@@ -125,6 +163,32 @@ std::string Client::recv_line() {
     const ssize_t k = ::recv(fd_, chunk, sizeof chunk, 0);
     if (k < 0) {
       if (errno == EINTR) continue;
+      sys_fail("recv");
+    }
+    if (k == 0) throw std::runtime_error("server closed the connection");
+    buffer_.append(chunk, static_cast<std::size_t>(k));
+  }
+}
+
+bool Client::poll_line() {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  char chunk[4096];
+  while (true) {
+    if (buffer_.find('\n') != std::string::npos) return true;
+    if (buffer_.size() > max_line_bytes_)
+      throw std::runtime_error(
+          "response line exceeds " + std::to_string(max_line_bytes_) +
+          " bytes without a newline; closing");
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/0);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll");
+    }
+    if (ready == 0) return false;
+    const ssize_t k = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (k < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       sys_fail("recv");
     }
     if (k == 0) throw std::runtime_error("server closed the connection");

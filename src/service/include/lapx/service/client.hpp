@@ -4,6 +4,7 @@
 // bench_service's socket mode; anything that can write a JSON line can be
 // a client without this helper.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -12,17 +13,47 @@
 
 namespace lapx::service {
 
+/// Bounded retry-with-backoff for connect attempts that fail with
+/// ECONNREFUSED or ENOENT -- the two errnos a daemon that is still
+/// binding (or being respawned) produces.  Any other connect failure
+/// is permanent and thrown immediately.  The default is fail-fast
+/// (one attempt), preserving the historical library behavior.
+/// (Namespace-scope so its defaults are usable in Client's own default
+/// arguments; spelled Client::Retry everywhere else.)
+struct ClientRetry {
+  int attempts = 1;
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{250};
+};
+
 class Client {
  public:
+  using Retry = ClientRetry;
+
+  /// The startup policy: ~40 attempts with doubling backoff capped at
+  /// 250 ms (worst case under ten seconds).  Used by `lapx_cli call`,
+  /// the CI smoke tests, and the router's shard-spawn handshake so none
+  /// of them needs a fixed sleep between spawning a daemon and dialing
+  /// it.
+  static Retry startup_retry() {
+    return Retry{40, std::chrono::milliseconds(10),
+                 std::chrono::milliseconds(250)};
+  }
+
   /// Connects to a Unix-domain socket path.
-  static Client connect_unix(const std::string& path);
+  static Client connect_unix(const std::string& path,
+                             const Retry& retry = Retry{});
 
   /// Connects to 127.0.0.1:port.
-  static Client connect_tcp(int port);
+  static Client connect_tcp(int port, const Retry& retry = Retry{});
 
   /// Parses "unix:PATH", "tcp:PORT", a bare port number, or a filesystem
-  /// path (anything containing '/') and connects accordingly.
-  static Client connect(const std::string& endpoint);
+  /// path (anything containing '/') and connects accordingly.  Unlike the
+  /// typed entry points this defaults to the startup retry policy: the
+  /// string form is what CLIs and scripts use, and they are the callers
+  /// racing daemon startup.
+  static Client connect(const std::string& endpoint,
+                        const Retry& retry = startup_retry());
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -39,6 +70,12 @@ class Client {
   /// after N send()s, N recv_line()s return the matching responses.
   void send(const std::string& request_line);
   std::string recv_line();
+
+  /// Non-blocking availability probe: drains whatever the socket has
+  /// ready and reports whether a complete line is buffered (recv_line
+  /// would return without waiting).  Throws like recv_line on transport
+  /// failure or an over-long line.
+  bool poll_line();
 
   /// Largest response line recv_line accepts before failing with
   /// std::runtime_error -- a newline-less stream must error out, not OOM.

@@ -1,0 +1,48 @@
+#pragma once
+// Shared socket plumbing for the lapxd front ends (Server and the shard
+// Router): endpoint binding plus the hardened recv/send primitives.
+// Factored out of server.cpp so both accept loops get identical EINTR,
+// SIGPIPE, and resource-exhaustion behavior.
+
+#include <cstddef>
+#include <string>
+
+#include "lapx/service/server.hpp"
+
+namespace lapx::service::net {
+
+/// A bound, listening socket for an Endpoint.  Owns the fd and (for
+/// Unix-domain endpoints) unlinks the path on destruction.
+class ListenSocket {
+ public:
+  /// Binds and listens; throws std::runtime_error on socket failures.
+  /// Unix-domain paths are unlinked before binding (rebinding a path a
+  /// dead process left behind must succeed).  tcp_port 0 binds an
+  /// ephemeral port, reported by bound_tcp_port().
+  ListenSocket(const Endpoint& endpoint, int backlog);
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  int fd() const { return fd_; }
+  int bound_tcp_port() const { return bound_port_; }
+
+ private:
+  int fd_ = -1;
+  int bound_port_ = 0;
+  std::string unix_path_;  // unlinked on teardown when non-empty
+};
+
+/// recv with EINTR retry: a signal delivered mid-read (the CLI installs
+/// handlers for SIGINT/SIGTERM on the daemon) is not a peer close;
+/// bailing out used to drop the connection and every pipelined in-flight
+/// response.  Returns recv's result with EINTR folded away.  Honors the
+/// testing::inject_recv_eintr fault-injection seam.
+ssize_t recv_retry(int fd, char* buf, std::size_t n);
+
+/// Writes all of `data`, retrying EINTR; gives up silently on any other
+/// error (peer gone; nothing useful to do).
+void send_all(int fd, const std::string& data);
+
+}  // namespace lapx::service::net

@@ -5,11 +5,22 @@
 // hardware likes; the service contract says a connection's responses
 // arrive in submission order with exactly the bytes a single-executor
 // service would have produced.  ResponseSequencer is the reorder buffer
-// that closes that gap: Pendings enter in submission order (their
-// sequence numbers are monotonic by construction) and leave head-first,
-// each head released only when resolved.  Out-of-order completions
-// simply wait in the buffer -- parallelism shows up as throughput, never
-// as reordering.
+// that closes that gap: entries enter in submission order and leave
+// head-first, each head released only when resolved.  Out-of-order
+// completions simply wait in the buffer -- parallelism shows up as
+// throughput, never as reordering.
+//
+// Three kinds of entry share the buffer, so the same sequencer merges
+// local and remote work (the sharded router's cross-shard merge):
+//   * a local Service::Pending (enqueue) -- resolved or executor-deferred;
+//   * an already-rendered response line (enqueue_resolved) -- parse
+//     errors, router-local ops, unavailable-shard errors;
+//   * a deferred remote response (enqueue_deferred) -- a {ready, fetch}
+//     pair, typically wrapping a shard channel's next line.
+// Because entries only ever leave head-first, a remote fetch() is invoked
+// at most once and strictly in enqueue order per channel, which is what
+// lets a FIFO byte stream from a shard stand in for N per-request
+// futures.
 //
 // One sequencer per connection (or per in-process request stream); it is
 // deliberately NOT thread-safe -- a connection is a single logical stream
@@ -20,6 +31,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "lapx/service/service.hpp"
@@ -31,6 +43,17 @@ class ResponseSequencer {
   /// Takes ownership of the next in-flight response.  Must be called in
   /// submission order (Pending sequence numbers strictly increase).
   void enqueue(Service::Pending pending);
+
+  /// Enqueues an already-rendered response line (no trailing '\n').
+  void enqueue_resolved(std::string response_line);
+
+  /// Enqueues a response that resolves elsewhere: `ready` is a
+  /// non-blocking availability probe, `fetch` blocks for (and renders)
+  /// the response line (no trailing '\n').  `fetch` is called at most
+  /// once, and only when this entry is at the head of the stream; both
+  /// callables must not throw (render failures as error responses).
+  void enqueue_deferred(std::function<bool()> ready,
+                        std::function<std::string()> fetch);
 
   /// Number of responses not yet emitted.
   std::size_t in_flight() const { return pending_.size(); }
@@ -48,7 +71,19 @@ class ResponseSequencer {
   void drain_all(std::string& out);
 
  private:
-  std::deque<Service::Pending> pending_;
+  struct Entry {
+    enum class Kind { kLocal, kResolved, kDeferred };
+    Kind kind = Kind::kResolved;
+    Service::Pending local;
+    std::string line;
+    std::function<bool()> ready;
+    std::function<std::string()> fetch;
+  };
+
+  bool head_ready() const;
+  void emit_head(std::string& out);
+
+  std::deque<Entry> pending_;
 };
 
 }  // namespace lapx::service

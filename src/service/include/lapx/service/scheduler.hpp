@@ -67,6 +67,10 @@ class BatchScheduler {
     std::uint64_t expired = 0;
     std::uint64_t executed = 0;   ///< jobs an executor started running
     std::uint64_t completed = 0;  ///< jobs that ran and resolved
+    /// Gauge (not a counter): jobs waiting in the queue at stats() time.
+    /// Surfaced per shard so an operator can see WHICH worker's bounded
+    /// queue is the one emitting `busy` backpressure.
+    std::uint64_t queued = 0;
   };
   // Conservation invariant, once every returned future is ready:
   //   submitted == completed + rejected_busy + coalesced + expired

@@ -1,0 +1,104 @@
+#include "lapx/service/net.hpp"
+
+#include "lapx/service/testing.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace lapx::service::net {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ListenSocket::ListenSocket(const Endpoint& endpoint, int backlog) {
+  if (!endpoint.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof addr.sun_path)
+      throw std::runtime_error("unix socket path too long: " +
+                               endpoint.unix_path);
+    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) sys_fail("socket");
+    ::unlink(endpoint.unix_path.c_str());
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = saved;
+      sys_fail("bind " + endpoint.unix_path);
+    }
+    unix_path_ = endpoint.unix_path;
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) sys_fail("socket");
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.tcp_port));
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = saved;
+      sys_fail("bind 127.0.0.1:" + std::to_string(endpoint.tcp_port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+      bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    sys_fail("listen");
+  }
+}
+
+ListenSocket::~ListenSocket() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+ssize_t recv_retry(int fd, char* buf, std::size_t n) {
+  while (true) {
+    if (testing::consume(testing::inject_recv_eintr)) {
+      errno = EINTR;
+    } else {
+      const ssize_t k = ::recv(fd, buf, n, 0);
+      if (k >= 0 || errno != EINTR) return k;
+    }
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t k =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer gone; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(k);
+  }
+}
+
+}  // namespace lapx::service::net

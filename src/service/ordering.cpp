@@ -5,15 +5,62 @@
 namespace lapx::service {
 
 void ResponseSequencer::enqueue(Service::Pending pending) {
-  pending_.push_back(std::move(pending));
+  Entry e;
+  e.kind = Entry::Kind::kLocal;
+  e.local = std::move(pending);
+  pending_.push_back(std::move(e));
+}
+
+void ResponseSequencer::enqueue_resolved(std::string response_line) {
+  Entry e;
+  e.kind = Entry::Kind::kResolved;
+  e.line = std::move(response_line);
+  pending_.push_back(std::move(e));
+}
+
+void ResponseSequencer::enqueue_deferred(std::function<bool()> ready,
+                                         std::function<std::string()> fetch) {
+  Entry e;
+  e.kind = Entry::Kind::kDeferred;
+  e.ready = std::move(ready);
+  e.fetch = std::move(fetch);
+  pending_.push_back(std::move(e));
+}
+
+bool ResponseSequencer::head_ready() const {
+  const Entry& head = pending_.front();
+  switch (head.kind) {
+    case Entry::Kind::kLocal:
+      return head.local.ready();
+    case Entry::Kind::kResolved:
+      return true;
+    case Entry::Kind::kDeferred:
+      return head.ready();
+  }
+  return false;
+}
+
+void ResponseSequencer::emit_head(std::string& out) {
+  Entry& head = pending_.front();
+  switch (head.kind) {
+    case Entry::Kind::kLocal:
+      out += head.local.get();
+      break;
+    case Entry::Kind::kResolved:
+      out += head.line;
+      break;
+    case Entry::Kind::kDeferred:
+      out += head.fetch();
+      break;
+  }
+  out += '\n';
+  pending_.pop_front();
 }
 
 std::size_t ResponseSequencer::drain_ready(std::string& out) {
   std::size_t emitted = 0;
-  while (!pending_.empty() && pending_.front().ready()) {
-    out += pending_.front().get();
-    out += '\n';
-    pending_.pop_front();
+  while (!pending_.empty() && head_ready()) {
+    emit_head(out);
     ++emitted;
   }
   return emitted;
@@ -21,9 +68,7 @@ std::size_t ResponseSequencer::drain_ready(std::string& out) {
 
 bool ResponseSequencer::drain_one(std::string& out) {
   if (pending_.empty()) return false;
-  out += pending_.front().get();
-  out += '\n';
-  pending_.pop_front();
+  emit_head(out);
   return true;
 }
 

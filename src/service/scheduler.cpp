@@ -73,7 +73,9 @@ BatchScheduler::Submission BatchScheduler::submit(core::TypeId fingerprint,
 
 BatchScheduler::Stats BatchScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.queued = queue_.size();
+  return out;
 }
 
 void BatchScheduler::executor_loop() {

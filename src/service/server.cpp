@@ -1,13 +1,10 @@
 #include "lapx/service/server.hpp"
 
+#include "lapx/service/net.hpp"
 #include "lapx/service/ordering.hpp"
-#include "lapx/service/testing.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -27,34 +24,6 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
-// recv with EINTR retry: a signal delivered mid-read (the CLI installs
-// handlers for SIGINT/SIGTERM on the daemon) is not a peer close; bailing
-// out here used to drop the connection and every pipelined in-flight
-// response.  Returns recv's result with EINTR folded away.
-ssize_t recv_retry(int fd, char* buf, std::size_t n) {
-  while (true) {
-    if (testing::consume(testing::inject_recv_eintr)) {
-      errno = EINTR;
-    } else {
-      const ssize_t k = ::recv(fd, buf, n, 0);
-      if (k >= 0 || errno != EINTR) return k;
-    }
-  }
-}
-
-void send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t k = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (k < 0) {
-      if (errno == EINTR) continue;
-      return;  // peer gone; nothing useful to do
-    }
-    sent += static_cast<std::size_t>(k);
-  }
-}
-
 }  // namespace
 
 struct Server::Impl {
@@ -66,8 +35,7 @@ struct Server::Impl {
     std::shared_ptr<std::atomic<bool>> done;
   };
 
-  int listen_fd = -1;
-  std::string unix_path;  // unlinked on teardown when non-empty
+  std::unique_ptr<net::ListenSocket> listener;
   std::atomic<bool> stopping{false};
   std::vector<Connection> connections;
 
@@ -92,47 +60,14 @@ struct Server::Impl {
 
 Server::Server(Service& service, Options opt)
     : service_(service), opt_(std::move(opt)), impl_(new Impl) {
-  if (!opt_.endpoint.unix_path.empty()) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (opt_.endpoint.unix_path.size() >= sizeof addr.sun_path)
-      throw std::runtime_error("unix socket path too long: " +
-                               opt_.endpoint.unix_path);
-    std::strncpy(addr.sun_path, opt_.endpoint.unix_path.c_str(),
-                 sizeof addr.sun_path - 1);
-    impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (impl_->listen_fd < 0) sys_fail("socket");
-    ::unlink(opt_.endpoint.unix_path.c_str());
-    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
-               sizeof addr) < 0)
-      sys_fail("bind " + opt_.endpoint.unix_path);
-    impl_->unix_path = opt_.endpoint.unix_path;
-  } else {
-    impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (impl_->listen_fd < 0) sys_fail("socket");
-    const int one = 1;
-    ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.endpoint.tcp_port));
-    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
-               sizeof addr) < 0)
-      sys_fail("bind 127.0.0.1:" + std::to_string(opt_.endpoint.tcp_port));
-    sockaddr_in bound{};
-    socklen_t len = sizeof bound;
-    if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound),
-                      &len) == 0)
-      bound_port_ = ntohs(bound.sin_port);
-  }
-  if (::listen(impl_->listen_fd, opt_.listen_backlog) < 0) sys_fail("listen");
+  impl_->listener = std::make_unique<net::ListenSocket>(opt_.endpoint,
+                                                        opt_.listen_backlog);
+  bound_port_ = impl_->listener->bound_tcp_port();
 }
 
 Server::~Server() {
   stop();
   impl_->join_all();
-  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
-  if (!impl_->unix_path.empty()) ::unlink(impl_->unix_path.c_str());
 }
 
 void Server::stop() { impl_->stopping.store(true, std::memory_order_release); }
@@ -141,14 +76,14 @@ void Server::serve_forever() {
   while (!impl_->stopping.load(std::memory_order_acquire) &&
          !service_.shutdown_requested()) {
     impl_->reap_finished();
-    pollfd pfd{impl_->listen_fd, POLLIN, 0};
+    pollfd pfd{impl_->listener->fd(), POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready < 0) {
       if (errno == EINTR) continue;
       sys_fail("poll");
     }
     if (ready == 0) continue;
-    const int fd = ::accept(impl_->listen_fd, nullptr, nullptr);
+    const int fd = ::accept(impl_->listener->fd(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
           errno == EWOULDBLOCK)
@@ -177,12 +112,12 @@ void Server::serve_forever() {
       while (!closing && !impl_->stopping.load(std::memory_order_acquire)) {
         outbox.clear();
         sequencer.drain_ready(outbox);
-        if (!outbox.empty()) send_all(fd, outbox);
+        if (!outbox.empty()) net::send_all(fd, outbox);
         pollfd cpfd{fd, POLLIN, 0};
         const int cready = ::poll(&cpfd, 1, /*timeout_ms=*/100);
         if (cready < 0 && errno != EINTR) break;
         if (cready <= 0) continue;
-        const ssize_t k = recv_retry(fd, chunk, sizeof chunk);
+        const ssize_t k = net::recv_retry(fd, chunk, sizeof chunk);
         if (k <= 0) break;  // 0 = orderly close, < 0 = real error
         buffer.append(chunk, static_cast<std::size_t>(k));
         std::size_t nl;
@@ -199,7 +134,7 @@ void Server::serve_forever() {
           while (sequencer.in_flight() >= opt_.max_pipeline) {
             outbox.clear();
             if (!sequencer.drain_one(outbox)) break;
-            send_all(fd, outbox);
+            net::send_all(fd, outbox);
           }
         }
         // A partial line beyond the cap is a hostile or confused peer.
@@ -222,7 +157,7 @@ void Server::serve_forever() {
                 " bytes");
         outbox += '\n';
       }
-      if (!outbox.empty()) send_all(fd, outbox);
+      if (!outbox.empty()) net::send_all(fd, outbox);
       ::close(fd);
       done->store(true, std::memory_order_release);
     });

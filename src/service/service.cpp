@@ -57,6 +57,9 @@ Service::~Service() {
 
 bool Service::save_cache() {
   if (persist_ == nullptr) return true;
+  // Abandoned (kill_hard emulation): skip the snapshot so the directory
+  // keeps only what a real SIGKILL would have left behind.
+  if (abandon_persist_.load(std::memory_order_acquire)) return true;
   return persist_->save_snapshot(cache_.entries());
 }
 
@@ -255,6 +258,7 @@ std::string Service::admin(const Request& req) {
               Json::integer(static_cast<std::int64_t>(ss.executed)));
     sched.set("completed",
               Json::integer(static_cast<std::int64_t>(ss.completed)));
+    sched.set("queued", Json::integer(static_cast<std::int64_t>(ss.queued)));
     sched.set("executors", Json::integer(scheduler_.executors()));
     Json store = Json::object();
     store.set("resident",

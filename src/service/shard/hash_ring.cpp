@@ -1,0 +1,47 @@
+#include "lapx/service/shard/hash_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace lapx::service::shard {
+
+std::uint64_t HashRing::hash64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+HashRing::HashRing(std::size_t shards, int vnodes) : shards_(shards) {
+  if (shards == 0) throw std::invalid_argument("HashRing: shards must be >= 1");
+  if (vnodes < 1) throw std::invalid_argument("HashRing: vnodes must be >= 1");
+  ring_.reserve(shards * static_cast<std::size_t>(vnodes));
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::string prefix = "shard-" + std::to_string(i) + "#";
+    for (int v = 0; v < vnodes; ++v)
+      ring_.emplace_back(hash64(prefix + std::to_string(v)),
+                         static_cast<std::uint32_t>(i));
+  }
+  std::sort(ring_.begin(), ring_.end());
+  // Colliding points resolve to the smaller shard (sort puts it first).
+  ring_.erase(std::unique(ring_.begin(), ring_.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              ring_.end());
+}
+
+std::size_t HashRing::owner(std::string_view key) const {
+  if (shards_ == 1) return 0;
+  const std::uint64_t h = hash64(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const auto& point, std::uint64_t value) { return point.first < value; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace lapx::service::shard

@@ -1,0 +1,48 @@
+#pragma once
+// Deterministic cross-shard merges for fan-out ops.
+//
+// Most requests route to exactly one shard (the one owning the session
+// name), but the observability/admin ops -- list, session_info, stats,
+// cache_info, cache_save -- describe the whole service, so the router
+// sends them to every shard and merges the replies here.  The merge is
+// a pure function of the reply set, field ordering copied from
+// service.cpp's single-process responses, so:
+//
+//   * `list` and `session_info` are BYTE-IDENTICAL to a single-process
+//     service given the same request sequence (absent eviction): names
+//     are disjoint across shards and SessionStore::names() is
+//     lexicographic, so concatenating per-shard arrays and sorting by
+//     name reproduces the single-process listing exactly, and store
+//     counters sum because every session op lands on exactly one shard.
+//   * `stats` and `cache_info` sum their counters and append a "shards"
+//     field; like their single-process forms they reflect service state
+//     (per-process executor counts, cache temperatures) and stay outside
+//     transcript diffs.
+//
+// A non-ok reply from any shard is returned verbatim (lowest shard index
+// first) -- every shard renders identical error envelopes for the same
+// request, so this too is deterministic.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lapx::service::shard {
+
+/// True for ops the router must send to every shard and merge.
+bool is_fanout_op(const std::string& op);
+
+struct MergeContext {
+  std::size_t shards = 1;
+  std::string cache_dir;  ///< base persistence dir (merged cache_info "dir")
+};
+
+/// Merges one reply line per shard (shard order) into the single response
+/// line a client sees.  Never throws: unparsable shard replies render as
+/// an `internal` error envelope.
+std::string merge_fanout(const std::string& op, std::optional<std::int64_t> id,
+                         const std::vector<std::string>& replies,
+                         const MergeContext& ctx);
+
+}  // namespace lapx::service::shard

@@ -1,0 +1,51 @@
+#pragma once
+// Consistent-hash ring: the ownership function of the sharded service.
+//
+// Every request that touches a session is routed by its session name
+// (the "name"/"graph" field); the ring maps that name onto one of N
+// shard workers.  The mapping must be
+//   * deterministic across processes and runs -- the router, every test,
+//     and a respawned router must agree, so the hash is FNV-1a over
+//     fixed strings, never std::hash (seeded per-process since C++14
+//     implementations may randomize) -- and
+//   * stable under resizing -- with V virtual nodes per shard, growing
+//     N to N+1 moves only ~1/(N+1) of the keyspace (the classic
+//     consistent-hashing property; Katana's distributed directory and
+//     Grappa's delegate model both hash ownership the same way).
+//
+// Virtual nodes: shard i contributes V points hash64("shard-<i>#<v>");
+// a key is owned by the first point clockwise from hash64(key).  Point
+// collisions (astronomically unlikely but cheap to define away) resolve
+// to the smaller shard index.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lapx::service::shard {
+
+class HashRing {
+ public:
+  /// A ring over `shards` workers (>= 1) with `vnodes` points each.
+  explicit HashRing(std::size_t shards, int vnodes = kDefaultVnodes);
+
+  /// The shard that owns `key`.  Pure function of (shards, vnodes, key).
+  std::size_t owner(std::string_view key) const;
+
+  std::size_t shards() const { return shards_; }
+
+  /// FNV-1a 64-bit -- process-stable, the same family the session store
+  /// uses for content hashes.
+  static std::uint64_t hash64(std::string_view s);
+
+  static constexpr int kDefaultVnodes = 64;
+
+ private:
+  std::size_t shards_;
+  // Sorted (point, shard) pairs; lower_bound(hash64(key)) wraps to front.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+}  // namespace lapx::service::shard

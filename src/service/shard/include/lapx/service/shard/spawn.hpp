@@ -1,0 +1,101 @@
+#pragma once
+// Forked shard workers and the supervision loop.
+//
+// ProcessShardHost fork+execs one `lapx_cli serve --shard-worker <i>`
+// process per shard (always fork+exec, never bare fork: the router is
+// multi-threaded, and only exec makes the child's state sane).  alive()
+// is a waitpid(WNOHANG) probe, so a SIGKILLed worker is noticed within
+// one monitor tick.
+//
+// ShardSupervisor owns the hosts and runs the kill-one-shard story: a
+// monitor thread polls alive() and restarts any dead shard (with a
+// per-host rate limit so a worker that dies at startup cannot hot-loop).
+// A respawned worker rebinds the same socket path (net::ListenSocket
+// unlinks stale paths) and warm-loads its own cache directory, so the
+// replacement serves the same keyspace slice with `misses:0` on replay.
+// freeze() stops respawns before a shutdown broadcast -- otherwise the
+// monitor would resurrect workers that just exited on request.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lapx/service/shard/worker.hpp"
+
+namespace lapx::service::shard {
+
+/// Path of the running executable (/proc/self/exe); the router uses it
+/// to spawn workers from the same binary that spawned them.
+std::string self_exe_path();
+
+class ProcessShardHost : public ShardHost {
+ public:
+  /// `argv` is the full worker command line; argv[0] is the executable.
+  ProcessShardHost(std::vector<std::string> argv, std::string socket_path);
+  ~ProcessShardHost() override;
+
+  void start() override;
+  bool alive() override;
+  void stop() override;
+  const std::string& socket_path() const override { return socket_path_; }
+
+  /// Pid of the live worker; -1 when not running.
+  int pid() const { return pid_; }
+
+ private:
+  bool reap_if_exited();
+
+  std::vector<std::string> argv_;
+  std::string socket_path_;
+  int pid_ = -1;
+};
+
+class ShardSupervisor {
+ public:
+  explicit ShardSupervisor(std::vector<std::unique_ptr<ShardHost>> hosts);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Starts every host (throws on a host that cannot start).
+  void start_all();
+
+  /// Starts the monitor thread: any host found dead is restarted, at
+  /// most once per `min_restart_interval` per host.
+  void begin_monitor(
+      std::chrono::milliseconds poll = std::chrono::milliseconds(50),
+      std::chrono::milliseconds min_restart_interval =
+          std::chrono::milliseconds(200));
+
+  /// Permanently stops respawning (call before broadcasting `shutdown`).
+  void freeze();
+
+  /// freeze() + stop every host.  Also run by the destructor.
+  void stop_all();
+
+  std::size_t count() const { return hosts_.size(); }
+  ShardHost& host(std::size_t i) { return *hosts_[i]; }
+  const std::string& socket_path(std::size_t i) const {
+    return hosts_[i]->socket_path();
+  }
+
+  /// Total restarts performed by the monitor (observability + tests).
+  std::uint64_t respawns() const {
+    return respawns_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<std::unique_ptr<ShardHost>> hosts_;
+  std::thread monitor_;
+  std::mutex freeze_mu_;  // serializes the monitor join in freeze()
+  std::atomic<bool> frozen_{false};
+  std::atomic<std::uint64_t> respawns_{0};
+};
+
+}  // namespace lapx::service::shard

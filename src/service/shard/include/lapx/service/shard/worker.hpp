@@ -1,0 +1,100 @@
+#pragma once
+// Shard worker: one Service + Server owning a disjoint slice of the
+// session store and result cache, listening on its own Unix socket.
+//
+// A worker is a completely ordinary lapxd -- the shard-internal RPC *is*
+// the public line-delimited JSON protocol, which is what makes the
+// router's merge byte-exact: every response a client could receive is
+// rendered by the same Service code whether the deployment is one
+// process or N.  The only shard-specific wiring is the cache directory
+// (its slice of the ShardLayout) and the identity used for logging.
+//
+// Two hosts run a worker under supervision (ShardHost is the interface
+// the ShardSupervisor drives):
+//   * InProcessShardHost -- Service + Server on a thread, for tests and
+//     bench_service E19.  kill_hard() emulates SIGKILL: serving stops
+//     abruptly and the shutdown snapshot is skipped, so the cache dir is
+//     left with exactly a dead process's state (stale snapshot + full
+//     journal) for the respawn to warm-load.
+//   * ProcessShardHost (shard/spawn.hpp) -- fork/exec of `lapx_cli serve
+//     --shard-worker`, the production path.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "lapx/service/server.hpp"
+#include "lapx/service/service.hpp"
+
+namespace lapx::service::shard {
+
+struct WorkerConfig {
+  int index = 0;  ///< shard index in [0, count)
+  int count = 1;  ///< total shard count
+  std::string socket_path;      ///< Unix socket this worker serves
+  std::string base_cache_dir;   ///< empty = no persistence
+  Service::Options service;     ///< cache_dir is overwritten from the layout
+  std::size_t max_line_bytes = std::size_t{1} << 24;
+};
+
+/// Resolves the per-shard Service options: plans the ShardLayout under
+/// base_cache_dir (when set) and points service.cache_dir at this
+/// shard's directory.
+Service::Options shard_service_options(const WorkerConfig& cfg);
+
+/// Supervision interface: start (or restart after death), probe, stop.
+class ShardHost {
+ public:
+  virtual ~ShardHost() = default;
+  /// Starts (or restarts) the worker; idempotent while alive.
+  virtual void start() = 0;
+  /// True while the worker is serving.  A worker that exited -- clean
+  /// shutdown or abrupt death -- reports false until restarted.
+  virtual bool alive() = 0;
+  /// Best-effort stop + reap.  Idempotent.
+  virtual void stop() = 0;
+  virtual const std::string& socket_path() const = 0;
+};
+
+class InProcessShardHost : public ShardHost {
+ public:
+  explicit InProcessShardHost(WorkerConfig cfg);
+  ~InProcessShardHost() override;
+
+  void start() override;
+  bool alive() override;
+  void stop() override;
+  const std::string& socket_path() const override {
+    return cfg_.socket_path;
+  }
+
+  /// SIGKILL emulation: stop serving abruptly and abandon persistence
+  /// (Service::abandon_persistence), so a subsequent start() exercises
+  /// the same warm-load path a respawned forked worker takes.
+  void kill_hard();
+
+  /// The live Service; nullptr while not started.  Test introspection
+  /// only -- production code talks over the socket.  Callers must order
+  /// themselves against a concurrent monitor restart (observing alive()
+  /// after the respawn suffices).
+  Service* service() { return service_.get(); }
+
+ private:
+  // kill_hard() is called from test/bench threads while the supervisor's
+  // monitor polls alive() and restarts -- one mutex serializes every
+  // lifecycle transition (the serve thread never takes it, so joining
+  // under the lock cannot deadlock).
+  bool alive_locked() const;
+  void teardown_locked(bool abandon_persistence);
+
+  std::mutex mu_;
+  WorkerConfig cfg_;
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  std::shared_ptr<std::atomic<bool>> serving_;
+};
+
+}  // namespace lapx::service::shard

@@ -1,0 +1,344 @@
+#include "lapx/service/shard/router.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "lapx/service/handlers.hpp"
+#include "lapx/service/net.hpp"
+#include "lapx/service/ordering.hpp"
+#include "lapx/service/protocol.hpp"
+#include "lapx/service/shard/aggregate.hpp"
+#include "lapx/service/shard/channel.hpp"
+
+namespace lapx::service::shard {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+std::string busy_line(std::optional<std::int64_t> id, std::size_t shard) {
+  return error_response(id, ErrorCode::kBusy,
+                        "shard " + std::to_string(shard) + " unavailable");
+}
+
+// The session name a request routes by: "graph" for query ops, "name"
+// for session admin ops.  Missing/malformed fields (and unknown ops)
+// fall back to the empty key, so the owning shard -- not the router --
+// renders the error envelope, byte-identical to a single process.
+std::string routing_key(const Request& req) {
+  const Json* v = req.body.find(is_query_op(req.op) ? "graph" : "name");
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string();
+}
+
+}  // namespace
+
+struct Router::Impl {
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  ShardSupervisor& shards;
+  Options opt;
+  HashRing ring;
+  std::unique_ptr<net::ListenSocket> listener;
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> shutdown{false};
+  std::vector<Connection> connections;
+
+  Impl(ShardSupervisor& shards_in, Options opt_in)
+      : shards(shards_in),
+        opt(std::move(opt_in)),
+        ring(shards_in.count(), opt.vnodes) {
+    listener = std::make_unique<net::ListenSocket>(opt.endpoint,
+                                                   opt.listen_backlog);
+  }
+
+  void reap_finished() {
+    auto it = connections.begin();
+    while (it != connections.end()) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void join_all() {
+    for (Connection& c : connections)
+      if (c.thread.joinable()) c.thread.join();
+    connections.clear();
+  }
+
+  std::vector<std::string> shard_endpoints() const {
+    std::vector<std::string> out;
+    out.reserve(shards.count());
+    for (std::size_t i = 0; i < shards.count(); ++i)
+      out.push_back(shards.socket_path(i));
+    return out;
+  }
+
+  void route_line(const std::string& line, ShardClientSet& channels,
+                  ResponseSequencer& seq);
+  void enqueue_routed(std::size_t shard, std::optional<std::int64_t> id,
+                      const std::string& line, ShardClientSet& channels,
+                      ResponseSequencer& seq);
+  void enqueue_fanout(const Request& req, const std::string& line,
+                      ShardClientSet& channels, ResponseSequencer& seq);
+  void handle_shutdown(const Request& req, const std::string& line,
+                       ShardClientSet& channels, ResponseSequencer& seq);
+  void connection_loop(int fd);
+};
+
+void Router::Impl::enqueue_routed(std::size_t shard,
+                                  std::optional<std::int64_t> id,
+                                  const std::string& line,
+                                  ShardClientSet& channels,
+                                  ResponseSequencer& seq) {
+  ShardChannel* ch = channels.channel(shard);
+  if (!ch->send(line)) {
+    seq.enqueue_resolved(busy_line(id, shard));
+    return;
+  }
+  seq.enqueue_deferred([ch] { return ch->line_ready(); },
+                       [ch, id, shard] {
+                         std::string out;
+                         if (ch->recv_line(out)) return out;
+                         return busy_line(id, shard);
+                       });
+}
+
+void Router::Impl::enqueue_fanout(const Request& req, const std::string& line,
+                                  ShardClientSet& channels,
+                                  ResponseSequencer& seq) {
+  // One leg per shard, sent in-stream on this connection's channels so
+  // each shard sees the fan-out at exactly its submission-order position
+  // relative to this connection's other requests.
+  std::vector<ShardChannel*> legs;
+  legs.reserve(channels.count());
+  for (std::size_t i = 0; i < channels.count(); ++i) {
+    ShardChannel* ch = channels.channel(i);
+    ch->send(line);  // failure leaves the leg broken; rendered below
+    legs.push_back(ch);
+  }
+  const std::optional<std::int64_t> id = req.id;
+  const std::string op = req.op;
+  const MergeContext ctx{channels.count(), opt.cache_dir};
+  seq.enqueue_deferred(
+      [legs] {
+        for (ShardChannel* ch : legs)
+          if (!ch->line_ready()) return false;
+        return true;
+      },
+      [legs, id, op, ctx] {
+        std::vector<std::string> replies;
+        replies.reserve(legs.size());
+        for (ShardChannel* ch : legs) {
+          std::string reply;
+          if (!ch->recv_line(reply)) reply = busy_line(id, ch->shard());
+          replies.push_back(std::move(reply));
+        }
+        return merge_fanout(op, id, replies, ctx);
+      });
+}
+
+void Router::Impl::handle_shutdown(const Request& req, const std::string& line,
+                                   ShardClientSet& channels,
+                                   ResponseSequencer& seq) {
+  // Freeze BEFORE broadcasting: the monitor must not resurrect workers
+  // that are about to exit on request.
+  shards.freeze();
+  std::vector<ShardChannel*> legs;
+  legs.reserve(channels.count());
+  for (std::size_t i = 0; i < channels.count(); ++i) {
+    ShardChannel* ch = channels.channel(i);
+    ch->send(line);
+    legs.push_back(ch);
+  }
+  shutdown.store(true, std::memory_order_release);
+  const std::optional<std::int64_t> id = req.id;
+  seq.enqueue_deferred(
+      [legs] {
+        for (ShardChannel* ch : legs)
+          if (!ch->line_ready()) return false;
+        return true;
+      },
+      [legs, id] {
+        // Every shard renders the identical ack (same id), so the first
+        // successful one is THE response; unreachable shards fall back
+        // to the locally-rendered twin.
+        std::string ack;
+        bool have = false;
+        for (ShardChannel* ch : legs) {
+          std::string reply;
+          if (ch->recv_line(reply) && !have) {
+            ack = std::move(reply);
+            have = true;
+          }
+        }
+        if (!have) {
+          Json payload = Json::object();
+          payload.set("shutting_down", Json::boolean(true));
+          ack = ok_response(id, payload.dump());
+        }
+        return ack;
+      });
+}
+
+void Router::Impl::route_line(const std::string& line,
+                              ShardClientSet& channels,
+                              ResponseSequencer& seq) {
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    // Byte-identical to Service::submit's parse failure path.
+    seq.enqueue_resolved(
+        error_response(std::nullopt, ErrorCode::kBadRequest, e.what()));
+    return;
+  }
+  if (req.op == "ping") {
+    Json payload = Json::object();
+    payload.set("pong", Json::boolean(true));
+    seq.enqueue_resolved(ok_response(req.id, payload.dump()));
+    return;
+  }
+  if (req.op == "shutdown") {
+    handle_shutdown(req, line, channels, seq);
+    return;
+  }
+  if (is_fanout_op(req.op)) {
+    enqueue_fanout(req, line, channels, seq);
+    return;
+  }
+  enqueue_routed(ring.owner(routing_key(req)), req.id, line, channels, seq);
+}
+
+void Router::Impl::connection_loop(int fd) {
+  // Mirrors Server's pipelined connection loop; the sequencer holds
+  // deferred shard replies instead of scheduler futures.
+  std::string buffer;
+  std::string outbox;
+  char chunk[4096];
+  ShardClientSet channels(shard_endpoints(), opt.shard_retry);
+  ResponseSequencer sequencer;
+  bool closing = false;
+  bool too_large = false;
+  while (!closing && !stopping.load(std::memory_order_acquire)) {
+    outbox.clear();
+    sequencer.drain_ready(outbox);
+    if (!outbox.empty()) net::send_all(fd, outbox);
+    pollfd cpfd{fd, POLLIN, 0};
+    const int cready = ::poll(&cpfd, 1, /*timeout_ms=*/100);
+    if (cready < 0 && errno != EINTR) break;
+    if (cready <= 0) continue;
+    const ssize_t k = net::recv_retry(fd, chunk, sizeof chunk);
+    if (k <= 0) break;  // 0 = orderly close, < 0 = real error
+    buffer.append(chunk, static_cast<std::size_t>(k));
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      route_line(line, channels, sequencer);
+      if (shutdown.load(std::memory_order_acquire)) {
+        closing = true;  // ack (below) is the last pipelined response
+        break;
+      }
+      while (sequencer.in_flight() >= opt.max_pipeline) {
+        outbox.clear();
+        if (!sequencer.drain_one(outbox)) break;
+        net::send_all(fd, outbox);
+      }
+    }
+    if (!closing && buffer.size() > opt.max_line_bytes) {
+      too_large = true;
+      closing = true;
+    }
+  }
+  outbox.clear();
+  sequencer.drain_all(outbox);
+  if (too_large) {
+    outbox += error_response(
+        std::nullopt, ErrorCode::kTooLarge,
+        "request line exceeds " + std::to_string(opt.max_line_bytes) +
+            " bytes");
+    outbox += '\n';
+  }
+  if (!outbox.empty()) net::send_all(fd, outbox);
+  ::close(fd);
+}
+
+Router::Router(ShardSupervisor& shards, Options opt)
+    : impl_(new Impl(shards, std::move(opt))) {}
+
+Router::~Router() {
+  stop();
+  impl_->join_all();
+}
+
+void Router::stop() {
+  impl_->stopping.store(true, std::memory_order_release);
+}
+
+bool Router::shutdown_requested() const {
+  return impl_->shutdown.load(std::memory_order_acquire);
+}
+
+int Router::bound_tcp_port() const {
+  return impl_->listener->bound_tcp_port();
+}
+
+void Router::serve_forever() {
+  while (!impl_->stopping.load(std::memory_order_acquire) &&
+         !impl_->shutdown.load(std::memory_order_acquire)) {
+    impl_->reap_finished();
+    pollfd pfd{impl_->listener->fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll");
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(impl_->listener->fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK)
+        continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
+      sys_fail("accept");
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Impl* impl = impl_.get();
+    std::thread worker([impl, fd, done] {
+      impl->connection_loop(fd);
+      done->store(true, std::memory_order_release);
+    });
+    impl_->connections.push_back({std::move(worker), std::move(done)});
+  }
+  // Wake connection threads (they poll `stopping`) and drain them.
+  impl_->stopping.store(true, std::memory_order_release);
+  impl_->join_all();
+}
+
+}  // namespace lapx::service::shard

@@ -1,0 +1,133 @@
+#include "lapx/service/shard/spawn.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace lapx::service::shard {
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0)
+    throw std::runtime_error(std::string("readlink /proc/self/exe: ") +
+                             std::strerror(errno));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+ProcessShardHost::ProcessShardHost(std::vector<std::string> argv,
+                                   std::string socket_path)
+    : argv_(std::move(argv)), socket_path_(std::move(socket_path)) {
+  if (argv_.empty())
+    throw std::invalid_argument("ProcessShardHost: empty argv");
+}
+
+ProcessShardHost::~ProcessShardHost() { stop(); }
+
+bool ProcessShardHost::reap_if_exited() {
+  if (pid_ < 0) return true;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    pid_ = -1;
+    return true;
+  }
+  if (r < 0 && errno != EINTR) pid_ = -1;  // ECHILD: someone else reaped
+  return pid_ < 0;
+}
+
+void ProcessShardHost::start() {
+  if (!reap_if_exited()) return;  // still running
+  std::vector<char*> argv;
+  argv.reserve(argv_.size() + 1);
+  for (std::string& arg : argv_) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec (the
+    // parent is multi-threaded).
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  pid_ = pid;
+}
+
+bool ProcessShardHost::alive() { return !reap_if_exited(); }
+
+void ProcessShardHost::stop() {
+  if (reap_if_exited()) return;
+  // Grace period for a worker mid-shutdown (it just acked the broadcast
+  // and is snapshotting its cache); escalate to SIGKILL after ~2s.
+  ::kill(pid_, SIGTERM);
+  for (int i = 0; i < 100; ++i) {
+    if (reap_if_exited()) return;
+    ::usleep(20000);
+  }
+  ::kill(pid_, SIGKILL);
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+  }
+  pid_ = -1;
+}
+
+ShardSupervisor::ShardSupervisor(std::vector<std::unique_ptr<ShardHost>> hosts)
+    : hosts_(std::move(hosts)) {
+  if (hosts_.empty())
+    throw std::invalid_argument("ShardSupervisor: no hosts");
+}
+
+ShardSupervisor::~ShardSupervisor() { stop_all(); }
+
+void ShardSupervisor::start_all() {
+  for (auto& host : hosts_) host->start();
+}
+
+void ShardSupervisor::begin_monitor(
+    std::chrono::milliseconds poll,
+    std::chrono::milliseconds min_restart_interval) {
+  if (monitor_.joinable()) return;
+  monitor_ = std::thread([this, poll, min_restart_interval] {
+    std::vector<std::chrono::steady_clock::time_point> last_restart(
+        hosts_.size());
+    while (!frozen_.load(std::memory_order_acquire)) {
+      for (std::size_t i = 0; i < hosts_.size(); ++i) {
+        if (hosts_[i]->alive()) continue;
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_restart[i] < min_restart_interval) continue;
+        last_restart[i] = now;
+        try {
+          hosts_[i]->start();
+          respawns_.fetch_add(1, std::memory_order_acq_rel);
+          std::fprintf(stderr, "lapxd: shard %zu died; respawned\n", i);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "lapxd: shard %zu respawn failed: %s\n", i,
+                       e.what());
+        }
+      }
+      std::this_thread::sleep_for(poll);
+    }
+  });
+}
+
+void ShardSupervisor::freeze() {
+  frozen_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(freeze_mu_);
+  if (monitor_.joinable() &&
+      monitor_.get_id() != std::this_thread::get_id())
+    monitor_.join();
+}
+
+void ShardSupervisor::stop_all() {
+  freeze();
+  for (auto& host : hosts_) host->stop();
+}
+
+}  // namespace lapx::service::shard

@@ -1,0 +1,74 @@
+#include "lapx/service/shard/worker.hpp"
+
+#include <utility>
+
+#include "lapx/service/persist.hpp"
+
+namespace lapx::service::shard {
+
+Service::Options shard_service_options(const WorkerConfig& cfg) {
+  Service::Options opt = cfg.service;
+  opt.cache_dir.clear();
+  if (!cfg.base_cache_dir.empty()) {
+    const ShardLayout layout =
+        plan_shard_layout(cfg.base_cache_dir, cfg.count);
+    opt.cache_dir = layout.shard_dirs[static_cast<std::size_t>(cfg.index)];
+  }
+  return opt;
+}
+
+InProcessShardHost::InProcessShardHost(WorkerConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+InProcessShardHost::~InProcessShardHost() { stop(); }
+
+void InProcessShardHost::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (alive_locked()) return;
+  teardown_locked(/*abandon_persistence=*/false);
+  service_ = std::make_unique<Service>(shard_service_options(cfg_));
+  Server::Options sopt;
+  sopt.endpoint.unix_path = cfg_.socket_path;
+  sopt.max_line_bytes = cfg_.max_line_bytes;
+  server_ = std::make_unique<Server>(*service_, sopt);
+  serving_ = std::make_shared<std::atomic<bool>>(true);
+  Server* server = server_.get();
+  auto serving = serving_;
+  thread_ = std::thread([server, serving] {
+    server->serve_forever();
+    serving->store(false, std::memory_order_release);
+  });
+}
+
+bool InProcessShardHost::alive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alive_locked();
+}
+
+bool InProcessShardHost::alive_locked() const {
+  return serving_ != nullptr && serving_->load(std::memory_order_acquire);
+}
+
+void InProcessShardHost::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  teardown_locked(/*abandon_persistence=*/false);
+}
+
+void InProcessShardHost::kill_hard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  teardown_locked(/*abandon_persistence=*/true);
+}
+
+void InProcessShardHost::teardown_locked(bool abandon_persistence) {
+  if (server_ != nullptr) server_->stop();
+  if (thread_.joinable()) thread_.join();
+  if (abandon_persistence && service_ != nullptr)
+    service_->abandon_persistence();
+  // Server before Service: connection threads are joined before the
+  // scheduler and store they touch go away.
+  server_.reset();
+  service_.reset();
+  serving_.reset();
+}
+
+}  // namespace lapx::service::shard

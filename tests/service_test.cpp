@@ -779,4 +779,61 @@ TEST(ServerClient, StopUnblocksServeForever) {
   t.join();
 }
 
+TEST(ServerClient, TcpOversizedLineDrainsThenSendsTooLargeFarewell) {
+  // A newline-less blob past max_line_bytes must not kill in-flight
+  // responses: the connection drains everything already pipelined, then
+  // sends exactly one too_large error line and closes.
+  Service svc;
+  Server::Options opt;
+  opt.endpoint.tcp_port = 0;
+  opt.max_line_bytes = 1024;
+  Server server(svc, opt);
+  std::thread t([&] { server.serve_forever(); });
+  {
+    Client client = Client::connect_tcp(server.bound_tcp_port());
+    client.send(R"({"id":1,"op":"ping"})");
+    // 64 KiB before its newline: the server's read loop sees a partial
+    // buffer over the cap long before the line completes.
+    client.send(std::string(64 * 1024, 'x'));
+    const Json pong = Json::parse(client.recv_line());
+    EXPECT_EQ(pong.find("id")->as_int(), 1);
+    EXPECT_TRUE(pong.find("ok")->as_bool());
+    const Json farewell = Json::parse(client.recv_line());
+    EXPECT_FALSE(farewell.find("ok")->as_bool());
+    EXPECT_EQ(farewell.find("code")->as_string(), "too_large");
+    EXPECT_THROW(client.recv_line(), std::runtime_error);  // closed after
+  }
+  server.stop();
+  t.join();
+}
+
+TEST(ServerClient, TcpPipeliningAnswersInSubmissionOrder) {
+  // A client that fires a burst without reading gets every response, in
+  // submission order, over TCP -- same contract the Unix path has.
+  Service svc;
+  Server::Options opt;
+  opt.endpoint.tcp_port = 0;
+  Server server(svc, opt);
+  std::thread t([&] { server.serve_forever(); });
+  {
+    Client client = Client::connect_tcp(server.bound_tcp_port());
+    std::vector<std::string> reqs = {
+        R"({"id":1,"op":"generate","name":"g","family":"torus","args":[4,4]})",
+        R"({"id":2,"op":"ping"})",
+    };
+    for (int id = 3; id <= 20; ++id)
+      reqs.push_back("{\"id\":" + std::to_string(id) +
+                     ",\"op\":\"homogeneity\",\"graph\":\"g\",\"radius\":" +
+                     std::to_string(1 + id % 3) + "}");
+    for (const std::string& r : reqs) client.send(r);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const Json resp = Json::parse(client.recv_line());
+      EXPECT_EQ(resp.find("id")->as_int(), static_cast<std::int64_t>(i + 1));
+      EXPECT_TRUE(resp.find("ok")->as_bool());
+    }
+    client.call(R"({"op":"shutdown"})");
+  }
+  t.join();
+}
+
 }  // namespace

@@ -52,6 +52,41 @@ REL_TOL = 1e-6
 ABS_TOL = 1e-9
 
 
+def validate_report(path, record):
+    """Reject malformed reports with an error naming the file and the gap.
+
+    A hand-edited baseline missing its ``checks`` or ``values`` table (or
+    carrying the wrong shape) must fail the gate with a clear message and
+    exit 2, not die in a KeyError traceback halfway through compare().
+    """
+    if not isinstance(record, dict):
+        raise IOError("%s: report is not a JSON object" % path)
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        raise IOError("%s has no \"name\" field" % path)
+    for table in ("checks", "values"):
+        if table not in record:
+            raise IOError(
+                "%s (report %r): missing %r table" % (path, name, table))
+    if not isinstance(record["checks"], list):
+        raise IOError(
+            "%s (report %r): \"checks\" must be an array" % (path, name))
+    for i, check in enumerate(record["checks"]):
+        if (not isinstance(check, dict)
+                or not isinstance(check.get("what"), str)
+                or not isinstance(check.get("ok"), bool)):
+            raise IOError(
+                "%s (report %r): checks[%d] needs a string \"what\" and a "
+                "boolean \"ok\"" % (path, name, i))
+    if (not isinstance(record["values"], dict)
+            or any(isinstance(v, bool) or not isinstance(v, (int, float))
+                   for v in record["values"].values())):
+        raise IOError(
+            "%s (report %r): \"values\" must map names to numbers"
+            % (path, name))
+    return name
+
+
 def load_reports(directory):
     """Map embedded report name -> parsed JSON for every report in a dir."""
     reports = {}
@@ -59,11 +94,12 @@ def load_reports(directory):
     if not paths:
         raise IOError("no .json reports in %s" % directory)
     for path in paths:
-        with open(path) as f:
-            record = json.load(f)
-        name = record.get("name")
-        if not name:
-            raise IOError("%s has no \"name\" field" % path)
+        try:
+            with open(path) as f:
+                record = json.load(f)
+        except ValueError as e:
+            raise IOError("%s: not valid JSON (%s)" % (path, e))
+        name = validate_report(path, record)
         if name in reports:
             raise IOError("duplicate report name %r in %s" % (name, directory))
         reports[name] = record

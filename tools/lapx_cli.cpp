@@ -18,7 +18,10 @@
 //             eds-greedy
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage (missing/unknown
-// subcommand), 3 bad argument or malformed input.
+// subcommand), 3 bad argument or malformed input, 4 service error (`call`
+// reached the daemon but at least one response line had "ok":false).
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +30,7 @@
 #include <numeric>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "lapx/algorithms/oi.hpp"
 #include "lapx/algorithms/po.hpp"
@@ -41,16 +45,20 @@
 #include "lapx/problems/problem.hpp"
 #include "lapx/runtime/parallel.hpp"
 #include "lapx/service/client.hpp"
+#include "lapx/service/persist.hpp"
 #include "lapx/service/server.hpp"
 #include "lapx/service/service.hpp"
+#include "lapx/service/shard/router.hpp"
+#include "lapx/service/shard/spawn.hpp"
 
 namespace {
 
 using namespace lapx;
 
-constexpr int kExitRuntime = 1;  // failures while computing
-constexpr int kExitUsage = 2;    // missing/unknown subcommand
-constexpr int kExitBadArg = 3;   // bad argument values / malformed input
+constexpr int kExitRuntime = 1;       // failures while computing
+constexpr int kExitUsage = 2;         // missing/unknown subcommand
+constexpr int kExitBadArg = 3;        // bad argument values / malformed input
+constexpr int kExitServiceError = 4;  // daemon answered with "ok":false
 
 int usage() {
   std::fprintf(
@@ -60,7 +68,8 @@ int usage() {
       "       fractional |\n"
       "       serve [--socket PATH | --tcp PORT] [--threads N]\n"
       "             [--executors N] [--cache-entries N] [--cache-bytes N]\n"
-      "             [--cache-dir DIR] [--queue-depth N] [--max-graphs N] |\n"
+      "             [--cache-dir DIR] [--queue-depth N] [--max-graphs N]\n"
+      "             [--shards N] |\n"
       "       call [--pipeline] <endpoint> [json-request]\n"
       "endpoints: unix:PATH | tcp:PORT | a /path | a bare port\n"
       "wire ops: ping | generate | upload | mutate | drop | list |\n"
@@ -71,7 +80,8 @@ int usage() {
       "           \"name\":N, \"edits\":[{\"op\":\"add|remove\",\"u\":U,\"v\":V}]}\n"
       "           -> new epoch; queries re-refine only the edit frontier)\n"
       "env: LAPXD_EXECUTORS sets the serve executor default,\n"
-      "     LAPXD_CACHE_DIR the result-cache persistence dir\n");
+      "     LAPXD_CACHE_DIR the result-cache persistence dir,\n"
+      "     LAPXD_SHARDS the serve shard-count default\n");
   return kExitUsage;
 }
 
@@ -193,11 +203,95 @@ int cmd_run(const graph::Graph& g, const std::string& alg, int r) {
   return 0;
 }
 
+// `lapx_cli serve --shards N`: fork+exec one worker per shard (each a
+// plain single-process lapxd on its own socket and cache slice) and run
+// the consistent-hash router on the public endpoint.
+int serve_sharded(int shards, const service::Service::Options& sopt,
+                  const service::Server::Options& wopt, long long threads) {
+  namespace shard = service::shard;
+  // Worker sockets live next to the public unix socket; TCP front ends
+  // park them under /tmp keyed by pid.
+  const std::string base = !wopt.endpoint.unix_path.empty()
+                               ? wopt.endpoint.unix_path
+                               : "/tmp/lapxd." + std::to_string(::getpid());
+  std::vector<std::string> shard_dirs(static_cast<std::size_t>(shards));
+  if (!sopt.cache_dir.empty()) {
+    const auto layout = service::plan_shard_layout(sopt.cache_dir, shards);
+    if (layout.count_changed)
+      std::fprintf(stderr,
+                   "lapxd: shard count changed %d -> %d; caches start cold "
+                   "(old shard dirs are kept; revert --shards to rewarm)\n",
+                   layout.previous_shard_count, layout.shard_count);
+    shard_dirs = layout.shard_dirs;
+  }
+  const std::string exe = shard::self_exe_path();
+  std::vector<std::unique_ptr<shard::ShardHost>> hosts;
+  for (int i = 0; i < shards; ++i) {
+    const std::string sock = base + ".shard" + std::to_string(i);
+    // Resource flags forward verbatim: every worker gets the full
+    // per-process budget (shards partition sessions, not memory).
+    std::vector<std::string> cmd = {
+        exe,
+        "serve",
+        "--shard-worker",
+        std::to_string(i),
+        "--shard-count",
+        std::to_string(shards),
+        "--socket",
+        sock,
+        "--executors",
+        std::to_string(sopt.scheduler.executors),
+        "--cache-entries",
+        std::to_string(sopt.cache.max_entries),
+        "--cache-bytes",
+        std::to_string(sopt.cache.max_bytes),
+        "--queue-depth",
+        std::to_string(sopt.scheduler.queue_capacity),
+        "--max-graphs",
+        std::to_string(sopt.store.max_graphs),
+        // Always passed, even when empty: an explicit --cache-dir beats a
+        // LAPXD_CACHE_DIR the worker would otherwise inherit and share.
+        "--cache-dir",
+        shard_dirs[static_cast<std::size_t>(i)]};
+    if (threads >= 1) {
+      cmd.push_back("--threads");
+      cmd.push_back(std::to_string(threads));
+    }
+    hosts.push_back(
+        std::make_unique<shard::ProcessShardHost>(std::move(cmd), sock));
+  }
+  shard::ShardSupervisor sup(std::move(hosts));
+  sup.start_all();
+  sup.begin_monitor();
+  shard::Router::Options ropt;
+  ropt.endpoint = wopt.endpoint;
+  ropt.max_line_bytes = wopt.max_line_bytes;
+  ropt.listen_backlog = wopt.listen_backlog;
+  ropt.max_pipeline = wopt.max_pipeline;
+  ropt.cache_dir = sopt.cache_dir;
+  shard::Router router(sup, ropt);
+  if (!wopt.endpoint.unix_path.empty())
+    std::fprintf(stderr, "lapxd: router for %d shards listening on %s\n",
+                 shards, wopt.endpoint.unix_path.c_str());
+  else
+    std::fprintf(stderr,
+                 "lapxd: router for %d shards listening on 127.0.0.1:%d\n",
+                 shards, router.bound_tcp_port());
+  router.serve_forever();
+  sup.stop_all();
+  std::fprintf(stderr, "lapxd: shut down cleanly\n");
+  return 0;
+}
+
 // lapxd entry point: `lapx_cli serve` runs the service until a client
 // sends {"op":"shutdown"}.
 int cmd_serve(int argc, char** argv) {
   service::Service::Options sopt;
   service::Server::Options wopt;
+  int shards = 0;        // 0 = classic single-process serve
+  int shard_worker = -1; // >= 0: run as spawned worker <index>
+  int shard_count = 1;
+  long long threads = 0;
   // LAPXD_EXECUTORS seeds the executor count; --executors overrides it.
   if (const char* env = std::getenv("LAPXD_EXECUTORS")) {
     const int v = std::atoi(env);
@@ -205,6 +299,11 @@ int cmd_serve(int argc, char** argv) {
   }
   // LAPXD_CACHE_DIR seeds the persistence dir; --cache-dir overrides it.
   if (const char* env = std::getenv("LAPXD_CACHE_DIR")) sopt.cache_dir = env;
+  // LAPXD_SHARDS seeds the shard count; --shards overrides it.
+  if (const char* env = std::getenv("LAPXD_SHARDS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) shards = v;
+  }
   auto int_flag = [&](const char* value) {
     const long long v = std::stoll(value);
     if (v < 0) throw std::invalid_argument("flag value must be >= 0");
@@ -220,7 +319,8 @@ int cmd_serve(int argc, char** argv) {
     } else if (flag == "--tcp") {
       wopt.endpoint.tcp_port = static_cast<int>(int_flag(value));
     } else if (flag == "--threads") {
-      runtime::set_thread_count(static_cast<int>(int_flag(value)));
+      threads = int_flag(value);
+      runtime::set_thread_count(static_cast<int>(threads));
     } else if (flag == "--executors") {
       const long long v = int_flag(value);
       if (v < 1) throw std::invalid_argument("--executors must be >= 1");
@@ -235,12 +335,24 @@ int cmd_serve(int argc, char** argv) {
       sopt.scheduler.queue_capacity = static_cast<std::size_t>(int_flag(value));
     } else if (flag == "--max-graphs") {
       sopt.store.max_graphs = static_cast<std::size_t>(int_flag(value));
+    } else if (flag == "--shards") {
+      const long long v = int_flag(value);
+      if (v < 1) throw std::invalid_argument("--shards must be >= 1");
+      shards = static_cast<int>(v);
+    } else if (flag == "--shard-worker") {  // internal: spawned by router
+      shard_worker = static_cast<int>(int_flag(value));
+    } else if (flag == "--shard-count") {  // internal: spawned by router
+      shard_count = static_cast<int>(int_flag(value));
     } else {
       throw std::invalid_argument("unknown flag: " + flag);
     }
   }
   if (wopt.endpoint.unix_path.empty() && wopt.endpoint.tcp_port == 0)
     wopt.endpoint.unix_path = "/tmp/lapxd.sock";
+  // A spawned worker is a plain single-process lapxd: it must never
+  // re-shard itself (an inherited LAPXD_SHARDS would fork-bomb).
+  if (shard_worker >= 0) shards = 0;
+  if (shards >= 1) return serve_sharded(shards, sopt, wopt, threads);
   service::Service svc(sopt);
   if (svc.persist() != nullptr) {
     const auto pi = svc.persist()->info();
@@ -251,7 +363,10 @@ int cmd_serve(int argc, char** argv) {
                  pi.last_error.c_str());
   }
   service::Server server(svc, wopt);
-  if (!wopt.endpoint.unix_path.empty())
+  if (shard_worker >= 0)
+    std::fprintf(stderr, "lapxd: shard %d/%d listening on %s\n", shard_worker,
+                 shard_count, wopt.endpoint.unix_path.c_str());
+  else if (!wopt.endpoint.unix_path.empty())
     std::fprintf(stderr, "lapxd: listening on %s\n",
                  wopt.endpoint.unix_path.c_str());
   else
@@ -264,7 +379,9 @@ int cmd_serve(int argc, char** argv) {
 
 // `lapx_cli call [--pipeline] ENDPOINT [json]`: one request from argv, or
 // (without a request argument) one request per stdin line.  Prints
-// response lines; exits 1 when any response has "ok":false.  --pipeline
+// response lines; exits kExitServiceError (4) when any response has
+// "ok":false -- distinct from transport failures (1), so scripts can tell
+// "the daemon said no" from "the daemon is gone".  --pipeline
 // sends stdin lines without waiting for responses (a bounded window keeps
 // socket buffers safe); the server's ordering layer guarantees responses
 // come back in submission order, so the printed transcript is identical
@@ -309,7 +426,7 @@ int cmd_call(int argc, char** argv) {
     while (std::getline(std::cin, line))
       if (!line.empty()) print_response(client.call(line));
   }
-  return all_ok ? 0 : kExitRuntime;
+  return all_ok ? 0 : kExitServiceError;
 }
 
 }  // namespace
