@@ -55,9 +55,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <span>
+
 #include "lapx/core/interner.hpp"
 #include "lapx/core/view.hpp"
 #include "lapx/graph/digraph.hpp"
+#include "lapx/graph/ooc.hpp"
 
 namespace lapx::core {
 
@@ -71,6 +74,17 @@ class RefineState {
   explicit RefineState(const LDigraph& g,
                        TypeInterner& interner = TypeInterner::global(),
                        bool keep_rounds = false);
+
+  /// Streaming mode: rounds iterate the ooc file's mmap'd step segments
+  /// instead of in-RAM step arrays -- the graph never materializes, and
+  /// every step read goes through the residency manager, so a
+  /// budget-capped OocGraph keeps the working set bounded.  TypeIds are
+  /// identical to the in-memory constructor against the same interner
+  /// (the on-disk step CSR is bit-for-bit what build_steps produces).
+  /// Rounds are not kept, so refine_delta is unavailable; `g` must
+  /// outlive the state.
+  explicit RefineState(const graph::OocGraph& g,
+                       TypeInterner& interner = TypeInterner::global());
 
   /// types[v] == view_type_id(view(g, v, radius)) for every vertex v.
   /// Advances the refinement as needed; earlier radii stay cached.
@@ -116,10 +130,39 @@ class RefineState {
  private:
   void build_steps();  // CSR over *g_'s non-backtracking steps
   void fill_vertex_steps(graph::Vertex v);  // one vertex's span of the CSR
+  void init_round0();  // shared radius-0 setup for both constructors
   void advance();      // one synchronous round: radius() + 1
   void reset_partitions();  // conservative: next advance() re-deduplicates
 
-  const LDigraph* g_;
+  // The step CSR the rounds iterate: the owned vectors below, or (in
+  // streaming mode) the ooc file's mmap'd segments.  advance() takes these
+  // spans as locals, so both modes share one code path.
+  std::span<const std::uint32_t> off_span() const {
+    return ooc_ ? ooc_->step_off() : std::span<const std::uint32_t>(step_off_);
+  }
+  std::span<const std::uint32_t> vertex_span() const {
+    return ooc_ ? ooc_->step_vertex()
+                : std::span<const std::uint32_t>(step_vertex_);
+  }
+  std::span<const std::uint32_t> succ_span() const {
+    return ooc_ ? ooc_->step_succ()
+                : std::span<const std::uint32_t>(step_succ_);
+  }
+  std::span<const std::uint64_t> tag_span() const {
+    return ooc_ ? ooc_->step_edge_tag()
+                : std::span<const std::uint64_t>(step_edge_tag_);
+  }
+  std::span<const std::uint32_t> move_span() const {
+    return ooc_ ? ooc_->step_move_bits()
+                : std::span<const std::uint32_t>(step_move_bits_);
+  }
+  void touch_steps(std::uint32_t lo, std::uint32_t hi) const {
+    if (ooc_) ooc_->touch_steps(lo, hi);
+  }
+
+  const LDigraph* g_ = nullptr;
+  const graph::OocGraph* ooc_ = nullptr;  // streaming mode; else nullptr
+  graph::Vertex n_ = 0;                   // vertex count of the bound graph
   TypeInterner* interner_;
   bool keep_rounds_ = false;
 

@@ -56,6 +56,12 @@ std::uint32_t step_index_of(const graph::LDigraph& g, graph::Vertex v,
 
 }  // namespace
 
+// The ooc writer persists edge tags computed in graph/ (which cannot see
+// this header); the duplicated constant must stay bit-identical or
+// streaming TypeIds would diverge from in-memory ones.
+static_assert(graph::kOocViewEdgeTag == type_tag::kViewEdge,
+              "graph/ooc edge tag must equal type_tag::kViewEdge");
+
 void RefineState::build_steps() {
   const LDigraph& g = *g_;
   const Vertex n = g.num_vertices();
@@ -102,10 +108,23 @@ void RefineState::fill_vertex_steps(graph::Vertex v) {
 
 RefineState::RefineState(const LDigraph& g, TypeInterner& interner,
                          bool keep_rounds)
-    : g_(&g), interner_(&interner), keep_rounds_(keep_rounds) {
+    : g_(&g),
+      n_(g.num_vertices()),
+      interner_(&interner),
+      keep_rounds_(keep_rounds) {
   build_steps();
-  const Vertex n = g.num_vertices();
-  const std::size_t steps = step_off_[static_cast<std::size_t>(n)];
+  init_round0();
+}
+
+RefineState::RefineState(const graph::OocGraph& g, TypeInterner& interner)
+    : ooc_(&g), n_(g.num_vertices()), interner_(&interner) {
+  // Streaming mode: the step CSR lives in the file; only the per-round
+  // state tables (t_prev_/t_cur_/entries_, O(steps) words) stay in RAM.
+  init_round0();
+}
+
+void RefineState::init_round0() {
+  const std::size_t steps = off_span()[static_cast<std::size_t>(n_)];
 
   // Round 0: every state is the empty node -- one class.
   const TypeId empty = interner_->intern_node(type_tag::kViewNode, nullptr, 0);
@@ -119,17 +138,24 @@ RefineState::RefineState(const LDigraph& g, TypeInterner& interner,
   // Radius 0: every vertex has the same single-node view.
   const TypeId root0 =
       interner_->intern_node(type_tag::kViewRoot | 0u, &empty, 1);
-  roots_.emplace_back(static_cast<std::size_t>(n), root0);
-  root_distinct_.push_back(n ? 1 : 0);
-  root_class_.assign(static_cast<std::size_t>(n), 0);
-  root_rep_.assign(n ? 1 : 0, 0);
+  roots_.emplace_back(static_cast<std::size_t>(n_), root0);
+  root_distinct_.push_back(n_ ? 1 : 0);
+  root_class_.assign(static_cast<std::size_t>(n_), 0);
+  root_rep_.assign(n_ ? 1 : 0, 0);
   if (keep_rounds_) round_states_.push_back(t_prev_);
 }
 
 void RefineState::advance() {
-  const LDigraph& g = *g_;
   TypeInterner& interner = *interner_;
-  const Vertex n = g.num_vertices();
+  const Vertex n = n_;
+  // One code path for both modes: locals over the owned vectors or over
+  // the ooc file's mmap'd segments (never dangling -- the spans are
+  // re-taken each round, and the owned vectors are not resized here).
+  const std::span<const std::uint32_t> step_off = off_span();
+  const std::span<const std::uint32_t> step_vertex = vertex_span();
+  const std::span<const std::uint32_t> step_succ = succ_span();
+  const std::span<const std::uint64_t> step_edge_tag = tag_span();
+  const std::span<const std::uint32_t> step_move_bits = move_span();
   const int next_radius = radius() + 1;
   const std::uint64_t root_tag =
       type_tag::kViewRoot | static_cast<std::uint32_t>(next_radius);
@@ -139,9 +165,10 @@ void RefineState::advance() {
   if (!states_stable_ || !roots_stable_) {
     runtime::parallel_for(n, [&](std::int64_t vi) {
       const auto v = static_cast<Vertex>(vi);
-      for (std::uint32_t j = step_off_[v]; j < step_off_[v + 1]; ++j)
-        entries_[j] = (static_cast<std::uint64_t>(step_move_bits_[j]) << 32) |
-                      t_prev_[step_succ_[j]];
+      touch_steps(step_off[v], step_off[v + 1]);
+      for (std::uint32_t j = step_off[v]; j < step_off[v + 1]; ++j)
+        entries_[j] = (static_cast<std::uint64_t>(step_move_bits[j]) << 32) |
+                      t_prev_[step_succ[j]];
     });
   }
 
@@ -156,10 +183,11 @@ void RefineState::advance() {
     std::vector<TypeId> class_type(root_rep_.size());
     for (std::size_t c = 0; c < root_rep_.size(); ++c) {
       const Vertex v = static_cast<Vertex>(root_rep_[c]);
+      touch_steps(step_off[v], step_off[v + 1]);
       tmp_edges.clear();
-      for (std::uint32_t j = step_off_[v]; j < step_off_[v + 1]; ++j) {
-        const TypeId sub = t_prev_[step_succ_[j]];
-        tmp_edges.push_back(interner.intern_node(step_edge_tag_[j], &sub, 1));
+      for (std::uint32_t j = step_off[v]; j < step_off[v + 1]; ++j) {
+        const TypeId sub = t_prev_[step_succ[j]];
+        tmp_edges.push_back(interner.intern_node(step_edge_tag[j], &sub, 1));
       }
       const TypeId body = interner.intern_node(
           type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
@@ -175,17 +203,18 @@ void RefineState::advance() {
     root_rep_.clear();
     std::vector<TypeId> class_type;
     for (Vertex v = 0; v < n; ++v) {
-      const std::uint32_t lo = step_off_[v], hi = step_off_[v + 1];
+      const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
       const auto key = as_bytes(entries_.data() + lo, hi - lo);
       if (const auto it = dedup.find(key); it != dedup.end()) {
         root_class_[static_cast<std::size_t>(v)] = it->second;
         roots[static_cast<std::size_t>(v)] = class_type[it->second];
         continue;
       }
+      touch_steps(lo, hi);
       tmp_edges.clear();
       for (std::uint32_t j = lo; j < hi; ++j) {
-        const TypeId sub = t_prev_[step_succ_[j]];
-        tmp_edges.push_back(interner.intern_node(step_edge_tag_[j], &sub, 1));
+        const TypeId sub = t_prev_[step_succ[j]];
+        tmp_edges.push_back(interner.intern_node(step_edge_tag[j], &sub, 1));
       }
       const TypeId body = interner.intern_node(
           type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
@@ -209,12 +238,13 @@ void RefineState::advance() {
     std::vector<TypeId> class_type(state_rep_.size());
     for (std::size_t c = 0; c < state_rep_.size(); ++c) {
       const std::uint32_t s = state_rep_[c];
-      const Vertex v = static_cast<Vertex>(step_vertex_[s]);
+      const Vertex v = static_cast<Vertex>(step_vertex[s]);
+      touch_steps(step_off[v], step_off[v + 1]);
       tmp_edges.clear();
-      for (std::uint32_t j = step_off_[v]; j < step_off_[v + 1]; ++j) {
+      for (std::uint32_t j = step_off[v]; j < step_off[v + 1]; ++j) {
         if (j == s) continue;
-        const TypeId sub = t_prev_[step_succ_[j]];
-        tmp_edges.push_back(interner.intern_node(step_edge_tag_[j], &sub, 1));
+        const TypeId sub = t_prev_[step_succ[j]];
+        tmp_edges.push_back(interner.intern_node(step_edge_tag[j], &sub, 1));
       }
       class_type[c] = interner.intern_node(
           type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
@@ -231,7 +261,7 @@ void RefineState::advance() {
     std::vector<TypeId> class_type;
     std::vector<std::uint64_t> key_scratch;
     for (Vertex v = 0; v < n; ++v) {
-      const std::uint32_t lo = step_off_[v], hi = step_off_[v + 1];
+      const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
       for (std::uint32_t s = lo; s < hi; ++s) {
         key_scratch.clear();
         for (std::uint32_t j = lo; j < hi; ++j)
@@ -242,12 +272,13 @@ void RefineState::advance() {
           t_cur_[s] = class_type[it->second];
           continue;
         }
+        touch_steps(lo, hi);
         tmp_edges.clear();
         for (std::uint32_t j = lo; j < hi; ++j) {
           if (j == s) continue;
-          const TypeId sub = t_prev_[step_succ_[j]];
+          const TypeId sub = t_prev_[step_succ[j]];
           tmp_edges.push_back(
-              interner.intern_node(step_edge_tag_[j], &sub, 1));
+              interner.intern_node(step_edge_tag[j], &sub, 1));
         }
         const auto cls = static_cast<std::uint32_t>(class_type.size());
         class_type.push_back(interner.intern_node(
@@ -289,7 +320,7 @@ std::size_t RefineState::distinct_at(int radius) {
 }
 
 void RefineState::reset_partitions() {
-  const auto n = static_cast<std::size_t>(g_->num_vertices());
+  const auto n = static_cast<std::size_t>(n_);
   const std::size_t steps = step_off_.empty() ? 0 : step_off_.back();
   state_class_.resize(steps);
   state_rep_.clear();
@@ -353,7 +384,8 @@ RefineState::DeltaStats RefineState::refine_delta(const LDigraph& g) {
     return buf;
   };
   g_ = &g;
-  const Vertex n = g.num_vertices();
+  n_ = g.num_vertices();
+  const Vertex n = n_;
   step_off_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (Vertex v = 0; v < n; ++v)
     step_off_[static_cast<std::size_t>(v) + 1] =

@@ -6,6 +6,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "lapx/graph/lift.hpp"
+#include "lapx/graph/port_numbering.hpp"
+
 namespace lapx::graph {
 
 Graph cycle(Vertex n) {
@@ -266,6 +269,14 @@ Graph random_bounded_degree(Vertex n, std::size_t m, int max_deg,
   if (added < m)
     throw std::runtime_error("random_bounded_degree: could not place edges");
   return g;
+}
+
+Graph lifted_torus(int a, int b, int layers, std::uint64_t seed) {
+  if (layers < 1) throw std::invalid_argument("lifted_torus needs layers >= 1");
+  const Graph base = torus({a, b});
+  const LDigraph ld = to_ldigraph(base);
+  std::mt19937_64 rng(seed);
+  return random_lift(ld, layers, rng).graph.underlying_graph();
 }
 
 LDigraph directed_cycle(Vertex n) {

@@ -73,6 +73,13 @@ Graph random_regular(Vertex n, int d, std::mt19937_64& rng);
 Graph random_bounded_degree(Vertex n, std::size_t m, int max_deg,
                             std::mt19937_64& rng);
 
+/// Underlying graph of a random `layers`-lift of the default port-numbered
+/// a x b torus, seeded deterministically: `lifted_torus(a, b, l, s)` is a
+/// pure function of its arguments.  Shared by the service's "lift"
+/// generate family and lapx_cli graph-convert --lift, so the out-of-core
+/// and in-memory paths construct bit-identical instances.
+Graph lifted_torus(int a, int b, int layers, std::uint64_t seed);
+
 // --- Symmetric L-digraphs (anonymous-network instances) ---
 
 /// Consistently oriented cycle: arcs i -> i+1 (mod n), all with label 0.

@@ -1,0 +1,209 @@
+#pragma once
+// Out-of-core graphs: a binary, mmap-able on-disk CSR format ("LAPXOOC1")
+// plus a page-granular LRU residency manager in the spirit of katana's
+// OCFileGraph/OCGraph split.
+//
+// Layout (little-endian, 128-byte header, 8-byte-aligned segments):
+//
+//   [ 0)  char[8]  magic "LAPXOOC1"
+//   [ 8)  u32      version (1)
+//   [12)  u32      header_bytes (128)
+//   [16)  u64      n      -- vertices
+//   [24)  u64      m      -- arcs
+//   [32)  u32      alphabet size
+//   [36)  u32      endian tag (0x0a0b0c0d)
+//   [40)  u64      steps  -- non-backtracking steps, always 2m
+//   [48)  u64      payload_bytes
+//   [56)  u64      payload checksum (FNV-1a 64 over the payload)
+//   [64)  u64      header checksum (FNV-1a 64 over bytes [0, 64))
+//   [72)  zeros to 128
+//
+// The payload carries two families of segments.  The *adjacency* segments
+// are the format proper -- 64-bit CSR offsets plus packed (label, endpoint)
+// arcs, enough to reconstruct the LDigraph exactly:
+//
+//   u64 out_off[n+1]   u64 in_off[n+1]
+//   u64 out_arcs[m]    -- label << 32 | target,  grouped by source, sorted
+//   u64 in_arcs[m]     -- label << 32 | source,  grouped by target, sorted
+//
+// The *step* segments are the refinement accelerator: the exact flat step
+// CSR core::RefineState builds in RAM (fill_vertex_steps), precomputed at
+// conversion time so streaming refinement never touches the adjacency:
+//
+//   u64 step_tag[steps]                      -- kOocViewEdgeTag | move
+//   u32 step_off[n+1]  (padded to 8 bytes)
+//   u32 step_vertex[steps]  step_succ[steps]  step_nbr[steps]
+//   u32 step_move[steps]    (each padded to 8 bytes)
+//
+// The writer streams segments through one FNV pass into a temp file,
+// fsyncs, and renames into place -- a crash never leaves a torn file under
+// the target name.  The reader validates magic, version, both checksums,
+// the claimed sizes against the real file size (a short mmap fails closed,
+// never faults), and every offset/index invariant before handing out
+// spans.  OocGraph::touch_steps is the residency hook: callers report the
+// step ranges they are about to walk, and once tracked residency exceeds
+// the configured budget the least-recently-used chunks are dropped with
+// madvise(MADV_DONTNEED) -- the mapping is read-only MAP_PRIVATE, so a
+// later touch simply refaults the bytes from the file.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lapx/graph/digraph.hpp"
+
+namespace lapx::graph {
+
+/// Any failure opening, validating, or writing an ooc file.
+class OocError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The step-segment edge tag base.  graph/ cannot see core/interner.hpp,
+/// so the value is duplicated here; core/refine.cpp static_asserts it
+/// equals type_tag::kViewEdge, keeping the on-disk tags bit-identical to
+/// the in-memory engine's.
+inline constexpr std::uint64_t kOocViewEdgeTag = std::uint64_t{2} << 56;
+
+/// FNV-1a 64 (the repo-wide content hash; seed/prime per the reference).
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed = 1469598103934665603ull);
+
+/// The flat non-backtracking step CSR of `g`, in exactly the layout
+/// core::RefineState::build_steps produces: per vertex, in-arc steps in
+/// label order then out-arc steps in label order; succ indexes the step a
+/// move leads to; tag = kOocViewEdgeTag | (outgoing << 32) | label;
+/// move_bits = (outgoing ? 0x80000000 : 0) | label.  Serial and
+/// deterministic -- this is what the writer persists.
+struct OocStepCsr {
+  std::vector<std::uint32_t> off;        // n + 1
+  std::vector<std::uint32_t> vertex;     // steps
+  std::vector<std::uint32_t> succ;       // steps
+  std::vector<std::uint32_t> nbr;        // steps
+  std::vector<std::uint32_t> move_bits;  // steps
+  std::vector<std::uint64_t> tag;        // steps
+};
+OocStepCsr build_step_csr(const LDigraph& g);
+
+/// Serializes `g` to `path` in the LAPXOOC1 format: writes to a temp file
+/// in the same directory, fsyncs, renames over `path`, fsyncs the
+/// directory.  Throws OocError on any I/O failure or when the graph
+/// exceeds the format's 2^32-step bound.
+void write_ooc_graph(const std::string& path, const LDigraph& g);
+
+/// A validated, memory-mapped LAPXOOC1 file with LRU chunk residency.
+/// All accessors are const and thread-safe; the residency manager
+/// serializes its own bookkeeping internally.
+class OocGraph {
+ public:
+  struct Options {
+    /// Tracked-residency budget in bytes; 0 = unlimited (never evict).
+    std::size_t budget_bytes = 0;
+  };
+
+  struct Residency {
+    std::uint64_t budget_bytes = 0;
+    std::uint64_t resident_bytes = 0;  ///< tracked (touched, unevicted)
+    std::uint64_t touches = 0;         ///< touch_steps chunk touches
+    std::uint64_t evictions = 0;       ///< chunks dropped via madvise
+  };
+
+  /// Opens and fully validates `path`; throws OocError on any mismatch
+  /// (missing file, bad magic/version/endian tag, checksum mismatch, file
+  /// shorter than the header claims, or corrupt offsets/indices).
+  OocGraph(const std::string& path, Options opt);
+  explicit OocGraph(const std::string& path) : OocGraph(path, Options{}) {}
+  ~OocGraph();
+  OocGraph(const OocGraph&) = delete;
+  OocGraph& operator=(const OocGraph&) = delete;
+
+  Vertex num_vertices() const { return static_cast<Vertex>(n_); }
+  std::size_t num_arcs() const { return static_cast<std::size_t>(m_); }
+  Label alphabet_size() const { return static_cast<Label>(alphabet_); }
+  std::size_t num_steps() const { return static_cast<std::size_t>(steps_); }
+  const std::string& path() const { return path_; }
+
+  /// The payload FNV -- the file's stable content hash (hex form is what
+  /// the service surfaces as an ooc session's content id).
+  std::uint64_t payload_checksum() const { return payload_checksum_; }
+
+  // Adjacency segments (64-bit CSR; one arc per undirected edge when the
+  // file came from a default port numbering).
+  std::span<const std::uint64_t> out_off() const { return {out_off_, n_ + 1}; }
+  std::span<const std::uint64_t> in_off() const { return {in_off_, n_ + 1}; }
+  std::span<const std::uint64_t> out_arcs() const { return {out_arcs_, m_}; }
+  std::span<const std::uint64_t> in_arcs() const { return {in_arcs_, m_}; }
+
+  // Step segments (the refinement engine's flat CSR, mmap'd).
+  std::span<const std::uint32_t> step_off() const {
+    return {step_off_, n_ + 1};
+  }
+  std::span<const std::uint32_t> step_vertex() const {
+    return {step_vertex_, steps_};
+  }
+  std::span<const std::uint32_t> step_succ() const {
+    return {step_succ_, steps_};
+  }
+  std::span<const std::uint32_t> step_nbr() const {
+    return {step_nbr_, steps_};
+  }
+  std::span<const std::uint32_t> step_move_bits() const {
+    return {step_move_, steps_};
+  }
+  std::span<const std::uint64_t> step_edge_tag() const {
+    return {step_tag_, steps_};
+  }
+
+  /// Residency hook: records that the step range [lo, hi) of every step
+  /// segment is about to be read, refreshing the owning chunks' LRU
+  /// position and evicting the least-recently-used chunks once the budget
+  /// is exceeded.  Best-effort accounting (untracked reads -- validation,
+  /// parallel fills -- are invisible to it); correctness never depends on
+  /// it, only peak RSS does.
+  void touch_steps(std::uint32_t lo, std::uint32_t hi) const;
+
+  Residency residency() const;
+
+  /// Reconstructs the LDigraph from the adjacency segments (round-trip
+  /// verification and under-cap service materialization).
+  LDigraph materialize() const;
+
+ private:
+  void touch_range_locked(std::size_t byte_off, std::size_t bytes) const;
+
+  std::string path_;
+  Options opt_;
+  int fd_ = -1;
+  unsigned char* map_ = nullptr;  // whole file
+  std::size_t map_bytes_ = 0;
+  std::size_t n_ = 0, m_ = 0, steps_ = 0;
+  std::uint32_t alphabet_ = 0;
+  std::uint64_t payload_checksum_ = 0;
+
+  const std::uint64_t* out_off_ = nullptr;
+  const std::uint64_t* in_off_ = nullptr;
+  const std::uint64_t* out_arcs_ = nullptr;
+  const std::uint64_t* in_arcs_ = nullptr;
+  const std::uint64_t* step_tag_ = nullptr;
+  const std::uint32_t* step_off_ = nullptr;
+  const std::uint32_t* step_vertex_ = nullptr;
+  const std::uint32_t* step_succ_ = nullptr;
+  const std::uint32_t* step_nbr_ = nullptr;
+  const std::uint32_t* step_move_ = nullptr;
+
+  // Chunked LRU residency over the mapped payload.
+  mutable std::mutex residency_mu_;
+  mutable std::list<std::size_t> lru_;  // front = most recent chunk index
+  mutable std::unordered_map<std::size_t, std::list<std::size_t>::iterator>
+      resident_;
+  mutable Residency stats_;
+};
+
+}  // namespace lapx::graph

@@ -106,15 +106,17 @@ Json handle_homogeneity(const Request& req, const GraphEntry& entry) {
 
 Json handle_views(const Request& req, const GraphEntry& entry) {
   const int r = static_cast<int>(int_field(req, "radius", 1, 0, kMaxRadius));
-  const graph::LDigraph& ld = entry.ldigraph();
-  const auto n = static_cast<std::int64_t>(ld.num_vertices());
+  // Shape accessors only: an ooc-backed entry answers views entirely by
+  // streaming over its mmap'd step segments, so this handler must never
+  // force the adjacency to materialize.
+  const auto n = static_cast<std::int64_t>(entry.num_vertices());
   // Whole-graph refinement through the entry's persistent RefineState:
   // one pass types every vertex, stays cached for deeper radii on the
   // same epoch, and survives mutation via delta-refinement.  Same global
   // interner as bulk_view_type_ids, so counts (all we emit) -- and hence
   // the response bytes -- are identical to the from-scratch path.
   std::vector<core::TypeId> types = entry.view_types(r);
-  const auto alphabet = ld.alphabet_size();
+  const auto alphabet = entry.alphabet();
   // A view is complete iff its type equals the complete-tree type.
   const core::TypeId complete_type = core::complete_view_type_id(alphabet, r);
   std::int64_t complete = 0;
@@ -313,6 +315,17 @@ graph::Graph build_generated_graph(const Request& req) {
       const long long rows = arg(0), cols = arg(1);
       check_instance(rows * cols, 2 * rows * cols);
       return graph::grid(static_cast<int>(rows), static_cast<int>(cols));
+    }
+    if (family == "lift") {
+      // Random lift of the a x b torus: args [a, b, layers, seed].  Shared
+      // generator with lapx_cli graph-convert --family torus --lift, so an
+      // in-memory session of this family is bit-identical to the ooc file
+      // of the same parameters (the CI smoke's transcript-diff pair).
+      const long long a = arg(0), b = arg(1), layers = arg(2);
+      check_instance(a * b * layers, 2 * a * b * layers);
+      return graph::lifted_torus(
+          static_cast<int>(a), static_cast<int>(b), static_cast<int>(layers),
+          args.size() > 3 ? static_cast<std::uint64_t>(args[3]) : 1);
     }
     if (family == "regular") {
       const long long n = arg(0), d = arg(1);

@@ -10,7 +10,6 @@
 // work inside a handler goes through runtime/parallel, which guarantees
 // thread-count-independent results.
 
-#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,16 +19,8 @@
 
 namespace lapx::service {
 
-/// A typed failure a handler wants reported to the client.
-class ServiceError : public std::runtime_error {
- public:
-  ServiceError(ErrorCode code, const std::string& message)
-      : std::runtime_error(message), code_(code) {}
-  ErrorCode code() const { return code_; }
-
- private:
-  ErrorCode code_;
-};
+// ServiceError itself lives in protocol.hpp (the session store throws it
+// too); handlers see it through the include above.
 
 /// Service-side instance caps, shared by generate, upload, and mutate.
 inline constexpr long long kMaxServiceVertices = 1 << 20;

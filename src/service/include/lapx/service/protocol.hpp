@@ -9,7 +9,7 @@
 //
 // Ops
 //   mutating / admin (never cached):
-//     ping | generate | upload | drop | list | stats | shutdown
+//     ping | generate | upload | open | drop | list | stats | shutdown
 //   queries (cached, coalesced, deterministic):
 //     analyze | homogeneity | views | optimum | run | fractional
 //
@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "lapx/core/interner.hpp"
@@ -48,6 +49,18 @@ enum class ErrorCode {
 };
 
 const char* error_code_name(ErrorCode code);
+
+/// A typed failure any service layer wants reported to the client (lives
+/// here rather than handlers.hpp so the session store can throw it too).
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
 
 /// A parsed request: the raw object plus the validated common fields.
 struct Request {

@@ -12,7 +12,7 @@
 //         -> result cache probe  ..................... warm: O(lookup)
 //         -> batch scheduler (bounded queue, coalescing, deadline)
 //         -> handler on runtime/parallel -> cache fill (first writer wins)
-// Mutating/admin ops (generate, upload, mutate, drop, list, stats,
+// Mutating/admin ops (generate, upload, open, mutate, drop, list, stats,
 // session_info, ping, cache_save, cache_info, shutdown) run inline on the
 // calling thread; they only touch the mutex-guarded store/cache/
 // persistence layers.  `mutate` edits a stored graph in place (next

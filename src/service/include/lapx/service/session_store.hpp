@@ -47,18 +47,46 @@
 #include "lapx/graph/digraph.hpp"
 #include "lapx/graph/graph.hpp"
 #include "lapx/graph/mutation.hpp"
+#include "lapx/graph/ooc.hpp"
+#include "lapx/service/protocol.hpp"
 
 namespace lapx::service {
 
 /// A stored graph plus lazily-derived shared artifacts.  One immutable
 /// epoch of a session; mutation creates the next entry, it never edits
 /// this one.
+///
+/// Two backings share the interface: in-memory (put/generate/upload) and
+/// out-of-core (open_ooc) -- the latter keeps the graph in its mmap'd
+/// LAPXOOC1 file, streams view-type refinement over the file's step
+/// segments under the store's residency budget, and only materializes an
+/// in-RAM Graph/LDigraph when a handler demands the full adjacency AND
+/// the instance is under the materialization cap (else kTooLarge).
 class GraphEntry {
  public:
   GraphEntry(graph::Graph g, std::string edge_list, core::TypeId content,
              std::uint64_t epoch);
 
-  const graph::Graph& graph() const { return graph_; }
+  /// Out-of-core backing.  `content` is intern("ooc:" + content_hex) where
+  /// content_hex is the file's payload checksum in hex -- stable across
+  /// processes, so persisted cache entries stay addressable.
+  GraphEntry(std::unique_ptr<graph::OocGraph> ooc, std::string source_path,
+             core::TypeId content, std::string content_hex,
+             std::uint64_t epoch, graph::Vertex materialize_max_vertices);
+
+  bool is_ooc() const { return ooc_ != nullptr; }
+  const graph::OocGraph* ooc() const { return ooc_.get(); }
+  const std::string& source_path() const { return source_path_; }
+
+  /// Cheap shape accessors that never materialize: summaries and the
+  /// views handler use these so huge ooc graphs stay on disk.
+  graph::Vertex num_vertices() const;
+  std::size_t num_edges() const;
+  graph::Label alphabet() const;
+
+  /// The full adjacency.  Ooc backing: lazily materialized from the file;
+  /// throws ServiceError(kTooLarge) above the materialization cap.
+  const graph::Graph& graph() const;
   const std::string& edge_list() const { return edge_list_; }
   core::TypeId content_id() const { return content_id_; }
 
@@ -89,13 +117,20 @@ class GraphEntry {
   void fork_refine_from(const GraphEntry& prev) const;
 
  private:
-  graph::Graph graph_;
+  graph::Graph graph_;  // empty for ooc entries until materialized
+  // Declared before refine_ (destroyed after it): the streaming
+  // RefineState holds spans into the mapped file.
+  std::unique_ptr<graph::OocGraph> ooc_;
+  std::string source_path_;
+  graph::Vertex materialize_max_ = 0;
   std::string edge_list_;
   core::TypeId content_id_;
   std::uint64_t epoch_;
   std::string content_hex_;
   mutable std::once_flag ld_once_;
   mutable std::unique_ptr<graph::LDigraph> ld_;
+  mutable std::once_flag graph_once_;
+  mutable std::unique_ptr<graph::Graph> mat_graph_;  // ooc materialization
   mutable std::mutex refine_mu_;
   mutable std::unique_ptr<core::RefineState> refine_;
 };
@@ -104,6 +139,12 @@ class SessionStore {
  public:
   struct Options {
     std::size_t max_graphs = 64;
+    /// Residency budget handed to every OocGraph this store opens
+    /// (serve --ooc-budget-mb); 0 = unlimited.
+    std::size_t ooc_budget_bytes = std::size_t{256} << 20;
+    /// Largest ooc graph graph()/ldigraph() will materialize in RAM;
+    /// larger instances answer adjacency-hungry ops with kTooLarge.
+    graph::Vertex ooc_materialize_max_vertices = 1 << 20;
   };
   struct Stats {
     std::uint64_t inserted = 0;
@@ -121,6 +162,12 @@ class SessionStore {
   /// returns the new entry.  May evict the least-recently-used other name.
   std::shared_ptr<const GraphEntry> put(const std::string& name,
                                         graph::Graph g);
+
+  /// Binds `name` to a LAPXOOC1 file opened under the store's residency
+  /// budget (same epoch/LRU semantics as put).  Throws graph::OocError
+  /// when the file is missing or fails validation.
+  std::shared_ptr<const GraphEntry> open_ooc(const std::string& name,
+                                             const std::string& path);
 
   /// Looks up a name, refreshing its LRU position; nullptr when absent.
   std::shared_ptr<const GraphEntry> get(const std::string& name);

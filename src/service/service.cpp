@@ -10,11 +10,14 @@ namespace lapx::service {
 namespace {
 
 Json graph_summary(const std::string& name, const GraphEntry& entry) {
+  // Shape accessors, not entry.graph(): summaries must never force an
+  // out-of-core graph to materialize (and for an ooc file the counts and
+  // bytes are identical to the in-memory run of the same instance, which
+  // is what the CI transcript diff checks).
   Json out = Json::object();
   out.set("graph", Json::string(name));
-  out.set("n", Json::integer(entry.graph().num_vertices()));
-  out.set("m",
-          Json::integer(static_cast<std::int64_t>(entry.graph().num_edges())));
+  out.set("n", Json::integer(entry.num_vertices()));
+  out.set("m", Json::integer(static_cast<std::int64_t>(entry.num_edges())));
   return out;
 }
 
@@ -149,6 +152,26 @@ std::string Service::admin(const Request& req) {
     auto entry = store_.put(name, parse_uploaded_graph(req));
     return ok_response(req.id, graph_summary(name, *entry).dump());
   }
+  if (req.op == "open") {
+    // Bind a session to an on-disk LAPXOOC1 file (lapx_cli graph-convert
+    // writes them).  The response is exactly a generate/upload summary, so
+    // an ooc run of an instance diffs byte-for-byte against the in-memory
+    // run of the same instance.
+    const std::string name = name_field(req);
+    const Json* p = req.body.find("path");
+    if (p == nullptr || !p->is_string() || p->as_string().empty())
+      throw ServiceError(ErrorCode::kBadRequest,
+                         "missing non-empty string field \"path\"");
+    if (p->as_string().size() > 4096)
+      throw ServiceError(ErrorCode::kBadRequest, "path too long");
+    std::shared_ptr<const GraphEntry> entry;
+    try {
+      entry = store_.open_ooc(name, p->as_string());
+    } catch (const graph::OocError& e) {
+      throw ServiceError(ErrorCode::kBadRequest, e.what());
+    }
+    return ok_response(req.id, graph_summary(name, *entry).dump());
+  }
   if (req.op == "mutate") {
     // Admin (not query): mutation changes state, so it runs inline in
     // submission order -- epochs are deterministic for a given request
@@ -161,11 +184,14 @@ std::string Service::admin(const Request& req) {
       const auto cur = store_.get(name);
       if (cur == nullptr)
         throw ServiceError(ErrorCode::kNotFound, "no such graph: " + name);
+      if (cur->is_ooc())
+        throw ServiceError(ErrorCode::kBadRequest,
+                           "cannot mutate an out-of-core session; "
+                           "regenerate the file and re-open it");
       long long adds = 0;
       for (const graph::EdgeEdit& e : edits)
         if (e.kind == graph::EdgeEdit::Kind::kAdd) ++adds;
-      if (static_cast<long long>(cur->graph().num_edges()) + adds >
-          kMaxServiceEdges)
+      if (static_cast<long long>(cur->num_edges()) + adds > kMaxServiceEdges)
         throw ServiceError(ErrorCode::kTooLarge, "mutated graph too large");
     }
     std::shared_ptr<const GraphEntry> entry;

@@ -34,18 +34,67 @@ GraphEntry::GraphEntry(graph::Graph g, std::string edge_list,
       epoch_(epoch),
       content_hex_(fnv1a64_hex(edge_list_)) {}
 
+GraphEntry::GraphEntry(std::unique_ptr<graph::OocGraph> ooc,
+                       std::string source_path, core::TypeId content,
+                       std::string content_hex, std::uint64_t epoch,
+                       graph::Vertex materialize_max_vertices)
+    : ooc_(std::move(ooc)),
+      source_path_(std::move(source_path)),
+      materialize_max_(materialize_max_vertices),
+      content_id_(content),
+      epoch_(epoch),
+      content_hex_(std::move(content_hex)) {}
+
+graph::Vertex GraphEntry::num_vertices() const {
+  return ooc_ ? ooc_->num_vertices() : graph_.num_vertices();
+}
+
+std::size_t GraphEntry::num_edges() const {
+  // Default-port-numbered files carry one arc per undirected edge, so the
+  // count agrees with what generate/upload would report for the same graph.
+  return ooc_ ? ooc_->num_arcs() : graph_.num_edges();
+}
+
+graph::Label GraphEntry::alphabet() const {
+  return ooc_ ? ooc_->alphabet_size() : ldigraph().alphabet_size();
+}
+
+const graph::Graph& GraphEntry::graph() const {
+  if (!ooc_) return graph_;
+  std::call_once(graph_once_, [this] {
+    mat_graph_ =
+        std::make_unique<graph::Graph>(ldigraph().underlying_graph());
+  });
+  return *mat_graph_;
+}
+
 const graph::LDigraph& GraphEntry::ldigraph() const {
+  if (ooc_ && ooc_->num_vertices() > materialize_max_)
+    throw ServiceError(ErrorCode::kTooLarge,
+                       "out-of-core graph too large to materialize (" +
+                           std::to_string(ooc_->num_vertices()) +
+                           " vertices); only streaming ops are available");
   std::call_once(ld_once_, [this] {
-    ld_ = std::make_unique<graph::LDigraph>(graph::to_ldigraph(graph_));
+    ld_ = std::make_unique<graph::LDigraph>(
+        ooc_ ? ooc_->materialize() : graph::to_ldigraph(graph_));
   });
   return *ld_;
 }
 
 std::vector<core::TypeId> GraphEntry::view_types(int r) const {
   std::lock_guard<std::mutex> lock(refine_mu_);
-  if (!refine_)
-    refine_ = std::make_unique<core::RefineState>(
-        ldigraph(), core::TypeInterner::global(), /*keep_rounds=*/true);
+  if (!refine_) {
+    // Ooc backing streams rounds over the file's step segments under the
+    // residency budget; rounds are not kept (ooc sessions cannot mutate,
+    // so there is nothing to delta-fork).  TypeIds are identical either
+    // way -- same interner, same step CSR.
+    if (ooc_)
+      refine_ = std::make_unique<core::RefineState>(
+          *ooc_, core::TypeInterner::global());
+    else
+      refine_ = std::make_unique<core::RefineState>(
+          ldigraph(), core::TypeInterner::global(), /*keep_rounds=*/true);
+  }
   return refine_->types_at(r);
 }
 
@@ -96,6 +145,39 @@ std::shared_ptr<const GraphEntry> SessionStore::put(const std::string& name,
   return entry;
 }
 
+std::shared_ptr<const GraphEntry> SessionStore::open_ooc(
+    const std::string& name, const std::string& path) {
+  graph::OocGraph::Options gopt;
+  gopt.budget_bytes = opt_.ooc_budget_bytes;
+  auto ooc = std::make_unique<graph::OocGraph>(path, gopt);  // throws OocError
+  // Content identity: the file's payload checksum, re-internable across
+  // restarts, namespaced so it can never collide with edge-list text.
+  std::uint64_t checksum = ooc->payload_checksum();
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = "0123456789abcdef"[checksum & 0xf];
+    checksum >>= 4;
+  }
+  const core::TypeId content =
+      core::TypeInterner::global().intern("ooc:" + hex);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t epoch = 1;
+  if (auto it = index_.find(name); it != index_.end()) {
+    epoch = it->second->entry->epoch() + 1;
+    lru_.erase(it->second);
+    ++stats_.overwritten;
+  }
+  auto entry = std::make_shared<const GraphEntry>(
+      std::move(ooc), path, content, std::move(hex), epoch,
+      opt_.ooc_materialize_max_vertices);
+  lru_.push_front(Slot{name, entry});
+  index_[name] = lru_.begin();
+  ++stats_.inserted;
+  while (lru_.size() > opt_.max_graphs) evict_locked();
+  stats_.resident = lru_.size();
+  return entry;
+}
+
 std::shared_ptr<const GraphEntry> SessionStore::get(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(name);
@@ -114,6 +196,10 @@ std::shared_ptr<const GraphEntry> SessionStore::mutate(
   std::lock_guard<std::mutex> mlock(mutate_mu_);
   const std::shared_ptr<const GraphEntry> old = get(name);
   if (!old) return nullptr;
+  if (old->is_ooc())
+    throw graph::MutationError(
+        "cannot mutate an out-of-core session; regenerate the file and "
+        "re-open it");
   graph::Graph g = old->graph();
   graph::apply_edits(g, edits);  // throws MutationError; binding untouched
   std::string text = graph::to_edge_list(g);

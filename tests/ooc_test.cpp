@@ -1,0 +1,347 @@
+// LAPXOOC1 out-of-core graphs (graph/ooc.hpp): round-trip fidelity on the
+// experiment families, fail-closed validation on every corruption we can
+// craft (truncation, bad magic, checksum mismatches, foreign versions, a
+// file shorter than its own header claims), TypeId-identical streaming
+// refinement under an eviction-forcing residency budget, and the service
+// `open` op (byte parity with the in-memory path, the mutate rejection,
+// and the materialization cap).
+
+#include <gtest/gtest.h>
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "lapx/core/refine.hpp"
+#include "lapx/graph/generators.hpp"
+#include "lapx/graph/lift.hpp"
+#include "lapx/graph/ooc.hpp"
+#include "lapx/graph/port_numbering.hpp"
+#include "lapx/group/homogeneous.hpp"
+#include "lapx/runtime/parallel.hpp"
+#include "lapx/service/service.hpp"
+
+namespace {
+
+using lapx::core::RefineState;
+using lapx::core::TypeId;
+using lapx::core::TypeInterner;
+using lapx::graph::LDigraph;
+using lapx::graph::OocError;
+using lapx::graph::OocGraph;
+using lapx::graph::OocStepCsr;
+using lapx::graph::Vertex;
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/lapx-ooc-XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    if (DIR* d = ::opendir(path.c_str())) {
+      while (dirent* e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name != "." && name != "..")
+          ::unlink((path + "/" + name).c_str());
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path.c_str());
+  }
+  std::string path;
+};
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path,
+                const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+LDigraph lifted_torus_ld(int layers, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return lapx::graph::random_lift(
+             lapx::graph::to_ldigraph(lapx::graph::torus({3, 3})), layers, rng)
+      .graph;
+}
+
+// Write + reopen must reproduce the labelled digraph arc for arc and carry
+// the exact step CSR the in-memory engine would build.
+void expect_round_trip(const LDigraph& ld, const std::string& path) {
+  lapx::graph::write_ooc_graph(path, ld);
+  const OocGraph g(path);
+  ASSERT_EQ(g.num_vertices(), ld.num_vertices());
+  ASSERT_EQ(g.num_arcs(), ld.num_arcs());
+  ASSERT_EQ(g.alphabet_size(), ld.alphabet_size());
+  ASSERT_EQ(g.num_steps(), 2 * ld.num_arcs());
+  const LDigraph back = g.materialize();
+  for (Vertex v = 0; v < ld.num_vertices(); ++v) {
+    const auto a_out = ld.out_arcs(v), b_out = back.out_arcs(v);
+    const auto a_in = ld.in_arcs(v), b_in = back.in_arcs(v);
+    ASSERT_TRUE(
+        std::equal(a_out.begin(), a_out.end(), b_out.begin(), b_out.end()))
+        << "out-arcs differ at vertex " << v;
+    ASSERT_TRUE(std::equal(a_in.begin(), a_in.end(), b_in.begin(), b_in.end()))
+        << "in-arcs differ at vertex " << v;
+  }
+  const OocStepCsr csr = lapx::graph::build_step_csr(ld);
+  const auto span_eq = [](auto span, const auto& vec) {
+    return span.size() == vec.size() &&
+           std::equal(span.begin(), span.end(), vec.begin());
+  };
+  EXPECT_TRUE(span_eq(g.step_off(), csr.off));
+  EXPECT_TRUE(span_eq(g.step_vertex(), csr.vertex));
+  EXPECT_TRUE(span_eq(g.step_succ(), csr.succ));
+  EXPECT_TRUE(span_eq(g.step_nbr(), csr.nbr));
+  EXPECT_TRUE(span_eq(g.step_move_bits(), csr.move_bits));
+  EXPECT_TRUE(span_eq(g.step_edge_tag(), csr.tag));
+}
+
+TEST(OocFormat, RoundTripTorus) {
+  TempDir dir;
+  expect_round_trip(lapx::graph::to_ldigraph(lapx::graph::torus({4, 5})),
+                    dir.path + "/torus.lapxooc");
+}
+
+TEST(OocFormat, RoundTripRandomLift) {
+  TempDir dir;
+  expect_round_trip(lifted_torus_ld(7, 42), dir.path + "/lift.lapxooc");
+}
+
+TEST(OocFormat, RoundTripHighGirthWreath) {
+  // A Theorem 3.2 homogeneous instance: non-trivial alphabet, asymmetric
+  // in/out degrees per label -- the step CSR's hardest ordering case.
+  std::mt19937_64 rng(11);
+  auto spec = lapx::group::design_homogeneous(1, 2, 4, rng);
+  ASSERT_TRUE(spec.has_value());
+  spec->m = 4;
+  const auto h = lapx::group::materialize_homogeneous(
+      *spec, 1 << 20, /*take_component=*/true);
+  TempDir dir;
+  expect_round_trip(h.digraph, dir.path + "/wreath.lapxooc");
+}
+
+TEST(OocFormat, RoundTripEmptyAndIsolated) {
+  TempDir dir;
+  expect_round_trip(LDigraph(0, 2), dir.path + "/empty.lapxooc");
+  expect_round_trip(LDigraph(5, 3), dir.path + "/isolated.lapxooc");
+}
+
+// ------------------------------------------------- fail-closed reader --
+
+TEST(OocFormat, MissingFileFailsClosed) {
+  EXPECT_THROW(OocGraph{"/nonexistent/nope.lapxooc"}, OocError);
+}
+
+TEST(OocFormat, TruncatedHeaderFailsClosed) {
+  TempDir dir;
+  const std::string path = dir.path + "/short.lapxooc";
+  write_file(path, std::vector<unsigned char>(64, 0));
+  EXPECT_THROW(OocGraph{path}, OocError);
+}
+
+TEST(OocFormat, BadMagicFailsClosed) {
+  TempDir dir;
+  const std::string path = dir.path + "/g.lapxooc";
+  lapx::graph::write_ooc_graph(
+      path, lapx::graph::to_ldigraph(lapx::graph::torus({3, 3})));
+  auto bytes = read_file(path);
+  bytes[0] ^= 0xff;
+  write_file(path, bytes);
+  EXPECT_THROW(OocGraph{path}, OocError);
+}
+
+TEST(OocFormat, HeaderChecksumMismatchFailsClosed) {
+  TempDir dir;
+  const std::string path = dir.path + "/g.lapxooc";
+  lapx::graph::write_ooc_graph(
+      path, lapx::graph::to_ldigraph(lapx::graph::torus({3, 3})));
+  auto bytes = read_file(path);
+  bytes[16] ^= 0x01;  // n field; header checksum now stale
+  write_file(path, bytes);
+  EXPECT_THROW(OocGraph{path}, OocError);
+}
+
+TEST(OocFormat, UnknownVersionFailsClosed) {
+  TempDir dir;
+  const std::string path = dir.path + "/g.lapxooc";
+  lapx::graph::write_ooc_graph(
+      path, lapx::graph::to_ldigraph(lapx::graph::torus({3, 3})));
+  auto bytes = read_file(path);
+  const std::uint32_t v2 = 2;
+  std::memcpy(bytes.data() + 8, &v2, 4);
+  // Recompute the header checksum so the version check itself fires.
+  const std::uint64_t sum = lapx::graph::fnv1a64(bytes.data(), 64);
+  std::memcpy(bytes.data() + 64, &sum, 8);
+  write_file(path, bytes);
+  try {
+    OocGraph g(path);
+    FAIL() << "unknown version accepted";
+  } catch (const OocError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(OocFormat, PayloadCorruptionFailsClosed) {
+  TempDir dir;
+  const std::string path = dir.path + "/g.lapxooc";
+  lapx::graph::write_ooc_graph(
+      path, lapx::graph::to_ldigraph(lapx::graph::torus({3, 3})));
+  auto bytes = read_file(path);
+  bytes[200] ^= 0x04;  // inside the payload
+  write_file(path, bytes);
+  EXPECT_THROW(OocGraph{path}, OocError);
+}
+
+TEST(OocFormat, TruncatedPayloadFailsClosed) {
+  // A file shorter than its own header claims must be rejected up front --
+  // a short mmap would otherwise SIGBUS on first access past EOF.
+  TempDir dir;
+  const std::string path = dir.path + "/g.lapxooc";
+  lapx::graph::write_ooc_graph(path, lifted_torus_ld(3, 1));
+  auto bytes = read_file(path);
+  bytes.resize(bytes.size() / 2);
+  write_file(path, bytes);
+  EXPECT_THROW(OocGraph{path}, OocError);
+}
+
+// ------------------------------------------------ streaming refinement --
+
+TEST(OocRefine, StreamingMatchesInMemoryUnderEvictionPressure) {
+  // A lift well past the residency budget: the step segments alone span
+  // several 256 KiB chunks, so a one-chunk budget forces evictions
+  // mid-round.  TypeIds must still match the in-memory engine exactly
+  // (same interner, hash-consed), at 1 and at 8 threads.
+  TempDir dir;
+  const std::string path = dir.path + "/big.lapxooc";
+  const LDigraph ld = lifted_torus_ld(800, 9);
+  lapx::graph::write_ooc_graph(path, ld);
+  OocGraph::Options opt;
+  opt.budget_bytes = std::size_t{256} << 10;
+  const OocGraph g(path, opt);
+  const int old_threads = lapx::runtime::thread_count();
+  for (const int threads : {1, 8}) {
+    lapx::runtime::set_thread_count(threads);
+    TypeInterner interner;
+    RefineState mem(ld, interner);
+    RefineState stream(g, interner);
+    for (int r = 0; r <= 3; ++r)
+      EXPECT_EQ(stream.types_at(r), mem.types_at(r))
+          << "radius " << r << " threads " << threads;
+    EXPECT_EQ(stream.distinct_at(3), mem.distinct_at(3));
+  }
+  lapx::runtime::set_thread_count(old_threads);
+  const auto res = g.residency();
+  EXPECT_GT(res.touches, 0u);
+  EXPECT_GT(res.evictions, 0u) << "budget never forced an eviction; "
+                                  "the test instance is too small";
+  EXPECT_LE(res.resident_bytes, std::max<std::uint64_t>(
+                                    res.budget_bytes, std::size_t{256} << 10));
+}
+
+TEST(OocRefine, UnlimitedBudgetNeverEvicts) {
+  TempDir dir;
+  const std::string path = dir.path + "/g.lapxooc";
+  const LDigraph ld = lifted_torus_ld(10, 3);
+  lapx::graph::write_ooc_graph(path, ld);
+  const OocGraph g(path);  // budget 0 = unlimited
+  TypeInterner interner;
+  RefineState stream(g, interner);
+  RefineState mem(ld, interner);
+  EXPECT_EQ(stream.types_at(2), mem.types_at(2));
+  EXPECT_EQ(g.residency().evictions, 0u);
+}
+
+// ------------------------------------------------------ service `open` --
+
+TEST(OocService, OpenMatchesInMemoryGenerateByteForByte) {
+  // The CI smoke check in miniature: the same lifted-torus instance served
+  // from an ooc file and from memory must answer every query with
+  // identical bytes (graph-convert's --family torus A B --lift L --seed S
+  // equals the service's `lift` generate family by construction).
+  TempDir dir;
+  const std::string path = dir.path + "/lift.lapxooc";
+  lapx::graph::write_ooc_graph(
+      path, lapx::graph::to_ldigraph(lapx::graph::lifted_torus(3, 3, 8, 5)));
+  lapx::service::Service svc;
+  const std::string open = svc.handle(
+      R"({"id":1,"op":"open","name":"ooc","path":")" + path + R"("})");
+  EXPECT_NE(open.find("\"ok\":true"), std::string::npos) << open;
+  const std::string gen = svc.handle(
+      R"({"id":1,"op":"generate","name":"mem","family":"lift","args":[3,3,8,5]})");
+  // Same summary bytes: {"graph":...,"n":...,"m":...} differs only in name.
+  EXPECT_EQ(open.find("\"n\":72"), gen.find("\"n\":72"));
+  for (const std::string& op :
+       {std::string(R"({"id":2,"op":"views","graph":"%","radius":2})"),
+        std::string(R"({"id":3,"op":"homogeneity","graph":"%","radius":2})"),
+        std::string(R"({"id":4,"op":"analyze","graph":"%"})")}) {
+    auto req = [&](const std::string& name) {
+      std::string r = op;
+      r.replace(r.find('%'), 1, name);
+      return svc.handle(r);
+    };
+    EXPECT_EQ(req("ooc"), req("mem")) << op;
+  }
+}
+
+TEST(OocService, OpenMissingOrCorruptFileIsBadRequest) {
+  lapx::service::Service svc;
+  const std::string missing = svc.handle(
+      R"({"op":"open","name":"g","path":"/nonexistent/g.lapxooc"})");
+  EXPECT_NE(missing.find("\"code\":\"bad_request\""), std::string::npos)
+      << missing;
+  TempDir dir;
+  const std::string path = dir.path + "/junk.lapxooc";
+  write_file(path, std::vector<unsigned char>(256, 0x5a));
+  const std::string corrupt =
+      svc.handle(R"({"op":"open","name":"g","path":")" + path + R"("})");
+  EXPECT_NE(corrupt.find("\"code\":\"bad_request\""), std::string::npos)
+      << corrupt;
+}
+
+TEST(OocService, MutateOnOocSessionIsRejected) {
+  TempDir dir;
+  const std::string path = dir.path + "/g.lapxooc";
+  lapx::graph::write_ooc_graph(
+      path, lapx::graph::to_ldigraph(lapx::graph::torus({3, 3})));
+  lapx::service::Service svc;
+  svc.handle(R"({"op":"open","name":"g","path":")" + path + R"("})");
+  const std::string mut = svc.handle(
+      R"({"op":"mutate","name":"g","edits":[{"op":"remove","u":0,"v":1}]})");
+  EXPECT_NE(mut.find("\"ok\":false"), std::string::npos) << mut;
+  EXPECT_NE(mut.find("\"code\":\"bad_request\""), std::string::npos) << mut;
+}
+
+TEST(OocService, MaterializationCapGatesNonStreamingOps) {
+  // Above the cap, ops that need the materialized graph (analyze) fail
+  // with too_large while streaming ops (views) keep working.
+  TempDir dir;
+  const std::string path = dir.path + "/g.lapxooc";
+  lapx::graph::write_ooc_graph(
+      path, lapx::graph::to_ldigraph(lapx::graph::lifted_torus(3, 3, 4, 2)));
+  lapx::service::Service::Options sopt;
+  sopt.store.ooc_materialize_max_vertices = 8;  // n = 36 > 8
+  lapx::service::Service svc(sopt);
+  svc.handle(R"({"op":"open","name":"g","path":")" + path + R"("})");
+  const std::string views =
+      svc.handle(R"({"op":"views","graph":"g","radius":1})");
+  EXPECT_NE(views.find("\"ok\":true"), std::string::npos) << views;
+  const std::string analyze = svc.handle(R"({"op":"analyze","graph":"g"})");
+  EXPECT_NE(analyze.find("\"code\":\"too_large\""), std::string::npos)
+      << analyze;
+}
+
+}  // namespace

@@ -87,9 +87,26 @@ def validate_report(path, record):
     return name
 
 
-def load_reports(directory):
-    """Map embedded report name -> parsed JSON for every report in a dir."""
+def load_reports(directory, reports_only=False):
+    """Map embedded report name -> parsed JSON for every report in a dir.
+
+    With ``reports_only`` (the baseline dir), any non-.json file is an
+    error: a stray file there is almost always a report that silently
+    stopped gating (a typo'd extension, an editor backup), so fail loudly
+    with exit 2 instead of pretending the baseline set is complete.  The
+    current-run dir stays permissive -- CI writes its trend report there.
+    """
     reports = {}
+    if reports_only:
+        strays = sorted(
+            entry for entry in os.listdir(directory)
+            if os.path.isfile(os.path.join(directory, entry))
+            and not entry.endswith(".json"))
+        if strays:
+            raise IOError(
+                "baseline dir %s contains non-JSON file(s): %s -- only "
+                "bench --json reports may live there (did a report lose "
+                "its .json extension?)" % (directory, ", ".join(strays)))
     paths = sorted(glob.glob(os.path.join(directory, "*.json")))
     if not paths:
         raise IOError("no .json reports in %s" % directory)
@@ -186,7 +203,7 @@ def trend_lines(baselines, currents):
 
 def self_test(baseline_dir):
     """Perturb a copy of the baselines; the gate must catch every injection."""
-    baselines = load_reports(baseline_dir)
+    baselines = load_reports(baseline_dir, reports_only=True)
     donor_check = next(
         (n for n, r in sorted(baselines.items()) if r.get("checks")), None)
     donor_value = next(
@@ -282,7 +299,7 @@ def main(argv):
             return self_test(args.baseline_dir)
         if not args.current_dir:
             parser.error("CURRENT_DIR is required unless --self-test")
-        baselines = load_reports(args.baseline_dir)
+        baselines = load_reports(args.baseline_dir, reports_only=True)
         currents = load_reports(args.current_dir)
         failures, _ = compare(baselines, currents,
                               rel_tol=args.rel_tol, abs_tol=args.abs_tol)

@@ -7,12 +7,14 @@
 //   lapx_cli run <algorithm> [r]             run a local algorithm
 //   lapx_cli fractional                      nu, nu_f, tau_f, tau report
 //   lapx_cli dot                             Graphviz DOT of stdin graph
+//   lapx_cli graph-convert <out> [opts]      write a graph as LAPXOOC1
 //   lapx_cli serve [options]                 run the lapxd query service
 //   lapx_cli call <endpoint> [json]          send request(s) to lapxd
 //
 // Graphs are read from stdin in the edge-list format of lapx/graph/io.hpp.
 // Families: cycle N | path N | complete N | torus A B | hypercube D |
-//           petersen | gp N K | grid R C | regular N D SEED
+//           petersen | gp N K | grid R C | regular N D SEED |
+//           lift A B LAYERS [SEED]  (random LAYERS-lift of torus A B)
 // Problems: vc | ec | mm | is | ds | eds
 // Algorithms: eds-mark-first | edge-cover | local-min-is | vc-non-min |
 //             eds-greedy
@@ -23,6 +25,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +40,8 @@
 #include "lapx/core/model.hpp"
 #include "lapx/graph/generators.hpp"
 #include "lapx/graph/io.hpp"
+#include "lapx/graph/lift.hpp"
+#include "lapx/graph/ooc.hpp"
 #include "lapx/graph/port_numbering.hpp"
 #include "lapx/graph/properties.hpp"
 #include "lapx/order/homogeneity.hpp"
@@ -66,22 +71,28 @@ int usage() {
       "usage: lapx_cli generate <family> [args] | analyze | dot |\n"
       "       homogeneity <r> | optimum <problem> | run <alg> [r] |\n"
       "       fractional |\n"
+      "       graph-convert <out.lapxooc> [--family <fam> <args...>]\n"
+      "             [--lift L] [--seed S] [--no-verify] (default: stdin\n"
+      "             edge list; writes the mmap-able LAPXOOC1 CSR format)\n"
       "       serve [--socket PATH | --tcp PORT] [--threads N]\n"
       "             [--executors N] [--cache-entries N] [--cache-bytes N]\n"
       "             [--cache-dir DIR] [--queue-depth N] [--max-graphs N]\n"
-      "             [--shards N] |\n"
+      "             [--ooc-budget-mb N] [--shards N] |\n"
       "       call [--pipeline] <endpoint> [json-request]\n"
       "endpoints: unix:PATH | tcp:PORT | a /path | a bare port\n"
-      "wire ops: ping | generate | upload | mutate | drop | list |\n"
+      "wire ops: ping | generate | upload | open | mutate | drop | list |\n"
       "          session_info | stats | cache_save | cache_info |\n"
       "          shutdown | analyze | homogeneity | views | optimum |\n"
       "          run | fractional\n"
       "          (mutate edits a stored graph in place: {\"op\":\"mutate\",\n"
       "           \"name\":N, \"edits\":[{\"op\":\"add|remove\",\"u\":U,\"v\":V}]}\n"
-      "           -> new epoch; queries re-refine only the edit frontier)\n"
+      "           -> new epoch; queries re-refine only the edit frontier;\n"
+      "           open binds a LAPXOOC1 file: {\"op\":\"open\",\"name\":N,\n"
+      "           \"path\":P} -- queries stream over the mmap'd file)\n"
       "env: LAPXD_EXECUTORS sets the serve executor default,\n"
       "     LAPXD_CACHE_DIR the result-cache persistence dir,\n"
-      "     LAPXD_SHARDS the serve shard-count default\n");
+      "     LAPXD_SHARDS the serve shard-count default,\n"
+      "     LAPXD_OOC_BUDGET_MB the out-of-core residency budget\n");
   return kExitUsage;
 }
 
@@ -100,6 +111,10 @@ graph::Graph make_graph(int argc, char** argv) {
     std::mt19937_64 rng(argc > 3 ? arg(3) : 1);
     return graph::random_regular(arg(1), arg(2), rng);
   }
+  if (family == "lift")
+    return graph::lifted_torus(
+        arg(1), arg(2), arg(3),
+        argc > 4 ? static_cast<std::uint64_t>(std::stoll(argv[4])) : 1);
   throw std::invalid_argument("unknown family: " + family);
 }
 
@@ -203,6 +218,98 @@ int cmd_run(const graph::Graph& g, const std::string& alg, int r) {
   return 0;
 }
 
+// `lapx_cli graph-convert OUT [...]`: serialize a graph in the mmap-able
+// LAPXOOC1 on-disk CSR format (lapx/graph/ooc.hpp).  The input comes from
+// stdin (edge list) or --family; --lift L replaces it with its random
+// L-lift first.  Unless --no-verify, the written file is reopened and
+// checked against the in-memory graph arc for arc (plus the precomputed
+// step CSR), so a 0 exit means the file round-trips exactly.
+int cmd_graph_convert(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string out = argv[0];
+  int lift = 0;
+  std::uint64_t seed = 1;
+  bool verify = true;
+  std::vector<char*> family;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--no-verify") {
+      verify = false;
+    } else if (flag == "--lift") {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("flag needs a value: --lift");
+      lift = std::stoi(argv[++i]);
+      if (lift < 1) throw std::invalid_argument("--lift must be >= 1");
+    } else if (flag == "--seed") {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("flag needs a value: --seed");
+      seed = static_cast<std::uint64_t>(std::stoull(argv[++i]));
+    } else if (flag == "--family") {
+      // The family spec runs to the next flag: `--family torus 3 3`.
+      while (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        family.push_back(argv[++i]);
+      if (family.empty())
+        throw std::invalid_argument("--family needs a family name");
+    } else {
+      throw std::invalid_argument("unknown flag: " + flag);
+    }
+  }
+  graph::Graph g =
+      family.empty()
+          ? graph::read_edge_list(std::cin)
+          : make_graph(static_cast<int>(family.size()), family.data());
+  if (lift >= 1) {
+    // Same composition as the service's "lift" generate family
+    // (graph::lifted_torus): to_ldigraph -> random_lift -> underlying.
+    // So `graph-convert --family torus A B --lift L --seed S` writes the
+    // exact instance `{"op":"generate","family":"lift",...}` serves from
+    // memory -- the byte-for-byte parity the CI smoke test diffs.
+    std::mt19937_64 rng(seed);
+    g = graph::random_lift(graph::to_ldigraph(g), lift, rng)
+            .graph.underlying_graph();
+  }
+  const graph::LDigraph ld = graph::to_ldigraph(g);
+  graph::write_ooc_graph(out, ld);
+  const graph::OocGraph reopened(out);
+  if (verify) {
+    if (reopened.num_vertices() != ld.num_vertices() ||
+        reopened.num_arcs() != ld.num_arcs() ||
+        reopened.alphabet_size() != ld.alphabet_size())
+      throw std::runtime_error("graph-convert: round-trip header mismatch");
+    const graph::LDigraph back = reopened.materialize();
+    for (graph::Vertex v = 0; v < ld.num_vertices(); ++v) {
+      const auto a_out = ld.out_arcs(v), b_out = back.out_arcs(v);
+      const auto a_in = ld.in_arcs(v), b_in = back.in_arcs(v);
+      if (!std::equal(a_out.begin(), a_out.end(), b_out.begin(),
+                      b_out.end()) ||
+          !std::equal(a_in.begin(), a_in.end(), b_in.begin(), b_in.end()))
+        throw std::runtime_error(
+            "graph-convert: round-trip adjacency mismatch at vertex " +
+            std::to_string(v));
+    }
+    const graph::OocStepCsr steps = graph::build_step_csr(ld);
+    auto span_eq = [](auto span, const auto& vec) {
+      return span.size() == vec.size() &&
+             std::equal(span.begin(), span.end(), vec.begin());
+    };
+    if (!span_eq(reopened.step_off(), steps.off) ||
+        !span_eq(reopened.step_vertex(), steps.vertex) ||
+        !span_eq(reopened.step_succ(), steps.succ) ||
+        !span_eq(reopened.step_nbr(), steps.nbr) ||
+        !span_eq(reopened.step_move_bits(), steps.move_bits) ||
+        !span_eq(reopened.step_edge_tag(), steps.tag))
+      throw std::runtime_error("graph-convert: round-trip step-CSR mismatch");
+  }
+  std::fprintf(stderr,
+               "graph-convert: wrote %s (n=%d m=%zu alphabet=%u "
+               "checksum=%016llx)%s\n",
+               out.c_str(), reopened.num_vertices(), reopened.num_arcs(),
+               static_cast<unsigned>(reopened.alphabet_size()),
+               static_cast<unsigned long long>(reopened.payload_checksum()),
+               verify ? ", round-trip verified" : "");
+  return 0;
+}
+
 // `lapx_cli serve --shards N`: fork+exec one worker per shard (each a
 // plain single-process lapxd on its own socket and cache slice) and run
 // the consistent-hash router on the public endpoint.
@@ -249,6 +356,8 @@ int serve_sharded(int shards, const service::Service::Options& sopt,
         std::to_string(sopt.scheduler.queue_capacity),
         "--max-graphs",
         std::to_string(sopt.store.max_graphs),
+        "--ooc-budget-mb",
+        std::to_string(sopt.store.ooc_budget_bytes >> 20),
         // Always passed, even when empty: an explicit --cache-dir beats a
         // LAPXD_CACHE_DIR the worker would otherwise inherit and share.
         "--cache-dir",
@@ -304,6 +413,13 @@ int cmd_serve(int argc, char** argv) {
     const int v = std::atoi(env);
     if (v >= 1) shards = v;
   }
+  // LAPXD_OOC_BUDGET_MB seeds the out-of-core residency budget;
+  // --ooc-budget-mb overrides it.  0 means unlimited (never evict).
+  if (const char* env = std::getenv("LAPXD_OOC_BUDGET_MB")) {
+    const long long v = std::atoll(env);
+    if (v >= 0)
+      sopt.store.ooc_budget_bytes = static_cast<std::size_t>(v) << 20;
+  }
   auto int_flag = [&](const char* value) {
     const long long v = std::stoll(value);
     if (v < 0) throw std::invalid_argument("flag value must be >= 0");
@@ -335,6 +451,9 @@ int cmd_serve(int argc, char** argv) {
       sopt.scheduler.queue_capacity = static_cast<std::size_t>(int_flag(value));
     } else if (flag == "--max-graphs") {
       sopt.store.max_graphs = static_cast<std::size_t>(int_flag(value));
+    } else if (flag == "--ooc-budget-mb") {
+      sopt.store.ooc_budget_bytes =
+          static_cast<std::size_t>(int_flag(value)) << 20;
     } else if (flag == "--shards") {
       const long long v = int_flag(value);
       if (v < 1) throw std::invalid_argument("--shards must be >= 1");
@@ -437,7 +556,8 @@ int main(int argc, char** argv) {
   const bool known =
       cmd == "generate" || cmd == "analyze" || cmd == "dot" ||
       cmd == "homogeneity" || cmd == "fractional" || cmd == "optimum" ||
-      cmd == "run" || cmd == "serve" || cmd == "call";
+      cmd == "run" || cmd == "serve" || cmd == "call" ||
+      cmd == "graph-convert";
   if (!known) {
     std::fprintf(stderr, "error: unknown subcommand: %s\n", cmd.c_str());
     return usage();
@@ -445,6 +565,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (cmd == "call") return cmd_call(argc - 2, argv + 2);
+    if (cmd == "graph-convert") return cmd_graph_convert(argc - 2, argv + 2);
     if (cmd == "generate") {
       if (argc < 3) return usage();
       graph::write_edge_list(std::cout, make_graph(argc - 2, argv + 2));
