@@ -137,6 +137,25 @@ void print_tables() {
   check(ids_identical,
         "streaming TypeIds byte-identical to in-memory at radius 0.." +
             std::to_string(kRadius) + ", threads 1 and 8");
+  // Scheduling parity on the STREAMING path: the worklist's active-vertex
+  // retirement must not change a single raw TypeId even when entry states
+  // stream from the mmap'd file under eviction pressure.  Fresh interner
+  // per run; equality is id-for-id, not just as partitions.
+  phase("refine-streaming-sched-parity");
+  const auto old_sched = lapx::core::refine_scheduling();
+  lapx::core::set_refine_scheduling(lapx::core::RefineSched::kLegacy);
+  TypeInterner li;
+  RefineState legacy_sched(g, li);
+  const std::vector<TypeId> legacy_ids = legacy_sched.types_at(kRadius);
+  lapx::core::set_refine_scheduling(lapx::core::RefineSched::kWorklist);
+  TypeInterner wi;
+  RefineState worklist_sched(g, wi);
+  const std::vector<TypeId> worklist_ids = worklist_sched.types_at(kRadius);
+  lapx::core::set_refine_scheduling(old_sched);
+  check(legacy_ids == worklist_ids,
+        "worklist and dense scheduling agree id-for-id on the streaming "
+        "path");
+
   const auto res = g.residency();
   check(res.evictions > 0, "residency budget forced evictions mid-round");
   check(res.resident_bytes <= res.budget_bytes,

@@ -19,6 +19,7 @@
 #include "lapx/core/view.hpp"
 #include "lapx/graph/generators.hpp"
 #include "lapx/graph/lift.hpp"
+#include "lapx/runtime/parallel.hpp"
 
 namespace {
 
@@ -73,6 +74,8 @@ CaseResult run_case(const graph::LDigraph& g, int r) {
       std::unique(sorted.begin(), sorted.end()) - sorted.begin());
   return res;
 }
+
+void print_worklist_table();
 
 void print_tables() {
   bench::print_header(
@@ -147,6 +150,107 @@ void print_tables() {
   bench::check(enough_cores ? speedup >= 2.0 : speedup >= 1.2,
                "refinement engine >= 2x faster than per-vertex "
                "materialization (hardware-gated)");
+
+  print_worklist_table();
+}
+
+// A stabilizing workload: component diameters spread over two orders of
+// magnitude.  The many small trees refine to fixpoint within ~5 rounds and
+// retire; the long chains stay active until the boundary effect reaches
+// them (~round 1500).  The dense schedule pays O(n) every round regardless;
+// the worklist schedule pays O(active).  Deterministic by construction.
+graph::LDigraph stabilizing_forest() {
+  constexpr graph::Vertex kChains = 2, kChainLen = 3000;
+  constexpr graph::Vertex kTrees = 1800, kTreeSize = 12;
+  graph::LDigraph g(kChains * kChainLen + kTrees * kTreeSize, 2);
+  graph::Vertex next = 0;
+  for (graph::Vertex c = 0; c < kChains; ++c) {
+    for (graph::Vertex v = 0; v + 1 < kChainLen; ++v)
+      g.add_arc(next + v, next + v + 1, 0);
+    next += kChainLen;
+  }
+  for (graph::Vertex t = 0; t < kTrees; ++t) {
+    // Complete-ish binary tree: child 2p+1 on port 1, child 2p+2 on port 0.
+    for (graph::Vertex v = 1; v < kTreeSize; ++v)
+      g.add_arc(next + (v - 1) / 2, next + v, v % 2);
+    next += kTreeSize;
+  }
+  return g;
+}
+
+void print_worklist_table() {
+  bench::print_header(
+      "E17b: worklist scheduling (active-vertex retirement) vs dense rounds",
+      "once a vertex's neighbourhood stops changing it retires from the "
+      "round worklist; on stabilizing workloads later rounds touch only "
+      "the still-active region (runtime/worklist.hpp work-stealing)");
+
+  const graph::LDigraph g = stabilizing_forest();
+  constexpr int kR = 48;
+  const int old_threads = lapx::runtime::thread_count();
+  const auto old_sched = core::refine_scheduling();
+
+  // Reference ids: dense schedule, one thread.
+  core::set_refine_scheduling(core::RefineSched::kLegacy);
+  lapx::runtime::set_thread_count(1);
+  core::TypeInterner ref_interner;
+  const auto ref_ids = core::bulk_view_type_ids(g, kR, ref_interner);
+
+  bench::print_row(
+      {"threads", "legacy s", "worklist s", "speedup", "ids identical"});
+  bool all_identical = true;
+  double legacy_1t = 0.0, worklist_1t = 0.0;
+  double legacy_8t = 0.0, worklist_8t = 0.0;
+  for (const int threads : {1, 2, 4, 8, 16}) {
+    lapx::runtime::set_thread_count(threads);
+    bench::phase("worklist_sweep_legacy");
+    core::set_refine_scheduling(core::RefineSched::kLegacy);
+    core::TypeInterner li;
+    auto t0 = std::chrono::steady_clock::now();
+    const auto legacy_ids = core::bulk_view_type_ids(g, kR, li);
+    const double legacy_s = seconds_since(t0);
+    bench::phase("worklist_sweep_worklist");
+    core::set_refine_scheduling(core::RefineSched::kWorklist);
+    core::TypeInterner wi;
+    t0 = std::chrono::steady_clock::now();
+    const auto worklist_ids = core::bulk_view_type_ids(g, kR, wi);
+    const double worklist_s = seconds_since(t0);
+    // Raw TypeId equality (not just partitions): the retirement fast path
+    // must intern in the identical allocation order.
+    const bool identical = legacy_ids == ref_ids && worklist_ids == ref_ids;
+    all_identical = all_identical && identical;
+    if (threads == 1) legacy_1t = legacy_s, worklist_1t = worklist_s;
+    if (threads == 8) legacy_8t = legacy_s, worklist_8t = worklist_s;
+    bench::print_row(
+        {std::to_string(threads), bench::fmt(legacy_s, 3),
+         bench::fmt(worklist_s, 3),
+         bench::fmt(worklist_s > 0 ? legacy_s / worklist_s : 0.0, 2) + "x",
+         identical ? "yes" : "NO"});
+  }
+  core::set_refine_scheduling(old_sched);
+  lapx::runtime::set_thread_count(old_threads);
+
+  auto sorted = ref_ids;
+  std::sort(sorted.begin(), sorted.end());
+  const auto distinct = static_cast<double>(
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+  bench::value("distinct_stabilizing_forest_r=48", distinct);
+  bench::check(all_identical,
+               "worklist TypeIds byte-identical to the dense schedule at "
+               "every thread count (raw ids, fresh interners)");
+  // Wall-time gate: strict only with >= 8 real cores (timings on an
+  // oversubscribed or single-core runner measure the scheduler, not the
+  // algorithm); elsewhere gate the serial algorithmic win, which the
+  // retirement path delivers with no parallelism at all.
+  const bool eight_cores = std::thread::hardware_concurrency() >= 8;
+  const double gated_speedup = eight_cores
+                                   ? (worklist_8t > 0 ? legacy_8t / worklist_8t
+                                                      : 0.0)
+                                   : (worklist_1t > 0 ? legacy_1t / worklist_1t
+                                                      : 0.0);
+  bench::check(eight_cores ? gated_speedup >= 1.5 : gated_speedup >= 1.2,
+               "worklist >= 1.5x faster than dense rounds on the "
+               "stabilizing workload at 8 threads (hardware-gated)");
 }
 
 void BM_LegacyViewTypes(benchmark::State& state) {

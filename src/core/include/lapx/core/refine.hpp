@@ -64,6 +64,25 @@
 
 namespace lapx::core {
 
+/// Round scheduling for RefineState::advance.
+///
+/// kWorklist (the default) adds the active-vertex worklist on top of the
+/// rendezvous rounds: a vertex whose in-neighbourhood produced no new state
+/// type is RETIRED -- its tuples are bitwise those of the previous round,
+/// so its types are re-derived from cached ids without key building or
+/// interning -- and it re-enqueues only when a neighbour's state changes.
+/// The sparse active set is scheduled with the work-stealing worklist
+/// (runtime/worklist.hpp).  kLegacy keeps the seed behaviour: every
+/// vertex, every round, dense parallel_for chunks.  Both modes produce
+/// IDENTICAL TypeIds in identical allocation order (the retired fast path
+/// only skips interner calls that are provably cache hits), which
+/// refine_test cross-validates; the toggle exists for that validation and
+/// for the E17 scheduling bench.  Initial value comes from
+/// LAPX_REFINE_SCHED ("worklist" | "legacy"; default worklist).
+enum class RefineSched { kLegacy, kWorklist };
+RefineSched refine_scheduling();
+void set_refine_scheduling(RefineSched s);
+
 /// Persistent whole-graph view typing: advances radius by radius, keeping
 /// the root types of every radius computed so far, and (with keep_rounds)
 /// every round's edge-state table so the refinement survives graph edits
@@ -194,6 +213,32 @@ class RefineState {
 
   // Only with keep_rounds: round_states_[i][s] = T_i[s], i = 0..radius().
   std::vector<std::vector<TypeId>> round_states_;
+
+  // Active-vertex worklist state (kWorklist scheduling; see DESIGN.md,
+  // "Work-stealing worklist & retirement").  A vertex is active in round i
+  // iff some neighbour had a state change in round i-1; retired vertices
+  // keep bitwise-identical entries, so their round-i types equal their
+  // round-(i-1) types (states) resp. re-wrap an unchanged body under the
+  // new radius tag (roots).  all_active_ marks rounds where the tracking
+  // is not yet seeded (round 1, after refine_delta / reset_partitions):
+  // those run the full dense pass, which also (re)seeds the tracking.
+  std::vector<std::uint32_t> active_;  // sorted vertices to recompute
+  std::vector<char> active_flag_;      // O(1) membership for split passes
+  std::vector<char> changed_;          // any state of v changed this round
+  std::vector<TypeId> root_body_;      // per vertex: root tuple body id
+  bool all_active_ = true;
+
+  // Split-round fast paths.  TypeIds are dense interner indices, so the
+  // per-round body -> root memo is a stamped direct-mapped array (no
+  // hashing per retired vertex), and stability detection runs off an
+  // incrementally patched multiset of the current state ids: a split
+  // round touches the multiset only at changed steps, O(active) instead
+  // of O(steps).  Seeded by the dense pass of the preceding track round.
+  std::vector<TypeId> body_root_;          // body id -> this round's root id
+  std::vector<std::uint64_t> body_round_;  // stamp guarding body_root_
+  std::uint64_t round_stamp_ = 0;
+  std::vector<std::uint32_t> state_count_;  // state id -> multiplicity
+  std::size_t live_states_ = 0;             // ids with multiplicity > 0
 
   // refine_delta scratch: the retired CSR + round tables of the previous
   // generation.  Swapped, never freed -- a steady-state session alternates

@@ -1,6 +1,9 @@
 #include "lapx/core/refine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -8,10 +11,26 @@
 #include <utility>
 
 #include "lapx/runtime/parallel.hpp"
+#include "lapx/runtime/worklist.hpp"
 
 namespace lapx::core {
 
 namespace {
+
+RefineSched initial_sched() {
+  if (const char* s = std::getenv("LAPX_REFINE_SCHED")) {
+    const std::string_view v(s);
+    if (v == "legacy") return RefineSched::kLegacy;
+    if (v == "worklist") return RefineSched::kWorklist;
+    std::fprintf(stderr,
+                 "lapx: ignoring unknown LAPX_REFINE_SCHED=\"%s\" (expected "
+                 "\"worklist\" or \"legacy\"); using worklist\n",
+                 s);
+  }
+  return RefineSched::kWorklist;
+}
+
+std::atomic<RefineSched> g_refine_sched{initial_sched()};
 
 // Heterogeneous lookup so the rendezvous table can probe with a
 // string_view over the scratch key and only copy bytes on first occurrence.
@@ -55,6 +74,14 @@ std::uint32_t step_index_of(const graph::LDigraph& g, graph::Vertex v,
 }
 
 }  // namespace
+
+RefineSched refine_scheduling() {
+  return g_refine_sched.load(std::memory_order_relaxed);
+}
+
+void set_refine_scheduling(RefineSched s) {
+  g_refine_sched.store(s, std::memory_order_relaxed);
+}
 
 // The ooc writer persists edge tags computed in graph/ (which cannot see
 // this header); the duplicated constant must stay bit-identical or
@@ -142,6 +169,7 @@ void RefineState::init_round0() {
   root_distinct_.push_back(n_ ? 1 : 0);
   root_class_.assign(static_cast<std::size_t>(n_), 0);
   root_rep_.assign(n_ ? 1 : 0, 0);
+  all_active_ = true;  // worklist tracking seeds itself on the first round
   if (keep_rounds_) round_states_.push_back(t_prev_);
 }
 
@@ -159,17 +187,38 @@ void RefineState::advance() {
   const int next_radius = radius() + 1;
   const std::uint64_t root_tag =
       type_tag::kViewRoot | static_cast<std::uint32_t>(next_radius);
+  // track: maintain the active-vertex worklist (kWorklist scheduling).
+  // split: this round actually runs it -- the tracking was seeded by a
+  // previous full round and at least one vertex retired.  The retirement
+  // invariant: a retired vertex had no neighbour state change last round,
+  // so every rendezvous entry of its span is bitwise the previous round's
+  // and its tuples re-derive from cached ids.  The fast paths below skip
+  // only interner calls that are provably cache hits (the structures were
+  // interned when the tuple was first produced), so the interner's
+  // allocation ORDER -- and with it every TypeId -- is identical to the
+  // dense pass; refine_test cross-validates this.
+  const bool track = refine_scheduling() == RefineSched::kWorklist;
+  const bool split = track && !states_stable_ && !all_active_ &&
+                     active_.size() < static_cast<std::size_t>(n);
 
   // Rendezvous entry per step against the previous round's state types.
   // Parallel, per-index slots only -- content is thread-count-independent.
+  // Split rounds recompute only active spans (work-stealing: the active
+  // set is sparse and irregular); retired spans are bitwise current.
   if (!states_stable_ || !roots_stable_) {
-    runtime::parallel_for(n, [&](std::int64_t vi) {
-      const auto v = static_cast<Vertex>(vi);
+    const auto fill_entries = [&](Vertex v) {
       touch_steps(step_off[v], step_off[v + 1]);
       for (std::uint32_t j = step_off[v]; j < step_off[v + 1]; ++j)
         entries_[j] = (static_cast<std::uint64_t>(step_move_bits[j]) << 32) |
                       t_prev_[step_succ[j]];
-    });
+    };
+    if (split) {
+      runtime::for_each_index(
+          active_, [&](std::uint32_t v) { fill_entries(v); });
+    } else {
+      runtime::parallel_for(
+          n, [&](std::int64_t vi) { fill_entries(static_cast<Vertex>(vi)); });
+    }
   }
 
   std::vector<TypeId> tmp_edges;
@@ -198,16 +247,77 @@ void RefineState::advance() {
           class_type[root_class_[static_cast<std::size_t>(v)]];
     });
     root_distinct = root_rep_.size();
+  } else if (split) {
+    // Retirement pass.  The interner is injective on the tuple the
+    // rendezvous key serializes, so equal key bytes <=> equal body id;
+    // the fresh allocations this round are exactly one root node per
+    // distinct body, at the first vertex (in order) producing that body
+    // -- the positions the dense pass's key-byte dedup would intern at.
+    // A retired vertex reuses its cached body and pays one stamped
+    // array probe; no hashing, no per-vertex map.  root_class_/root_rep_
+    // are NOT maintained here: the per-class path is gated on
+    // roots_stable_, which a later dense round (re)establishes along
+    // with the tables.
+    ++round_stamp_;
+    std::size_t distinct = 0;
+    const auto root_of = [&](TypeId body) {
+      const auto b = static_cast<std::size_t>(body);
+      if (b >= body_round_.size()) {
+        const std::size_t grow =
+            std::max({b + 1, 2 * body_round_.size(), interner.size()});
+        body_round_.resize(grow, 0);
+        body_root_.resize(grow);
+      }
+      if (body_round_[b] != round_stamp_) {
+        body_round_[b] = round_stamp_;
+        body_root_[b] = interner.intern_node(root_tag, &body, 1);
+        ++distinct;
+      }
+      return body_root_[b];
+    };
+    RendezvousMap dedup;  // active vertices: entry bytes -> body id
+    for (Vertex v = 0; v < n; ++v) {
+      if (!active_flag_[static_cast<std::size_t>(v)]) {
+        roots[static_cast<std::size_t>(v)] =
+            root_of(root_body_[static_cast<std::size_t>(v)]);
+        continue;
+      }
+      const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
+      const auto key = as_bytes(entries_.data() + lo, hi - lo);
+      if (const auto it = dedup.find(key); it != dedup.end()) {
+        const auto body = static_cast<TypeId>(it->second);
+        root_body_[static_cast<std::size_t>(v)] = body;
+        roots[static_cast<std::size_t>(v)] = root_of(body);
+        continue;
+      }
+      touch_steps(lo, hi);
+      tmp_edges.clear();
+      for (std::uint32_t j = lo; j < hi; ++j) {
+        const TypeId sub = t_prev_[step_succ[j]];
+        tmp_edges.push_back(interner.intern_node(step_edge_tag[j], &sub, 1));
+      }
+      const TypeId body = interner.intern_node(
+          type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
+      root_body_[static_cast<std::size_t>(v)] = body;
+      roots[static_cast<std::size_t>(v)] = root_of(body);
+      dedup.emplace(std::string(key), body);
+    }
+    root_distinct = distinct;
+    roots_stable_ = false;  // split requires !states_stable_
   } else {
     RendezvousMap dedup;
     root_rep_.clear();
     std::vector<TypeId> class_type;
+    std::vector<TypeId> class_body;  // track: seeds the retirement cache
+    if (track) root_body_.resize(static_cast<std::size_t>(n));
     for (Vertex v = 0; v < n; ++v) {
       const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
       const auto key = as_bytes(entries_.data() + lo, hi - lo);
       if (const auto it = dedup.find(key); it != dedup.end()) {
         root_class_[static_cast<std::size_t>(v)] = it->second;
         roots[static_cast<std::size_t>(v)] = class_type[it->second];
+        if (track)
+          root_body_[static_cast<std::size_t>(v)] = class_body[it->second];
         continue;
       }
       touch_steps(lo, hi);
@@ -220,6 +330,10 @@ void RefineState::advance() {
           type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
       const auto cls = static_cast<std::uint32_t>(class_type.size());
       class_type.push_back(interner.intern_node(root_tag, &body, 1));
+      if (track) {
+        class_body.push_back(body);
+        root_body_[static_cast<std::size_t>(v)] = body;
+      }
       root_rep_.push_back(static_cast<std::uint32_t>(v));
       dedup.emplace(std::string(key), cls);
       root_class_[static_cast<std::size_t>(v)] = cls;
@@ -255,13 +369,83 @@ void RefineState::advance() {
                                 class_type[state_class_[
                                     static_cast<std::size_t>(s)]];
                           });
+  } else if (split) {
+    // Retirement pass: active states run the rendezvous exactly as the
+    // dense pass would (first-occurrence interning in step order over
+    // the active spans; a retired span's tuples are provably cache
+    // hits), retired spans copy forward bitwise.  Stability detection is
+    // incremental -- the multiset of current ids, seeded by the last
+    // dense track round, is patched only at changed steps -- so a round
+    // costs O(active) hash work, not O(steps).
+    RendezvousMap dedup;  // active states: tuple bytes -> type id
+    std::vector<std::uint64_t> key_scratch;
+    changed_.assign(static_cast<std::size_t>(n), 0);
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
+      if (!active_flag_[static_cast<std::size_t>(v)]) {
+        std::copy(t_prev_.begin() + lo, t_prev_.begin() + hi,
+                  t_cur_.begin() + lo);
+        continue;
+      }
+      bool vchanged = false;
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        key_scratch.clear();
+        for (std::uint32_t j = lo; j < hi; ++j)
+          if (j != s) key_scratch.push_back(entries_[j]);
+        const auto key = as_bytes(key_scratch.data(), key_scratch.size());
+        if (const auto it = dedup.find(key); it != dedup.end()) {
+          t_cur_[s] = it->second;
+        } else {
+          touch_steps(lo, hi);
+          tmp_edges.clear();
+          for (std::uint32_t j = lo; j < hi; ++j) {
+            if (j == s) continue;
+            const TypeId sub = t_prev_[step_succ[j]];
+            tmp_edges.push_back(
+                interner.intern_node(step_edge_tag[j], &sub, 1));
+          }
+          t_cur_[s] = interner.intern_node(
+              type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
+          dedup.emplace(std::string(key), t_cur_[s]);
+        }
+        if (t_cur_[s] != t_prev_[s]) {
+          vchanged = true;
+          if (--state_count_[t_prev_[s]] == 0) --live_states_;
+          const auto id = static_cast<std::size_t>(t_cur_[s]);
+          if (id >= state_count_.size())
+            state_count_.resize(
+                std::max({id + 1, 2 * state_count_.size(), interner.size()}),
+                0);
+          if (state_count_[id]++ == 0) ++live_states_;
+        }
+      }
+      if (vchanged) changed_[static_cast<std::size_t>(v)] = 1;
+    }
+    states_stable_ = live_states_ == state_distinct_;
+    state_distinct_ = live_states_;
+    if (states_stable_) {
+      // The per-class path takes over next round; rebuild the tables it
+      // consumes once, with the dense labelling (first occurrence per id
+      // in step order).
+      std::unordered_map<TypeId, std::uint32_t> cls_of;
+      state_rep_.clear();
+      for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(t_cur_.size());
+           ++s) {
+        const auto [it, fresh] = cls_of.try_emplace(
+            t_cur_[s], static_cast<std::uint32_t>(state_rep_.size()));
+        if (fresh) state_rep_.push_back(s);
+        state_class_[s] = it->second;
+      }
+    }
   } else {
     RendezvousMap dedup;
     state_rep_.clear();
     std::vector<TypeId> class_type;
     std::vector<std::uint64_t> key_scratch;
+    if (track) changed_.assign(static_cast<std::size_t>(n), 0);
     for (Vertex v = 0; v < n; ++v) {
       const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
+      bool vchanged = false;
       for (std::uint32_t s = lo; s < hi; ++s) {
         key_scratch.clear();
         for (std::uint32_t j = lo; j < hi; ++j)
@@ -270,30 +454,64 @@ void RefineState::advance() {
         if (const auto it = dedup.find(key); it != dedup.end()) {
           state_class_[s] = it->second;
           t_cur_[s] = class_type[it->second];
-          continue;
+        } else {
+          touch_steps(lo, hi);
+          tmp_edges.clear();
+          for (std::uint32_t j = lo; j < hi; ++j) {
+            if (j == s) continue;
+            const TypeId sub = t_prev_[step_succ[j]];
+            tmp_edges.push_back(
+                interner.intern_node(step_edge_tag[j], &sub, 1));
+          }
+          const auto cls = static_cast<std::uint32_t>(class_type.size());
+          class_type.push_back(interner.intern_node(
+              type_tag::kViewNode, tmp_edges.data(), tmp_edges.size()));
+          state_rep_.push_back(s);
+          dedup.emplace(std::string(key), cls);
+          state_class_[s] = cls;
+          t_cur_[s] = class_type[cls];
         }
-        touch_steps(lo, hi);
-        tmp_edges.clear();
-        for (std::uint32_t j = lo; j < hi; ++j) {
-          if (j == s) continue;
-          const TypeId sub = t_prev_[step_succ[j]];
-          tmp_edges.push_back(
-              interner.intern_node(step_edge_tag[j], &sub, 1));
-        }
-        const auto cls = static_cast<std::uint32_t>(class_type.size());
-        class_type.push_back(interner.intern_node(
-            type_tag::kViewNode, tmp_edges.data(), tmp_edges.size()));
-        state_rep_.push_back(s);
-        dedup.emplace(std::string(key), cls);
-        state_class_[s] = cls;
-        t_cur_[s] = class_type[cls];
+        vchanged |= t_cur_[s] != t_prev_[s];
       }
+      if (track && vchanged) changed_[static_cast<std::size_t>(v)] = 1;
     }
     // Equal class count + monotone refinement => identical partition, which
     // is then a fixed point of the splitting step: stable forever.
     states_stable_ = class_type.size() == state_distinct_;
     state_distinct_ = class_type.size();
+    if (track && !states_stable_) {
+      // Seed the split rounds' incremental stability detector with this
+      // round's id multiset (distinct ids == distinct keys: the interner
+      // is injective on the serialized tuple).
+      state_count_.assign(interner.size(), 0);
+      live_states_ = 0;
+      for (const TypeId id : t_cur_)
+        if (state_count_[static_cast<std::size_t>(id)]++ == 0) ++live_states_;
+    }
   }
+
+  // --- Seed the next round's worklist: a vertex re-enqueues iff some
+  // neighbour's state changed this round (its entries depend on nothing
+  // else).  Once the partition is stable the per-class paths own the
+  // scheduling and the tracking is dropped; legacy rounds also reset it so
+  // a mid-flight scheduling switch can never trust stale flags.
+  if (track && !states_stable_) {
+    active_flag_.assign(static_cast<std::size_t>(n), 0);
+    active_.clear();
+    for (Vertex v = 0; v < n; ++v) {
+      if (!changed_[static_cast<std::size_t>(v)]) continue;
+      touch_steps(step_off[v], step_off[v + 1]);
+      for (std::uint32_t j = step_off[v]; j < step_off[v + 1]; ++j)
+        active_flag_[step_vertex[step_succ[j]]] = 1;
+    }
+    for (Vertex v = 0; v < n; ++v)
+      if (active_flag_[static_cast<std::size_t>(v)])
+        active_.push_back(static_cast<std::uint32_t>(v));
+    all_active_ = false;
+  } else {
+    all_active_ = true;
+  }
+
   t_prev_.swap(t_cur_);
   if (keep_rounds_) round_states_.push_back(t_prev_);
 }
@@ -329,6 +547,10 @@ void RefineState::reset_partitions() {
   root_class_.resize(n);
   root_rep_.clear();
   roots_stable_ = false;
+  // The worklist tracking is stale too (refine_delta rewrote frontier
+  // types without updating changed_/root_body_): force a full round,
+  // which re-seeds it.
+  all_active_ = true;
 }
 
 RefineState::DeltaStats RefineState::refine_delta(const LDigraph& g) {

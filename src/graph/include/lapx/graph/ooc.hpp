@@ -46,6 +46,7 @@
 // madvise(MADV_DONTNEED) -- the mapping is read-only MAP_PRIVATE, so a
 // later touch simply refaults the bytes from the file.
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -65,6 +66,13 @@ class OocError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+namespace testing {
+/// Fault-injection seam for the residency manager: while > 0, each
+/// madvise(MADV_DONTNEED) inside OocGraph decrements the counter and
+/// behaves as if the kernel refused the call.  Test-only; leave at 0.
+extern std::atomic<int> ooc_fail_madvise;
+}  // namespace testing
 
 /// The step-segment edge tag base.  graph/ cannot see core/interner.hpp,
 /// so the value is duplicated here; core/refine.cpp static_asserts it
@@ -113,6 +121,12 @@ class OocGraph {
     std::uint64_t resident_bytes = 0;  ///< tracked (touched, unevicted)
     std::uint64_t touches = 0;         ///< touch_steps chunk touches
     std::uint64_t evictions = 0;       ///< chunks dropped via madvise
+    // madvise(MADV_DONTNEED) can fail (locked pages, hardened kernels);
+    // an eviction whose madvise failed still leaves the pages physically
+    // resident.  Both are counted so the accounting stays honest: the true
+    // physical footprint is bounded by resident_bytes + unreleased_bytes.
+    std::uint64_t madvise_failures = 0;  ///< madvise calls the kernel refused
+    std::uint64_t unreleased_bytes = 0;  ///< eviction bytes not actually freed
   };
 
   /// Opens and fully validates `path`; throws OocError on any mismatch
@@ -177,6 +191,10 @@ class OocGraph {
 
  private:
   void touch_range_locked(std::size_t byte_off, std::size_t bytes) const;
+  /// madvise(MADV_DONTNEED) on [byte_off, byte_off + bytes) with the
+  /// result checked: a refusal is counted (madvise_failures /
+  /// unreleased_bytes) and warned about once per process.
+  bool drop_pages(std::size_t byte_off, std::size_t bytes) const;
 
   std::string path_;
   Options opt_;

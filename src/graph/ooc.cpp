@@ -6,15 +6,26 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <utility>
 
 namespace lapx::graph {
 
+namespace testing {
+std::atomic<int> ooc_fail_madvise{0};
+}  // namespace testing
+
 namespace {
+
+// One warning per process: eviction failures repeat (same kernel, same
+// mapping), so the first carries all the signal and the rest would spam
+// every round of a streaming refinement.
+std::atomic<bool> g_madvise_warned{false};
 
 constexpr char kMagic[8] = {'L', 'A', 'P', 'X', 'O', 'O', 'C', '1'};
 constexpr std::uint32_t kVersion = 1;
@@ -341,9 +352,36 @@ OocGraph::OocGraph(const std::string& path, Options opt)
   stats_.budget_bytes = opt_.budget_bytes;
   if (opt_.budget_bytes > 0) {
     // Validation walked the whole mapping; start the tracked-residency
-    // clock from zero so the budget means what it says.
-    ::madvise(map_, map_bytes_, MADV_DONTNEED);
+    // clock from zero so the budget means what it says.  A refused
+    // madvise here only delays the drop (the validation pages are cold
+    // and will be evicted by normal memory pressure), but it is counted
+    // so residency() never silently claims a clean start.
+    drop_pages(0, map_bytes_);
   }
+}
+
+bool OocGraph::drop_pages(std::size_t byte_off, std::size_t bytes) const {
+  int rc;
+  int fail = testing::ooc_fail_madvise.load(std::memory_order_relaxed);
+  while (fail > 0 && !testing::ooc_fail_madvise.compare_exchange_weak(
+                         fail, fail - 1, std::memory_order_relaxed)) {
+  }
+  if (fail > 0) {
+    errno = EINVAL;  // simulate a kernel refusal
+    rc = -1;
+  } else {
+    rc = ::madvise(map_ + byte_off, bytes, MADV_DONTNEED);
+  }
+  if (rc == 0) return true;
+  ++stats_.madvise_failures;
+  stats_.unreleased_bytes += bytes;
+  if (!g_madvise_warned.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "lapx-ooc: madvise(MADV_DONTNEED) failed (%s); evicted "
+                 "pages stay physically resident -- the residency budget "
+                 "undercounts by Residency::unreleased_bytes\n",
+                 std::strerror(errno));
+  return false;
 }
 
 OocGraph::~OocGraph() {
@@ -372,8 +410,7 @@ void OocGraph::touch_range_locked(std::size_t byte_off,
       stats_.resident_bytes -= kChunkBytes;
       ++stats_.evictions;
       const std::size_t off = victim * kChunkBytes;
-      ::madvise(map_ + off, std::min(kChunkBytes, map_bytes_ - off),
-                MADV_DONTNEED);
+      drop_pages(off, std::min(kChunkBytes, map_bytes_ - off));
     }
   }
 }

@@ -39,7 +39,34 @@ int thread_count();
 /// default.  Not safe to call concurrently with running loops.
 void set_thread_count(int n);
 
+/// Process-wide pool scheduling counters (monotone).  These make scheduling
+/// degradation observable: a lapxd executor that loses the pool to a
+/// concurrent job runs its loop inline on its own thread -- correct (chunk
+/// boundaries depend on n alone) but single-threaded, so E15/E19 and the
+/// stress tests can watch `jobs_inline_contended` to assert the degradation
+/// stays bounded.
+struct PoolStats {
+  std::uint64_t jobs_coordinated = 0;      ///< ran on the worker pool
+  std::uint64_t jobs_serial = 0;           ///< 1 thread or 1 chunk: inline
+  std::uint64_t jobs_inline_nested = 0;    ///< nested loop: inline by design
+  std::uint64_t jobs_inline_contended = 0; ///< lost the pool: degraded inline
+  std::uint64_t contended_acquires = 0;    ///< lost once, won after retries
+};
+PoolStats pool_stats();
+
 namespace detail {
+
+/// Parses a base-10 integer with full consumption and range check: returns
+/// true and writes *out only when `s` is wholly an integer in [lo, hi].
+/// Leading/trailing whitespace, trailing junk ("8x"), empty strings and
+/// out-of-range values all return false.  Shared by LAPX_THREADS and the
+/// LAPXD_* environment parsers so malformed values fail loudly instead of
+/// being silently truncated by atoi.
+bool parse_env_int(const char* s, long long lo, long long hi, long long* out);
+
+/// True while the calling thread is executing chunks of a pool job (such a
+/// thread must run further parallel constructs inline).
+bool in_parallel();
 
 /// Executes fn(0) .. fn(chunks-1) on the pool (or inline when the pool is
 /// serial / the call is nested).  Blocks until all chunks completed; the

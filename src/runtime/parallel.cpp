@@ -1,20 +1,61 @@
 #include "lapx/runtime/parallel.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "lapx/runtime/worklist.hpp"
+
 namespace lapx::runtime {
+
+namespace detail {
+
+bool parse_env_int(const char* s, long long lo, long long hi, long long* out) {
+  if (!s || !*s) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  if (v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace detail
 
 namespace {
 
+// Pause instruction for spin loops; yields every so often so oversubscribed
+// configurations (more spinners than cores) still make progress.
+inline void spin_pause(int i) {
+  if ((i & 63) == 63) {
+    std::this_thread::yield();
+    return;
+  }
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
 int default_threads() {
   if (const char* s = std::getenv("LAPX_THREADS")) {
-    const int v = std::atoi(s);
-    if (v >= 1) return v;
+    long long v = 0;
+    if (detail::parse_env_int(s, 1, 1024, &v)) return static_cast<int>(v);
+    std::fprintf(stderr,
+                 "lapx: ignoring invalid LAPX_THREADS=\"%s\" (expected an "
+                 "integer in [1, 1024]); falling back to hardware "
+                 "concurrency\n",
+                 s);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -24,6 +65,15 @@ int default_threads() {
 // parallel loops on such a thread run inline instead of re-entering the
 // pool (which would deadlock waiting for workers busy in the outer job).
 thread_local bool in_parallel_region = false;
+
+struct StatCounters {
+  std::atomic<std::uint64_t> coordinated{0};
+  std::atomic<std::uint64_t> serial{0};
+  std::atomic<std::uint64_t> inline_nested{0};
+  std::atomic<std::uint64_t> inline_contended{0};
+  std::atomic<std::uint64_t> contended_acquires{0};
+};
+StatCounters g_stats;
 
 class Pool {
  public:
@@ -42,21 +92,35 @@ class Pool {
     const int want = static_cast<int>(
         std::min<std::int64_t>(threads(), chunks));
     if (want <= 1 || in_parallel_region) {
+      (in_parallel_region ? g_stats.inline_nested : g_stats.serial)
+          .fetch_add(1, std::memory_order_relaxed);
       for (std::int64_t c = 0; c < chunks; ++c) fn(c);
       return;
     }
     // The pool coordinates one job at a time (fn_/chunks_/next_ are a
     // single broadcast slot).  Concurrent callers -- lapxd executors
     // computing independent requests -- must not stomp an active job, so
-    // only one caller becomes the coordinator; the rest degrade to inline
-    // execution on their own thread.  Results are unaffected: chunk
-    // boundaries depend on n alone and inline execution walks the same
-    // chunk sequence, so this is a scheduling choice, not a semantic one.
+    // only one caller becomes the coordinator; the rest retry briefly and
+    // then degrade to inline execution on their own thread.  Results are
+    // unaffected: chunk boundaries depend on n alone and inline execution
+    // walks the same chunk sequence, so this is a scheduling choice, not a
+    // semantic one -- but it is a *visible* one: jobs_inline_contended in
+    // pool_stats() counts every degradation so benches and the scheduler
+    // stress test can assert it stays bounded.
     std::unique_lock<std::mutex> job(job_mu_, std::try_to_lock);
     if (!job.owns_lock()) {
-      for (std::int64_t c = 0; c < chunks; ++c) fn(c);
-      return;
+      for (int i = 0; i < kAcquireRetries && !job.owns_lock(); ++i) {
+        spin_pause(i);
+        (void)job.try_lock();
+      }
+      if (!job.owns_lock()) {
+        g_stats.inline_contended.fetch_add(1, std::memory_order_relaxed);
+        for (std::int64_t c = 0; c < chunks; ++c) fn(c);
+        return;
+      }
+      g_stats.contended_acquires.fetch_add(1, std::memory_order_relaxed);
     }
+    g_stats.coordinated.fetch_add(1, std::memory_order_relaxed);
     ensure_workers(want - 1);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -64,13 +128,13 @@ class Pool {
       chunks_ = chunks;
       next_.store(0, std::memory_order_relaxed);
       error_ = nullptr;
-      ++generation_;
+      joined_ = 0;
+      left_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
     }
     cv_.notify_all();
     drain(fn);  // the calling thread participates
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return running_ == 0; });
-    fn_ = nullptr;
+    wait_workers();
     if (error_) {
       std::exception_ptr e = error_;
       error_ = nullptr;
@@ -81,10 +145,22 @@ class Pool {
  private:
   Pool() = default;
 
+  static constexpr int kAcquireRetries = 64;
+  static constexpr int kWorkerSpins = 2048;    // pre-sleep pickup window
+  static constexpr int kCoordinatorSpins = 4096;
+
   void ensure_workers(int n) {
     std::lock_guard<std::mutex> lock(mu_);
-    while (static_cast<int>(workers_.size()) < n)
-      workers_.emplace_back([this] { worker_loop(); });
+    if (static_cast<int>(workers_.size()) < n) {
+      // Grow the arrival tree first: no job is active here (the caller
+      // holds job_mu_ and the previous job fully completed), so no thread
+      // touches the old tree concurrently.
+      tree_ = std::make_unique<detail::ArrivalTree>(n);
+      while (static_cast<int>(workers_.size()) < n) {
+        const int slot = static_cast<int>(workers_.size());
+        workers_.emplace_back([this, slot] { worker_loop(slot); });
+      }
+    }
   }
 
   void drain(const std::function<void(std::int64_t)>& fn) {
@@ -102,19 +178,63 @@ class Pool {
     in_parallel_region = false;
   }
 
-  void worker_loop() {
-    std::uint64_t seen = 0;
+  // Round barrier, completion side.  Workers arrive through the lock-free
+  // combining tree (leaf line each, root line once per subtree); the
+  // coordinator spins on the root with backoff and only then parks on the
+  // condvar.  Because a join's upward propagation can transiently zero the
+  // root (worklist.hpp), quiescence is always revalidated against the
+  // exact joined/left counts under mu_ before the job is declared over --
+  // the same serialization that keeps late-waking workers from joining a
+  // finished job (they recheck fn_ under mu_).
+  void wait_workers() {
+    for (int i = 0; i < kCoordinatorSpins; ++i) {
+      if (!tree_ || tree_->quiescent()) break;
+      spin_pause(i);
+    }
     std::unique_lock<std::mutex> lock(mu_);
+    if (joined_ != left_.load(std::memory_order_acquire)) {
+      parked_ = true;
+      done_cv_.wait(lock, [&] {
+        return joined_ == left_.load(std::memory_order_acquire);
+      });
+      parked_ = false;
+    }
+    fn_ = nullptr;
+  }
+
+  void worker_loop(int slot) {
+    std::uint64_t seen = 0;
     while (true) {
-      cv_.wait(lock, [&] { return generation_ != seen; });
-      seen = generation_;
-      if (!fn_) continue;  // job already finished before we woke
-      const std::function<void(std::int64_t)>* fn = fn_;
-      ++running_;
-      lock.unlock();
+      // Spin-then-sleep pickup: round-heavy callers (the refinement
+      // engine) publish the next job microseconds after the last one, so
+      // a short spin on the atomic generation dodges the condvar syscall
+      // on the hot path; idle workers still sleep.
+      for (int i = 0; i < kWorkerSpins; ++i) {
+        if (generation_.load(std::memory_order_acquire) != seen) break;
+        spin_pause(i);
+      }
+      const std::function<void(std::int64_t)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return generation_.load(std::memory_order_relaxed) != seen;
+        });
+        seen = generation_.load(std::memory_order_relaxed);
+        if (!fn_) continue;  // job already finished before we woke
+        fn = fn_;
+        ++joined_;
+        tree_->join(slot);
+      }
       drain(*fn);
-      lock.lock();
-      if (--running_ == 0) done_cv_.notify_one();
+      // leave() strictly precedes the left_ increment: once the
+      // coordinator validates joined_ == left_, no worker can still be
+      // inside the tree, so ensure_workers may safely replace it.
+      const bool root_zero = tree_->leave(slot);
+      left_.fetch_add(1, std::memory_order_release);
+      if (root_zero) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (parked_) done_cv_.notify_one();
+      }
     }
   }
 
@@ -122,8 +242,11 @@ class Pool {
   std::mutex mu_;
   std::condition_variable cv_, done_cv_;
   std::vector<std::thread> workers_;
-  std::uint64_t generation_ = 0;
-  int running_ = 0;
+  std::unique_ptr<detail::ArrivalTree> tree_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::uint64_t joined_ = 0;              // guarded by mu_
+  std::atomic<std::uint64_t> left_{0};
+  bool parked_ = false;                   // guarded by mu_
   const std::function<void(std::int64_t)>* fn_ = nullptr;
   std::int64_t chunks_ = 0;
   std::atomic<std::int64_t> next_{0};
@@ -137,12 +260,27 @@ int thread_count() { return Pool::instance().threads(); }
 
 void set_thread_count(int n) { Pool::instance().set_threads(n); }
 
+PoolStats pool_stats() {
+  PoolStats s;
+  s.jobs_coordinated = g_stats.coordinated.load(std::memory_order_relaxed);
+  s.jobs_serial = g_stats.serial.load(std::memory_order_relaxed);
+  s.jobs_inline_nested =
+      g_stats.inline_nested.load(std::memory_order_relaxed);
+  s.jobs_inline_contended =
+      g_stats.inline_contended.load(std::memory_order_relaxed);
+  s.contended_acquires =
+      g_stats.contended_acquires.load(std::memory_order_relaxed);
+  return s;
+}
+
 namespace detail {
 
 void run_chunks(std::int64_t chunks,
                 const std::function<void(std::int64_t)>& fn) {
   Pool::instance().run(chunks, fn);
 }
+
+bool in_parallel() { return in_parallel_region; }
 
 }  // namespace detail
 

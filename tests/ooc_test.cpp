@@ -252,6 +252,51 @@ TEST(OocRefine, StreamingMatchesInMemoryUnderEvictionPressure) {
                                     res.budget_bytes, std::size_t{256} << 10));
 }
 
+TEST(OocRefine, MadviseFailureIsCountedAndAccountingStaysHonest) {
+  // Inject kernel refusals into every madvise the residency manager
+  // issues: evictions must still be recorded, the refusals must surface in
+  // madvise_failures / unreleased_bytes (the old code discarded the return
+  // value, so resident_bytes silently undercounted the real footprint),
+  // and the refined TypeIds must be unaffected -- eviction is advisory.
+  TempDir dir;
+  const std::string path = dir.path + "/big.lapxooc";
+  const LDigraph ld = lifted_torus_ld(800, 9);
+  lapx::graph::write_ooc_graph(path, ld);
+  lapx::graph::testing::ooc_fail_madvise.store(1 << 20);
+  OocGraph::Options opt;
+  opt.budget_bytes = std::size_t{256} << 10;
+  const OocGraph g(path, opt);
+  TypeInterner interner;
+  RefineState mem(ld, interner);
+  RefineState stream(g, interner);
+  EXPECT_EQ(stream.types_at(2), mem.types_at(2));
+  lapx::graph::testing::ooc_fail_madvise.store(0);
+  const auto res = g.residency();
+  EXPECT_GT(res.evictions, 0u);
+  EXPECT_GT(res.madvise_failures, 0u)
+      << "injected refusals never surfaced in the stats";
+  EXPECT_GT(res.unreleased_bytes, 0u);
+  EXPECT_LE(res.resident_bytes,
+            std::max<std::uint64_t>(res.budget_bytes, std::size_t{256} << 10));
+}
+
+TEST(OocRefine, CleanEvictionsReportNoFailures) {
+  TempDir dir;
+  const std::string path = dir.path + "/big.lapxooc";
+  const LDigraph ld = lifted_torus_ld(800, 9);
+  lapx::graph::write_ooc_graph(path, ld);
+  OocGraph::Options opt;
+  opt.budget_bytes = std::size_t{256} << 10;
+  const OocGraph g(path, opt);
+  TypeInterner interner;
+  RefineState stream(g, interner);
+  stream.types_at(2);
+  const auto res = g.residency();
+  EXPECT_GT(res.evictions, 0u);
+  EXPECT_EQ(res.madvise_failures, 0u);
+  EXPECT_EQ(res.unreleased_bytes, 0u);
+}
+
 TEST(OocRefine, UnlimitedBudgetNeverEvicts) {
   TempDir dir;
   const std::string path = dir.path + "/g.lapxooc";

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 
 #include "lapx/algorithms/cole_vishkin.hpp"
@@ -13,6 +14,7 @@
 #include "lapx/graph/port_numbering.hpp"
 #include "lapx/runtime/engine.hpp"
 #include "lapx/runtime/gather.hpp"
+#include "lapx/runtime/parallel.hpp"
 
 namespace {
 
@@ -179,6 +181,46 @@ TEST(RunPoViaMessages, EqualsOracleEvaluation) {
           << "which=" << which << " r=" << r;
     }
   }
+}
+
+// Shared environment-integer parser (runtime/parallel.hpp): the strict
+// replacement for the atoi calls that silently truncated LAPX_THREADS=8x
+// to 8.  Full consumption, range check, no partial writes on failure.
+TEST(ParseEnvInt, AcceptsExactIntegersInRange) {
+  long long v = -1;
+  EXPECT_TRUE(detail::parse_env_int("8", 1, 1024, &v));
+  EXPECT_EQ(v, 8);
+  EXPECT_TRUE(detail::parse_env_int("1", 1, 1024, &v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(detail::parse_env_int("1024", 1, 1024, &v));
+  EXPECT_EQ(v, 1024);
+  EXPECT_TRUE(detail::parse_env_int("-3", -10, 10, &v));
+  EXPECT_EQ(v, -3);
+  EXPECT_TRUE(detail::parse_env_int("0", 0, 0, &v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(ParseEnvInt, RejectsJunkWithoutWriting) {
+  const auto rejected = [](const char* s, long long lo, long long hi) {
+    long long v = 12345;  // sentinel: must be untouched on failure
+    const bool ok = detail::parse_env_int(s, lo, hi, &v);
+    EXPECT_EQ(v, 12345) << "parse_env_int wrote on failure for \"" << s
+                        << "\"";
+    return ok;
+  };
+  EXPECT_FALSE(rejected("8x", 1, 1024));     // trailing junk
+  EXPECT_FALSE(rejected("x8", 1, 1024));     // leading junk
+  EXPECT_FALSE(rejected("", 1, 1024));       // empty
+  EXPECT_FALSE(rejected(nullptr, 1, 1024));  // unset
+  EXPECT_FALSE(rejected("8 ", 1, 1024));     // trailing space
+  EXPECT_FALSE(rejected("2.5", 1, 1024));    // not an integer
+  EXPECT_FALSE(rejected("1e3", 1, 1024));    // no scientific notation
+  EXPECT_FALSE(rejected("0x10", 1, 1024));   // no hex
+  EXPECT_FALSE(rejected("0", 1, 1024));      // below range
+  EXPECT_FALSE(rejected("1025", 1, 1024));   // above range
+  EXPECT_FALSE(rejected("99999999999999999999", 1,  // overflows long long
+                        std::numeric_limits<long long>::max()));
+  EXPECT_FALSE(rejected("-1", 0, 10));
 }
 
 TEST(RunPoViaMessages, ReconstructedViewsAreExact) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "lapx/core/interner.hpp"
+#include "lapx/runtime/parallel.hpp"
 #include "lapx/service/scheduler.hpp"
 
 namespace {
@@ -146,6 +147,54 @@ TEST(SchedulerStress, ProducersAgainstFourExecutors) {
     EXPECT_EQ(s.executed, s.completed);
     EXPECT_GT(s.coalesced, 0u) << "mix never coalesced; stress is too weak";
   }  // ~BatchScheduler joins cleanly with nothing in flight
+}
+
+TEST(SchedulerStress, PoolContentionDegradesBoundedAndVisible) {
+  // Concurrent parallel_for callers (the shape lapxd executors produce)
+  // must each compute correct results, with every job accounted for in
+  // pool_stats() -- coordinated on the pool or *visibly* degraded inline,
+  // never silently lost.  Degradation also cannot be total: a caller only
+  // degrades while another holds the pool and is itself coordinating, so
+  // at least one job per contention window runs on the workers.
+  const int old_threads = lapx::runtime::thread_count();
+  lapx::runtime::set_thread_count(8);
+  constexpr int kCallers = 4;
+  constexpr int kJobsPerCaller = 50;
+  constexpr std::int64_t kN = 4096;
+  const auto before = lapx::runtime::pool_stats();
+  std::atomic<std::uint64_t> wrong{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      std::vector<std::uint32_t> slot(static_cast<std::size_t>(kN));
+      for (int j = 0; j < kJobsPerCaller; ++j) {
+        const auto expect = [j](std::int64_t i) {
+          return static_cast<std::uint32_t>(i) * 2654435761u +
+                 static_cast<std::uint32_t>(j);
+        };
+        lapx::runtime::parallel_for(kN, [&](std::int64_t i) {
+          slot[static_cast<std::size_t>(i)] = expect(i);
+        });
+        for (std::int64_t i = 0; i < kN; ++i)
+          if (slot[static_cast<std::size_t>(i)] != expect(i))
+            wrong.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  const auto after = lapx::runtime::pool_stats();
+  lapx::runtime::set_thread_count(old_threads);
+  EXPECT_EQ(wrong.load(), 0u);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kCallers) * kJobsPerCaller;
+  const std::uint64_t accounted =
+      (after.jobs_coordinated - before.jobs_coordinated) +
+      (after.jobs_serial - before.jobs_serial) +
+      (after.jobs_inline_nested - before.jobs_inline_nested) +
+      (after.jobs_inline_contended - before.jobs_inline_contended);
+  EXPECT_EQ(accounted, total) << "pool job went unaccounted";
+  EXPECT_GE(after.jobs_coordinated, before.jobs_coordinated + 1)
+      << "every job degraded inline; the pool was never used";
 }
 
 TEST(SchedulerStress, ConservationHoldsAcrossShutdownRace) {

@@ -20,8 +20,10 @@
 //             eds-greedy
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage (missing/unknown
-// subcommand), 3 bad argument or malformed input, 4 service error (`call`
-// reached the daemon but at least one response line had "ok":false).
+// subcommand), 3 bad argument or malformed input (prints the usage block),
+// 4 service error (`call` reached the daemon but at least one response
+// line had "ok":false).  Malformed LAPXD_* environment values never abort:
+// they warn on stderr and fall back to the documented default.
 
 #include <unistd.h>
 
@@ -30,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <numeric>
 #include <random>
 #include <string>
@@ -96,9 +99,32 @@ int usage() {
   return kExitUsage;
 }
 
+// Checked numeric argv parsing: every number the CLI accepts goes through
+// here (never raw std::stoi, whose exceptions carry no context -- and which
+// the old code could even call on argv[i] PAST argc, dereferencing null).
+// Malformed values throw invalid_argument; main() prints the message plus
+// the usage block and exits kExitBadArg (3).
+long long int_arg(const char* s, const std::string& what, long long lo,
+                  long long hi) {
+  long long v = 0;
+  if (!runtime::detail::parse_env_int(s, lo, hi, &v))
+    throw std::invalid_argument("bad " + what + ": \"" + s +
+                                "\" (expected an integer in [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "])");
+  return v;
+}
+
 graph::Graph make_graph(int argc, char** argv) {
   const std::string family = argv[0];
-  auto arg = [&](int i) { return std::stoi(argv[i]); };
+  auto arg = [&](int i) {
+    if (i >= argc)
+      throw std::invalid_argument("family " + family +
+                                  " needs more arguments");
+    return static_cast<int>(
+        int_arg(argv[i], family + " argument " + std::to_string(i), 0,
+                1 << 30));
+  };
   if (family == "cycle") return graph::cycle(arg(1));
   if (family == "path") return graph::path(arg(1));
   if (family == "complete") return graph::complete(arg(1));
@@ -114,7 +140,10 @@ graph::Graph make_graph(int argc, char** argv) {
   if (family == "lift")
     return graph::lifted_torus(
         arg(1), arg(2), arg(3),
-        argc > 4 ? static_cast<std::uint64_t>(std::stoll(argv[4])) : 1);
+        argc > 4 ? static_cast<std::uint64_t>(int_arg(
+                       argv[4], "lift seed", 0,
+                       std::numeric_limits<long long>::max()))
+                 : 1);
   throw std::invalid_argument("unknown family: " + family);
 }
 
@@ -238,12 +267,13 @@ int cmd_graph_convert(int argc, char** argv) {
     } else if (flag == "--lift") {
       if (i + 1 >= argc)
         throw std::invalid_argument("flag needs a value: --lift");
-      lift = std::stoi(argv[++i]);
-      if (lift < 1) throw std::invalid_argument("--lift must be >= 1");
+      lift = static_cast<int>(int_arg(argv[++i], "--lift", 1, 1 << 20));
     } else if (flag == "--seed") {
       if (i + 1 >= argc)
         throw std::invalid_argument("flag needs a value: --seed");
-      seed = static_cast<std::uint64_t>(std::stoull(argv[++i]));
+      seed = static_cast<std::uint64_t>(
+          int_arg(argv[++i], "--seed", 0,
+                  std::numeric_limits<long long>::max()));
     } else if (flag == "--family") {
       // The family spec runs to the next flag: `--family torus 3 3`.
       while (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
@@ -401,29 +431,35 @@ int cmd_serve(int argc, char** argv) {
   int shard_worker = -1; // >= 0: run as spawned worker <index>
   int shard_count = 1;
   long long threads = 0;
-  // LAPXD_EXECUTORS seeds the executor count; --executors overrides it.
-  if (const char* env = std::getenv("LAPXD_EXECUTORS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) sopt.scheduler.executors = v;
-  }
+  // LAPXD_* environment seeds.  atoi silently truncated junk ("8x" ran 8
+  // executors, "banana" ran 0 and was ignored without a trace); malformed
+  // values now warn on stderr and fall back to the documented default so a
+  // typo'd deployment is visible in the service log instead of quietly
+  // changing topology.  --executors / --shards / --ooc-budget-mb override.
+  auto env_int = [](const char* name, long long lo, long long hi,
+                    long long* out) {
+    const char* env = std::getenv(name);
+    if (env == nullptr) return false;
+    if (runtime::detail::parse_env_int(env, lo, hi, out)) return true;
+    std::fprintf(stderr,
+                 "lapxd: ignoring invalid %s=\"%s\" (expected an integer in "
+                 "[%lld, %lld]); using the default\n",
+                 name, env, lo, hi);
+    return false;
+  };
+  long long env_v = 0;
+  if (env_int("LAPXD_EXECUTORS", 1, 4096, &env_v))
+    sopt.scheduler.executors = static_cast<int>(env_v);
   // LAPXD_CACHE_DIR seeds the persistence dir; --cache-dir overrides it.
   if (const char* env = std::getenv("LAPXD_CACHE_DIR")) sopt.cache_dir = env;
-  // LAPXD_SHARDS seeds the shard count; --shards overrides it.
-  if (const char* env = std::getenv("LAPXD_SHARDS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) shards = v;
-  }
-  // LAPXD_OOC_BUDGET_MB seeds the out-of-core residency budget;
-  // --ooc-budget-mb overrides it.  0 means unlimited (never evict).
-  if (const char* env = std::getenv("LAPXD_OOC_BUDGET_MB")) {
-    const long long v = std::atoll(env);
-    if (v >= 0)
-      sopt.store.ooc_budget_bytes = static_cast<std::size_t>(v) << 20;
-  }
+  if (env_int("LAPXD_SHARDS", 1, 1024, &env_v))
+    shards = static_cast<int>(env_v);
+  // 0 means unlimited (never evict).
+  if (env_int("LAPXD_OOC_BUDGET_MB", 0, 1LL << 40, &env_v))
+    sopt.store.ooc_budget_bytes = static_cast<std::size_t>(env_v) << 20;
   auto int_flag = [&](const char* value) {
-    const long long v = std::stoll(value);
-    if (v < 0) throw std::invalid_argument("flag value must be >= 0");
-    return v;
+    return int_arg(value, "flag value", 0,
+                   std::numeric_limits<long long>::max());
   };
   for (int i = 0; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -578,7 +614,10 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "homogeneity")
-      return cmd_homogeneity(g, argc > 2 ? std::stoi(argv[2]) : 1);
+      return cmd_homogeneity(
+          g, argc > 2 ? static_cast<int>(
+                            int_arg(argv[2], "homogeneity radius", 0, 1 << 20))
+                      : 1);
     if (cmd == "fractional") return cmd_fractional(g);
     if (cmd == "optimum") {
       if (argc < 3) return usage();
@@ -586,13 +625,19 @@ int main(int argc, char** argv) {
     }
     if (cmd == "run") {
       if (argc < 3) return usage();
-      return cmd_run(g, argv[2], argc > 3 ? std::stoi(argv[3]) : 0);
+      return cmd_run(
+          g, argv[2],
+          argc > 3
+              ? static_cast<int>(int_arg(argv[3], "run radius", 0, 1 << 20))
+              : 0);
     }
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    usage();
     return kExitBadArg;
   } catch (const std::out_of_range& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    usage();
     return kExitBadArg;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
