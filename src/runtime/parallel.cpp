@@ -1,6 +1,7 @@
 #include "lapx/runtime/parallel.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <condition_variable>
 #include <cstdio>
@@ -18,6 +19,9 @@ namespace detail {
 
 bool parse_env_int(const char* s, long long lo, long long hi, long long* out) {
   if (!s || !*s) return false;
+  // strtoll silently skips leading whitespace; the contract is full
+  // consumption, so " 8" must fail the same way "8 " does.
+  if (std::isspace(static_cast<unsigned char>(*s))) return false;
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(s, &end, 10);
@@ -128,7 +132,7 @@ class Pool {
       chunks_ = chunks;
       next_.store(0, std::memory_order_relaxed);
       error_ = nullptr;
-      joined_ = 0;
+      joined_.store(0, std::memory_order_relaxed);
       left_.store(0, std::memory_order_relaxed);
       generation_.fetch_add(1, std::memory_order_release);
     }
@@ -192,10 +196,12 @@ class Pool {
       spin_pause(i);
     }
     std::unique_lock<std::mutex> lock(mu_);
-    if (joined_ != left_.load(std::memory_order_acquire)) {
+    if (joined_.load(std::memory_order_relaxed) !=
+        left_.load(std::memory_order_relaxed)) {
       parked_ = true;
       done_cv_.wait(lock, [&] {
-        return joined_ == left_.load(std::memory_order_acquire);
+        return joined_.load(std::memory_order_relaxed) ==
+               left_.load(std::memory_order_relaxed);
       });
       parked_ = false;
     }
@@ -222,18 +228,33 @@ class Pool {
         seen = generation_.load(std::memory_order_relaxed);
         if (!fn_) continue;  // job already finished before we woke
         fn = fn_;
-        ++joined_;
+        joined_.fetch_add(1, std::memory_order_relaxed);
         tree_->join(slot);
       }
       drain(*fn);
       // leave() strictly precedes the left_ increment: once the
       // coordinator validates joined_ == left_, no worker can still be
       // inside the tree, so ensure_workers may safely replace it.
+      //
+      // Wakeup rule: root_zero alone is NOT a reliable "I was last" signal
+      // -- the tree can reach zero under a worker that is not the last to
+      // increment left_ (decrement order and left_ order are independent),
+      // and a worker whose decrement saw a non-zero root would then skip
+      // the notify forever.  So it is only a fast-path filter: in addition,
+      // any worker whose increment makes left_ catch up to joined_ takes
+      // the lock.  The acq_rel RMW on left_ chains all leavers, so the
+      // worker that completes the round observes the final joined_ value
+      // (every join is sequenced before that joiner's own leave), locks,
+      // and notifies; the predicate is still revalidated under mu_, so a
+      // stale-joined_ spurious notify is harmless.
       const bool root_zero = tree_->leave(slot);
-      left_.fetch_add(1, std::memory_order_release);
-      if (root_zero) {
+      const std::uint64_t nleft =
+          left_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (root_zero || nleft == joined_.load(std::memory_order_acquire)) {
         std::lock_guard<std::mutex> lock(mu_);
-        if (parked_) done_cv_.notify_one();
+        if (parked_ && joined_.load(std::memory_order_relaxed) ==
+                           left_.load(std::memory_order_relaxed))
+          done_cv_.notify_one();
       }
     }
   }
@@ -244,7 +265,7 @@ class Pool {
   std::vector<std::thread> workers_;
   std::unique_ptr<detail::ArrivalTree> tree_;
   std::atomic<std::uint64_t> generation_{0};
-  std::uint64_t joined_ = 0;              // guarded by mu_
+  std::atomic<std::uint64_t> joined_{0};  // modified under mu_ only
   std::atomic<std::uint64_t> left_{0};
   bool parked_ = false;                   // guarded by mu_
   const std::function<void(std::int64_t)>* fn_ = nullptr;

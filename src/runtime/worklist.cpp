@@ -140,20 +140,26 @@ void for_each_index(std::span<const std::uint32_t> items,
     }
     while (true) {
       std::int64_t c = -1;
+      int victim = -1;
       // Randomized victim probes...
       for (int probe = 0; probe < p_count && c < 0; ++probe) {
         const int v = static_cast<int>(next_rand(rng) %
                                        static_cast<std::uint64_t>(p_count));
         c = claim(queues[static_cast<std::size_t>(v)]);
+        if (c >= 0) victim = v;
       }
       // ...then an exact sweep: queues only drain, so a sweep that finds
       // every queue empty proves no chunk is left to claim.
-      for (int v = 0; v < p_count && c < 0; ++v)
+      for (int v = 0; v < p_count && c < 0; ++v) {
         c = claim(queues[static_cast<std::size_t>(v)]);
+        if (c >= 0) victim = v;
+      }
       if (c < 0) break;
       run_chunk(c);
       ++ran;
-      ++stolen;
+      // A claim from the participant's own queue (possible in both the
+      // randomized probes and the sweep) is not a steal.
+      if (victim != p) ++stolen;
     }
     g_wl.chunks.fetch_add(ran, std::memory_order_relaxed);
     g_wl.steals.fetch_add(stolen, std::memory_order_relaxed);

@@ -213,6 +213,9 @@ TEST(ParseEnvInt, RejectsJunkWithoutWriting) {
   EXPECT_FALSE(rejected("", 1, 1024));       // empty
   EXPECT_FALSE(rejected(nullptr, 1, 1024));  // unset
   EXPECT_FALSE(rejected("8 ", 1, 1024));     // trailing space
+  EXPECT_FALSE(rejected(" 8", 1, 1024));     // leading space
+  EXPECT_FALSE(rejected("\t8", 1, 1024));    // leading tab
+  EXPECT_FALSE(rejected(" ", 1, 1024));      // whitespace only
   EXPECT_FALSE(rejected("2.5", 1, 1024));    // not an integer
   EXPECT_FALSE(rejected("1e3", 1, 1024));    // no scientific notation
   EXPECT_FALSE(rejected("0x10", 1, 1024));   // no hex
