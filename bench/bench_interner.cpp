@@ -1,0 +1,237 @@
+// E21 -- the sharded TypeInterner's concurrent hit path.  Refinement rounds
+// re-derive mostly-unchanged node tuples, so the interner's dominant
+// operation is a lookup of an already-interned key from many threads at
+// once.  The sharded table resolves those with atomic loads only (no lock,
+// no allocation; see DESIGN.md, "Sharded interner & batched id
+// assignment"), which is what lets Phase A of the refinement engine's
+// two-phase pattern fan out across LAPX_THREADS.  The table measures
+// hit-path throughput scaling with raw std::thread workers (not the pool:
+// the subject is the interner), and the batched-miss microbench times the
+// two-phase pattern itself against a fully serial interning pass while
+// asserting both allocate byte-identical ids.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lapx/core/interner.hpp"
+
+namespace {
+
+using namespace lapx;
+using core::TypeId;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+constexpr std::size_t kUniverse = 1u << 15;      // distinct node keys
+constexpr std::size_t kLookupsPerThread = 1u << 18;
+
+// Interns the bench universe: kUniverse single-child view nodes with
+// synthetic child ids.  Deterministic, so every interner in the table
+// allocates the identical id sequence.
+std::vector<TypeId> intern_universe(core::TypeInterner& interner) {
+  std::vector<TypeId> ids(kUniverse);
+  for (std::uint32_t i = 0; i < kUniverse; ++i) {
+    const TypeId child = i;
+    ids[i] = interner.intern_node(core::type_tag::kViewNode, &child, 1);
+  }
+  return ids;
+}
+
+void print_hit_path_table() {
+  bench::print_header(
+      "E21: sharded interner hit-path throughput",
+      "already-interned node keys resolve with atomic loads only -- no "
+      "shard mutex, no allocation -- so lookup throughput should scale "
+      "with threads while every thread sees the identical ids");
+
+  core::TypeInterner interner;  // default shards (LAPX_INTERN_SHARDS)
+  const std::vector<TypeId> ids = intern_universe(interner);
+
+  // Per-thread probe order: distinct deterministic shuffles, so threads
+  // collide on slots and memo lines the way refinement workers do.
+  std::vector<std::vector<std::uint32_t>> orders;
+  for (int t = 0; t < 8; ++t) {
+    std::vector<std::uint32_t> order(kUniverse);
+    for (std::uint32_t i = 0; i < kUniverse; ++i) order[i] = i;
+    std::mt19937_64 rng(211 + t);
+    std::shuffle(order.begin(), order.end(), rng);
+    orders.push_back(std::move(order));
+  }
+
+  bench::print_row({"threads", "time s", "Mlookups/s", "scaling", "ids ok"});
+  double throughput_1t = 0.0, throughput_8t = 0.0;
+  bool all_ok = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::atomic<bool> start{false};
+    std::atomic<int> ready{0};
+    std::atomic<bool> ok{true};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::vector<std::uint32_t>& order = orders[t];
+        ready.fetch_add(1);
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        bool mine = true;
+        for (std::size_t i = 0; i < kLookupsPerThread; ++i) {
+          const std::uint32_t x = order[i & (kUniverse - 1)];
+          const TypeId child = x;
+          const TypeId got = interner.try_intern_node(
+              core::type_tag::kViewNode, &child, 1);
+          mine &= got == ids[x];
+        }
+        if (!mine) ok.store(false);
+      });
+    }
+    while (ready.load() != threads) {
+    }
+    bench::phase("hit_path_lookups");
+    const auto t0 = std::chrono::steady_clock::now();
+    start.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    const double s = seconds_since(t0);
+    const double throughput =
+        s > 0 ? static_cast<double>(threads) * kLookupsPerThread / s : 0.0;
+    if (threads == 1) throughput_1t = throughput;
+    if (threads == 8) throughput_8t = throughput;
+    all_ok = all_ok && ok.load();
+    bench::print_row(
+        {std::to_string(threads), bench::fmt(s, 3),
+         bench::fmt(throughput / 1e6, 1),
+         bench::fmt(throughput_1t > 0 ? throughput / throughput_1t : 0.0, 2) +
+             "x",
+         ok.load() ? "yes" : "NO"});
+  }
+
+  bench::value("interner_universe_distinct",
+               static_cast<double>(interner.size()));
+  bench::check(all_ok,
+               "every concurrent hit-path lookup returned the serially "
+               "interned id at every thread count");
+  // Wall-clock gate: strict only with >= 8 real cores (on fewer cores the
+  // extra threads time the OS scheduler, not the table); elsewhere only
+  // require that oversubscription does not fall off a cliff.
+  const bool eight_cores = std::thread::hardware_concurrency() >= 8;
+  const double scaling =
+      throughput_1t > 0 ? throughput_8t / throughput_1t : 0.0;
+  bench::check(eight_cores ? scaling >= 3.0 : scaling >= 0.2,
+               "hit-path lookup throughput scales >= 3x from 1 to 8 "
+               "threads (hardware-gated)");
+}
+
+void print_batched_miss_table() {
+  bench::print_header(
+      "E21b: batched novel-type interning (the two-phase pattern)",
+      "workers probe a round's keys lock-free (all miss on novel keys), "
+      "then one serial pass interns the misses in canonical order -- ids "
+      "must come out byte-identical to a fully serial pass, whatever the "
+      "shard count");
+
+  constexpr std::size_t kRounds = 64;
+  constexpr std::size_t kPerRound = 2048;
+
+  bench::print_row({"shards", "serial s", "two-phase s", "size", "ids equal"});
+  bool all_equal = true;
+  double size_value = 0.0;
+  for (const int shards : {1, 64}) {
+    // Reference: one serial interning pass.
+    core::TypeInterner serial(shards);
+    std::vector<TypeId> serial_ids;
+    bench::phase("miss_serial");
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < kRounds; ++r)
+      for (std::uint32_t i = 0; i < kPerRound; ++i) {
+        const TypeId child = static_cast<TypeId>(r * kPerRound + i);
+        serial_ids.push_back(
+            serial.intern_node(core::type_tag::kViewNode, &child, 1));
+      }
+    const double serial_s = seconds_since(t0);
+
+    // Two-phase: per round, 8 workers probe the round's keys (novel keys
+    // miss; repeat keys resolve), then the serial phase interns what is
+    // still unresolved, in canonical order.
+    core::TypeInterner batched(shards);
+    std::vector<TypeId> batched_ids;
+    std::vector<TypeId> resolved(kPerRound);
+    bench::phase("miss_two_phase");
+    const auto t1 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      std::vector<std::thread> workers;
+      for (int t = 0; t < 8; ++t) {
+        workers.emplace_back([&, t] {
+          for (std::size_t i = t; i < kPerRound; i += 8) {
+            const TypeId child = static_cast<TypeId>(r * kPerRound + i);
+            resolved[i] = batched.try_intern_node(core::type_tag::kViewNode,
+                                                  &child, 1);
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      for (std::size_t i = 0; i < kPerRound; ++i) {
+        const TypeId child = static_cast<TypeId>(r * kPerRound + i);
+        batched_ids.push_back(
+            resolved[i] != core::kNoType
+                ? resolved[i]
+                : batched.intern_node(core::type_tag::kViewNode, &child, 1));
+      }
+    }
+    const double two_phase_s = seconds_since(t1);
+
+    const bool equal =
+        batched_ids == serial_ids && batched.size() == serial.size();
+    all_equal = all_equal && equal;
+    size_value = static_cast<double>(serial.size());
+    bench::print_row({std::to_string(shards), bench::fmt(serial_s, 3),
+                      bench::fmt(two_phase_s, 3),
+                      std::to_string(serial.size()),
+                      equal ? "yes" : "NO"});
+  }
+
+  bench::value("interner_miss_rounds_distinct", size_value);
+  bench::check(all_equal,
+               "two-phase batched interning allocates ids byte-identical "
+               "to a serial pass at shards 1 and 64");
+}
+
+void print_tables() {
+  print_hit_path_table();
+  print_batched_miss_table();
+}
+
+void BM_HitPathLookup(benchmark::State& state) {
+  static core::TypeInterner interner;
+  static const std::vector<TypeId> ids = intern_universe(interner);
+  std::uint32_t x = 0;
+  for (auto _ : state) {
+    const TypeId child = x;
+    benchmark::DoNotOptimize(
+        interner.try_intern_node(core::type_tag::kViewNode, &child, 1));
+    x = (x + 1) & (kUniverse - 1);
+  }
+}
+BENCHMARK(BM_HitPathLookup);
+
+void BM_InternNovel(benchmark::State& state) {
+  core::TypeInterner interner;
+  std::uint32_t x = 0;
+  for (auto _ : state) {
+    const TypeId child = x++;
+    benchmark::DoNotOptimize(
+        interner.intern_node(core::type_tag::kPnNode, &child, 1));
+  }
+}
+BENCHMARK(BM_InternNovel);
+
+}  // namespace
+
+LAPX_BENCH_MAIN(print_tables)

@@ -248,8 +248,8 @@ void print_worklist_table() {
                                                       : 0.0)
                                    : (worklist_1t > 0 ? legacy_1t / worklist_1t
                                                       : 0.0);
-  bench::check(eight_cores ? gated_speedup >= 1.5 : gated_speedup >= 1.2,
-               "worklist >= 1.5x faster than dense rounds on the "
+  bench::check(eight_cores ? gated_speedup >= 1.9 : gated_speedup >= 1.2,
+               "worklist >= 1.9x faster than dense rounds on the "
                "stabilizing workload at 8 threads (hardware-gated)");
 }
 

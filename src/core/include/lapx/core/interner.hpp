@@ -20,29 +20,63 @@
 //    tagged, so they can never collide with flat text encodings (which are
 //    printable) or with each other.
 //
-// The table is thread-safe (shared_mutex, read-mostly) so parallel workers
-// can intern concurrently.  TypeIds are dense in insertion order; code that
-// needs a deterministic id order must intern serially (the parallel
-// consumers instead map ids back to spellings, which are order-free).
+// Concurrency (DESIGN.md, "Sharded interner & batched id assignment").
+// The table is sharded: the key hash, computed once, selects one of N
+// power-of-two shards (LAPX_INTERN_SHARDS, default 64).  The HIT path is
+// lock-free and allocation-free -- node keys are framed in a stack buffer,
+// the shard's open-addressed index is probed with atomic loads, and a
+// per-thread stamped direct-mapped L1 memo short-circuits repeated
+// re-interns (every memo hit is verified byte-for-byte against the stored
+// spelling, so a hash collision can never alias two types).  Only a MISS
+// takes locks: the owning shard's mutex, then a global assignment mutex
+// under which ids are handed out densely in insertion order and the
+// spelling is written.  Sharding therefore never changes WHICH id a key
+// gets -- ids depend only on the order intern calls commit, so a serial
+// interning pass produces identical ids at every shard count.
+//
+// Code that needs a deterministic id order must still intern serially.
+// Parallel consumers either compare ids for equality only (order-free), or
+// use the two-phase batch pattern the refinement engine runs: workers
+// resolve hits with try_intern_node (lock-free, never inserts), recording
+// unresolved keys per index slot, and a serial pass then walks the misses
+// in canonical order and interns them -- so the serial section covers
+// novel types only, not every intern.
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
-#include <shared_mutex>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 
 namespace lapx::core {
 
 /// Dense identifier of an interned canonical type.
 using TypeId = std::uint32_t;
 
-/// Sentinel: no type.
+/// Sentinel: no type.  Never assigned to a key (intern throws first), so
+/// try_intern can use it as its miss value.
 inline constexpr TypeId kNoType = 0xFFFFFFFFu;
+
+namespace detail {
+
+/// Strict LAPX_INTERN_SHARDS parser: true and *out only when `s` is wholly
+/// a base-10 power of two in [1, 1024] (parse_env_int rules: no leading or
+/// trailing junk, no whitespace, no partial writes).  Exposed for tests.
+bool parse_intern_shards(const char* s, int* out);
+
+}  // namespace detail
+
+/// The process default shard count: LAPX_INTERN_SHARDS when set and valid
+/// (a loud one-line warning and the default otherwise), else 64.
+int default_intern_shards();
 
 class TypeInterner {
  public:
-  TypeInterner() = default;
+  /// shards == 0 (the default) uses default_intern_shards(); tests pass an
+  /// explicit power of two in [1, 1024] to pin the layout.
+  explicit TypeInterner(int shards = 0);
+  ~TypeInterner();
   TypeInterner(const TypeInterner&) = delete;
   TypeInterner& operator=(const TypeInterner&) = delete;
 
@@ -57,19 +91,51 @@ class TypeInterner {
     return intern_node(tag, children.begin(), children.size());
   }
 
+  /// Lock-free lookup-only probes: the id if the key is already interned,
+  /// kNoType otherwise.  Never inserts, never locks, never allocates --
+  /// safe to call from parallel workers racing concurrent interns (a
+  /// racing insert may be missed; the caller re-interns serially).
+  TypeId try_intern(std::string_view key) const;
+  TypeId try_intern_node(std::uint64_t tag, const TypeId* children,
+                         std::size_t n) const;
+
   /// The interned key bytes (debug view; structural keys are binary).
+  /// Lock-free: ids are published after their spelling is written.
   const std::string& spelling(TypeId id) const;
 
-  /// Number of distinct types interned so far.
-  std::size_t size() const;
+  /// Number of distinct types interned so far (atomic, no lock).
+  std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  /// Number of shards this instance hashes across (bench introspection).
+  int shard_count() const { return shard_count_; }
 
   /// The process-wide default interner.
   static TypeInterner& global();
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string_view, TypeId> index_;
-  std::deque<std::string> keys_;  // id -> key; deque keeps references stable
+  struct Shard;
+
+  // Spelling storage: geometric slabs (slab k holds 2^(10+k) strings), so
+  // a 22-pointer directory covers the whole 32-bit id space lock-free and
+  // references stay stable forever.  Slabs are allocated under assign_mu_;
+  // readers reach a slab only through ids published after the write.
+  static constexpr int kSlabBase = 10;
+  static constexpr int kMaxSlabs = 23;
+
+  TypeId lookup(std::uint64_t hash, std::string_view key) const;
+  TypeId insert(std::uint64_t hash, std::string_view key);
+  const std::string& spelling_at(TypeId id) const;
+
+  int shard_count_ = 0;
+  int shard_bits_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::mutex assign_mu_;  // serializes id assignment + spelling writes
+  TypeId next_id_ = 0;    // guarded by assign_mu_
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::string*> slabs_[kMaxSlabs] = {};
 };
 
 // Node-tag namespaces for intern_node, one per canonical tree domain.

@@ -23,12 +23,18 @@
 // ViewTree path stays as the debug/witness implementation and the oracle
 // refine_test cross-validates against.
 //
-// Determinism (DESIGN.md "Type refinement"): each round computes the
-// per-step (move, previous-type) entries with the deterministic parallel
-// pool (per-index slots only), then a serial rendezvous pass walks states
-// in index order, deduplicating tuples in a round-local table and interning
-// first occurrences -- so freshly allocated TypeIds depend only on the
-// graph, never on LAPX_THREADS.
+// Determinism (DESIGN.md "Sharded interner & batched id assignment"): each
+// round runs the interner's two-phase batch pattern.  Phase A resolves the
+// round's edge nodes, root bodies, and state tuples with lock-free
+// try_intern_node probes on the deterministic parallel pool (per-index
+// slots only; kNoType marks a miss).  Phase B walks vertices serially in
+// index order and interns exactly the unresolved tuples -- a probe can only
+// resolve a type that is already present, so every intern Phase B skips
+// would have been a hit, and freshly allocated TypeIds land in the same
+// order a fully serial pass would produce: they depend only on the graph,
+// never on LAPX_THREADS or LAPX_INTERN_SHARDS.  Round-local deduplication
+// rides on the ids themselves (the interner is injective on the serialized
+// tuple), via stamped direct-mapped id -> class arrays.
 //
 // Refinement is monotone: equal round-i trees truncate to equal round-(i-1)
 // trees, so the state partition only ever splits.  When a round leaves the
@@ -196,8 +202,31 @@ class RefineState {
 
   // State types of the previous / current round (indexed by step).
   std::vector<TypeId> t_prev_, t_cur_;
-  // Per-round rendezvous scratch: entry[j] = move_bits[j]<<32 | t_prev[succ[j]].
-  std::vector<std::uint64_t> entries_;
+  // Phase A scratch: this round's edge-node id per step, resolved lock-free
+  // (kNoType where the probe missed; Phase B interns those serially).
+  std::vector<TypeId> edge_ids_;
+  // Edge memo: when edge_ids_[j] != kNoType it is the id of the node
+  // (step_edge_tag_[j], edge_sub_[j]).  TypeIds are permanent, so the pair
+  // stays valid across rounds; Phase A re-probes step j only when the
+  // successor state differs from edge_sub_[j].  Rebuilds that change what
+  // step j means (init_round0, refine_delta) reset the memo to kNoType.
+  std::vector<TypeId> edge_sub_;
+
+  // Phase B scratch: round-local dedup of serially interned nodes.  The
+  // serial phase pays the interner once per *distinct* (tag, children)
+  // key per round; duplicates (symmetric regions refine in lockstep)
+  // verify against the arena copy by id compare -- no hash-cons probe, no
+  // spelling access.  A dedup hit is provably an interner hit (its first
+  // occurrence was interned earlier the same round), so skipping the
+  // call cannot perturb id allocation order.
+  struct BatchEntry {
+    std::uint64_t hash, tag;
+    std::uint32_t off, len;
+    TypeId id;
+  };
+  std::vector<BatchEntry> batch_entries_;
+  std::vector<TypeId> batch_arena_;        // children of every entry
+  std::vector<std::uint32_t> batch_slots_; // open-addressed: entry idx + 1
 
   std::vector<std::uint32_t> state_class_;  // stable partition labels
   std::vector<std::uint32_t> state_rep_;    // representative step per class
@@ -235,7 +264,10 @@ class RefineState {
   // round touches the multiset only at changed steps, O(active) instead
   // of O(steps).  Seeded by the dense pass of the preceding track round.
   std::vector<TypeId> body_root_;          // body id -> this round's root id
-  std::vector<std::uint64_t> body_round_;  // stamp guarding body_root_
+  std::vector<std::uint32_t> body_cls_;    // body id -> class (dense pass)
+  std::vector<std::uint64_t> body_round_;  // stamp guarding the two above
+  std::vector<std::uint32_t> id_cls_;      // state id -> class (dense pass)
+  std::vector<std::uint64_t> id_round_;    // stamp guarding id_cls_
   std::uint64_t round_stamp_ = 0;
   std::vector<std::uint32_t> state_count_;  // state id -> multiplicity
   std::size_t live_states_ = 0;             // ids with multiplicity > 0

@@ -5,9 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
-#include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 
 #include "lapx/runtime/parallel.hpp"
@@ -32,31 +30,10 @@ RefineSched initial_sched() {
 
 std::atomic<RefineSched> g_refine_sched{initial_sched()};
 
-// Heterogeneous lookup so the rendezvous table can probe with a
-// string_view over the scratch key and only copy bytes on first occurrence.
-struct BytesHash {
-  using is_transparent = void;
-  std::size_t operator()(std::string_view s) const {
-    return std::hash<std::string_view>{}(s);
-  }
-};
-struct BytesEq {
-  using is_transparent = void;
-  bool operator()(std::string_view a, std::string_view b) const {
-    return a == b;
-  }
-};
-using RendezvousMap =
-    std::unordered_map<std::string, std::uint32_t, BytesHash, BytesEq>;
-
 // root_distinct_ sentinel: refine_delta defers the per-round distinct-root
 // count to the first distinct_at call (counting is O(n log n), the delta
 // itself only O(frontier)).
 constexpr std::size_t kDistinctUnknown = static_cast<std::size_t>(-1);
-
-std::string_view as_bytes(const std::uint64_t* data, std::size_t n) {
-  return {reinterpret_cast<const char*>(data), n * sizeof(std::uint64_t)};
-}
 
 // Index of the step (v, move{outgoing, label}) inside its vertex's span.
 std::uint32_t step_index_of(const graph::LDigraph& g, graph::Vertex v,
@@ -146,7 +123,7 @@ RefineState::RefineState(const LDigraph& g, TypeInterner& interner,
 RefineState::RefineState(const graph::OocGraph& g, TypeInterner& interner)
     : ooc_(&g), n_(g.num_vertices()), interner_(&interner) {
   // Streaming mode: the step CSR lives in the file; only the per-round
-  // state tables (t_prev_/t_cur_/entries_, O(steps) words) stay in RAM.
+  // state tables (t_prev_/t_cur_/edge_ids_, O(steps) words) stay in RAM.
   init_round0();
 }
 
@@ -157,7 +134,8 @@ void RefineState::init_round0() {
   const TypeId empty = interner_->intern_node(type_tag::kViewNode, nullptr, 0);
   t_prev_.assign(steps, empty);
   t_cur_.resize(steps);
-  entries_.resize(steps);
+  edge_ids_.resize(steps);
+  edge_sub_.assign(steps, kNoType);
   state_class_.assign(steps, 0);
   state_rep_.assign(steps ? 1 : 0, 0);
   state_distinct_ = steps ? 1 : 0;
@@ -183,7 +161,6 @@ void RefineState::advance() {
   const std::span<const std::uint32_t> step_vertex = vertex_span();
   const std::span<const std::uint32_t> step_succ = succ_span();
   const std::span<const std::uint64_t> step_edge_tag = tag_span();
-  const std::span<const std::uint32_t> step_move_bits = move_span();
   const int next_radius = radius() + 1;
   const std::uint64_t root_tag =
       type_tag::kViewRoot | static_cast<std::uint32_t>(next_radius);
@@ -191,35 +168,175 @@ void RefineState::advance() {
   // split: this round actually runs it -- the tracking was seeded by a
   // previous full round and at least one vertex retired.  The retirement
   // invariant: a retired vertex had no neighbour state change last round,
-  // so every rendezvous entry of its span is bitwise the previous round's
-  // and its tuples re-derive from cached ids.  The fast paths below skip
-  // only interner calls that are provably cache hits (the structures were
-  // interned when the tuple was first produced), so the interner's
-  // allocation ORDER -- and with it every TypeId -- is identical to the
-  // dense pass; refine_test cross-validates this.
+  // so its round tuples are bitwise the previous round's and its types
+  // re-derive from cached ids.  The fast paths below skip only interner
+  // calls that are provably cache hits (the structures were interned when
+  // the tuple was first produced), so the interner's allocation ORDER --
+  // and with it every TypeId -- is identical to the dense pass;
+  // refine_test cross-validates this.
   const bool track = refine_scheduling() == RefineSched::kWorklist;
   const bool split = track && !states_stable_ && !all_active_ &&
                      active_.size() < static_cast<std::size_t>(n);
 
-  // Rendezvous entry per step against the previous round's state types.
-  // Parallel, per-index slots only -- content is thread-count-independent.
-  // Split rounds recompute only active spans (work-stealing: the active
-  // set is sparse and irregular); retired spans are bitwise current.
-  if (!states_stable_ || !roots_stable_) {
-    const auto fill_entries = [&](Vertex v) {
-      touch_steps(step_off[v], step_off[v + 1]);
-      for (std::uint32_t j = step_off[v]; j < step_off[v + 1]; ++j)
-        entries_[j] = (static_cast<std::uint64_t>(step_move_bits[j]) << 32) |
-                      t_prev_[step_succ[j]];
+  // --- Phase A: lock-free batch resolution (the worker half of the
+  // interner's two-phase pattern).  Every edge node, root body, and state
+  // tuple of the round is probed with try_intern_node -- no locks, no
+  // inserts -- and per-index slots record the id, or kNoType on a miss.  A
+  // probe can only resolve a type that is already interned, so every call
+  // Phase B then skips would have been a hit: the serial section below
+  // interns novel types only, in exactly the order a fully serial pass
+  // would, keeping TypeIds independent of LAPX_THREADS and
+  // LAPX_INTERN_SHARDS.  Split rounds resolve only active spans
+  // (work-stealing: the active set is sparse and irregular); retired spans
+  // re-derive from cached ids and are never probed.
+  const bool need_states = !states_stable_;
+  const bool need_roots = !roots_stable_;
+  if (need_roots) root_body_.resize(static_cast<std::size_t>(n));
+  if (need_states || need_roots) {
+    const auto resolve_span = [&](Vertex v) {
+      const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
+      touch_steps(lo, hi);
+      std::uint32_t unresolved = 0, last = 0;
+      std::uint32_t changed = 0, last_changed = 0;
+      bool probed = false;
+      for (std::uint32_t j = lo; j < hi; ++j) {
+        const TypeId sub = t_prev_[step_succ[j]];
+        TypeId e = edge_ids_[j];
+        if (edge_sub_[j] != sub || e == kNoType) {
+          // Memo miss: the successor state changed since this span's last
+          // visit (or the edge never resolved).  A memo hit needs no probe
+          // at all -- the pair invariant says e is the id of (tag_j, sub).
+          const TypeId got =
+              interner.try_intern_node(step_edge_tag[j], &sub, 1);
+          probed = true;
+          if (got != e) {
+            ++changed;
+            last_changed = j;
+          }
+          e = got;
+          edge_ids_[j] = e;
+          edge_sub_[j] = sub;
+        }
+        if (e == kNoType) {
+          ++unresolved;
+          last = j;
+        }
+      }
+      // Body memo: if no edge re-probed, the body tuple is bitwise the one
+      // at this span's last visit, and root_body_[v] already holds its id
+      // (every visited span writes it, here or in the root pass below).
+      // Empty spans always probe: their root_body_ slot may never have
+      // been written.
+      if (need_roots && (probed || hi == lo))
+        root_body_[static_cast<std::size_t>(v)] =
+            unresolved == 0
+                ? interner.try_intern_node(type_tag::kViewNode,
+                                           edge_ids_.data() + lo, hi - lo)
+                : kNoType;
+      if (!need_states) return;
+      thread_local std::vector<TypeId> tuple;
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        // The state tuple excludes step s, so one unresolved edge blocks
+        // every state of the span except the one that skips it.  A tuple
+        // with a *changed* edge is skipped too -- not for correctness
+        // (Phase B interns anything left at kNoType, in canonical order,
+        // so any subset of Phase A resolutions gives identical ids), but
+        // because such a tuple is almost always novel this round, or a
+        // duplicate of one, and its first occurrence is only interned in
+        // Phase B: the probe would miss.  Unchanged tuples probe, and the
+        // probe is a guaranteed hit (the tuple was interned when this
+        // span was last visited).
+        if (unresolved > (last == s ? 1u : 0u) ||
+            changed > (last_changed == s ? 1u : 0u)) {
+          t_cur_[s] = kNoType;
+          continue;
+        }
+        tuple.resize(hi - lo - 1);
+        std::copy(edge_ids_.begin() + lo, edge_ids_.begin() + s,
+                  tuple.begin());
+        std::copy(edge_ids_.begin() + s + 1, edge_ids_.begin() + hi,
+                  tuple.begin() + (s - lo));
+        t_cur_[s] = interner.try_intern_node(type_tag::kViewNode,
+                                             tuple.data(), tuple.size());
+      }
     };
     if (split) {
-      runtime::for_each_index(
-          active_, [&](std::uint32_t v) { fill_entries(v); });
+      runtime::for_each_index(active_,
+                              [&](std::uint32_t v) { resolve_span(v); });
     } else {
       runtime::parallel_for(
-          n, [&](std::int64_t vi) { fill_entries(static_cast<Vertex>(vi)); });
+          n, [&](std::int64_t vi) { resolve_span(static_cast<Vertex>(vi)); });
     }
   }
+
+  // --- Phase B round-local dedup (see BatchEntry in the header).  Every
+  // serial intern below goes through batch_intern, which pays the real
+  // interner once per *distinct* (tag, children) key this round;
+  // duplicates -- symmetric regions refine in lockstep, so novel tuples
+  // arrive in large duplicate clusters -- verify against the arena copy
+  // by id compare, with no hash-cons probe and no spelling access.  A
+  // local hit is provably an interner hit (its first occurrence was
+  // interned earlier the same round), so the skipped calls cannot
+  // perturb id allocation order.
+  if (need_states || need_roots) {
+    batch_entries_.clear();
+    batch_arena_.clear();
+    if (batch_slots_.size() < 1024)
+      batch_slots_.assign(1024, 0);
+    else
+      std::fill(batch_slots_.begin(), batch_slots_.end(), 0);
+  }
+  const auto batch_intern = [&](std::uint64_t tag, const TypeId* ch,
+                                std::size_t len) {
+    std::uint64_t h = tag * 0x9E3779B97F4A7C15ull + len;
+    for (std::size_t i = 0; i < len; ++i)
+      h ^= ch[i] + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    std::size_t mask = batch_slots_.size() - 1;
+    std::size_t idx = static_cast<std::size_t>(h) & mask;
+    for (;; idx = (idx + 1) & mask) {
+      const std::uint32_t e = batch_slots_[idx];
+      if (e == 0) break;
+      const BatchEntry& be = batch_entries_[e - 1];
+      if (be.hash == h && be.tag == tag && be.len == len &&
+          std::equal(ch, ch + len, batch_arena_.begin() + be.off))
+        return be.id;
+    }
+    const TypeId id = interner.intern_node(tag, ch, len);
+    batch_entries_.push_back({h, tag,
+                              static_cast<std::uint32_t>(batch_arena_.size()),
+                              static_cast<std::uint32_t>(len), id});
+    batch_arena_.insert(batch_arena_.end(), ch, ch + len);
+    batch_slots_[idx] = static_cast<std::uint32_t>(batch_entries_.size());
+    if (2 * batch_entries_.size() > batch_slots_.size()) {
+      batch_slots_.assign(2 * batch_slots_.size(), 0);
+      mask = batch_slots_.size() - 1;
+      for (std::uint32_t i = 0;
+           i < static_cast<std::uint32_t>(batch_entries_.size()); ++i) {
+        std::size_t k =
+            static_cast<std::size_t>(batch_entries_[i].hash) & mask;
+        while (batch_slots_[k] != 0) k = (k + 1) & mask;
+        batch_slots_[k] = i + 1;
+      }
+    }
+    return id;
+  };
+
+  // --- Phase B helper: serially intern an unresolved span -- edge nodes
+  // in step order, then the body tuple -- exactly the calls the serial
+  // rendezvous pass always made at a first occurrence.
+  const auto intern_body = [&](Vertex v) {
+    const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
+    touch_steps(lo, hi);
+    for (std::uint32_t j = lo; j < hi; ++j) {
+      const TypeId sub = t_prev_[step_succ[j]];
+      edge_ids_[j] = batch_intern(step_edge_tag[j], &sub, 1);
+      edge_sub_[j] = sub;
+    }
+    return batch_intern(type_tag::kViewNode, edge_ids_.data() + lo, hi - lo);
+  };
 
   std::vector<TypeId> tmp_edges;
 
@@ -248,16 +365,16 @@ void RefineState::advance() {
     });
     root_distinct = root_rep_.size();
   } else if (split) {
-    // Retirement pass.  The interner is injective on the tuple the
-    // rendezvous key serializes, so equal key bytes <=> equal body id;
-    // the fresh allocations this round are exactly one root node per
-    // distinct body, at the first vertex (in order) producing that body
-    // -- the positions the dense pass's key-byte dedup would intern at.
-    // A retired vertex reuses its cached body and pays one stamped
-    // array probe; no hashing, no per-vertex map.  root_class_/root_rep_
-    // are NOT maintained here: the per-class path is gated on
-    // roots_stable_, which a later dense round (re)establishes along
-    // with the tables.
+    // Retirement pass.  The interner is injective on the serialized body
+    // tuple, so equal bodies <=> equal ids, and the stamped per-round
+    // body -> root memo dedups retired and active vertices alike; the
+    // fresh allocations this round are exactly one root node per distinct
+    // body, at the first vertex (in order) producing that body -- the
+    // positions the dense pass would intern at.  A retired vertex reuses
+    // its cached body and pays one stamped array probe; no hashing, no
+    // per-vertex map.  root_class_/root_rep_ are NOT maintained here: the
+    // per-class path is gated on roots_stable_, which a later dense round
+    // (re)establishes along with the tables.
     ++round_stamp_;
     std::size_t distinct = 0;
     const auto root_of = [&](TypeId body) {
@@ -267,6 +384,7 @@ void RefineState::advance() {
             std::max({b + 1, 2 * body_round_.size(), interner.size()});
         body_round_.resize(grow, 0);
         body_root_.resize(grow);
+        body_cls_.resize(grow);
       }
       if (body_round_[b] != round_stamp_) {
         body_round_[b] = round_stamp_;
@@ -275,67 +393,47 @@ void RefineState::advance() {
       }
       return body_root_[b];
     };
-    RendezvousMap dedup;  // active vertices: entry bytes -> body id
     for (Vertex v = 0; v < n; ++v) {
       if (!active_flag_[static_cast<std::size_t>(v)]) {
         roots[static_cast<std::size_t>(v)] =
             root_of(root_body_[static_cast<std::size_t>(v)]);
         continue;
       }
-      const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
-      const auto key = as_bytes(entries_.data() + lo, hi - lo);
-      if (const auto it = dedup.find(key); it != dedup.end()) {
-        const auto body = static_cast<TypeId>(it->second);
-        root_body_[static_cast<std::size_t>(v)] = body;
-        roots[static_cast<std::size_t>(v)] = root_of(body);
-        continue;
-      }
-      touch_steps(lo, hi);
-      tmp_edges.clear();
-      for (std::uint32_t j = lo; j < hi; ++j) {
-        const TypeId sub = t_prev_[step_succ[j]];
-        tmp_edges.push_back(interner.intern_node(step_edge_tag[j], &sub, 1));
-      }
-      const TypeId body = interner.intern_node(
-          type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
-      root_body_[static_cast<std::size_t>(v)] = body;
+      TypeId body = root_body_[static_cast<std::size_t>(v)];
+      if (body == kNoType)
+        root_body_[static_cast<std::size_t>(v)] = body = intern_body(v);
       roots[static_cast<std::size_t>(v)] = root_of(body);
-      dedup.emplace(std::string(key), body);
     }
     root_distinct = distinct;
     roots_stable_ = false;  // split requires !states_stable_
   } else {
-    RendezvousMap dedup;
+    // Dense pass: one serial walk in vertex order; Phase A already
+    // resolved every body that was interned before this round, so the
+    // rebuilds below cover novel bodies (and vertices racing them to the
+    // same novel body, whose rebuilt calls all hit).  Class labels ride on
+    // body ids through a stamped direct-mapped map.
+    ++round_stamp_;
     root_rep_.clear();
     std::vector<TypeId> class_type;
-    std::vector<TypeId> class_body;  // track: seeds the retirement cache
-    if (track) root_body_.resize(static_cast<std::size_t>(n));
     for (Vertex v = 0; v < n; ++v) {
-      const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
-      const auto key = as_bytes(entries_.data() + lo, hi - lo);
-      if (const auto it = dedup.find(key); it != dedup.end()) {
-        root_class_[static_cast<std::size_t>(v)] = it->second;
-        roots[static_cast<std::size_t>(v)] = class_type[it->second];
-        if (track)
-          root_body_[static_cast<std::size_t>(v)] = class_body[it->second];
-        continue;
+      TypeId body = root_body_[static_cast<std::size_t>(v)];
+      if (body == kNoType)
+        root_body_[static_cast<std::size_t>(v)] = body = intern_body(v);
+      const auto b = static_cast<std::size_t>(body);
+      if (b >= body_round_.size()) {
+        const std::size_t grow =
+            std::max({b + 1, 2 * body_round_.size(), interner.size()});
+        body_round_.resize(grow, 0);
+        body_root_.resize(grow);
+        body_cls_.resize(grow);
       }
-      touch_steps(lo, hi);
-      tmp_edges.clear();
-      for (std::uint32_t j = lo; j < hi; ++j) {
-        const TypeId sub = t_prev_[step_succ[j]];
-        tmp_edges.push_back(interner.intern_node(step_edge_tag[j], &sub, 1));
+      if (body_round_[b] != round_stamp_) {
+        body_round_[b] = round_stamp_;
+        body_cls_[b] = static_cast<std::uint32_t>(class_type.size());
+        class_type.push_back(interner.intern_node(root_tag, &body, 1));
+        root_rep_.push_back(static_cast<std::uint32_t>(v));
       }
-      const TypeId body = interner.intern_node(
-          type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
-      const auto cls = static_cast<std::uint32_t>(class_type.size());
-      class_type.push_back(interner.intern_node(root_tag, &body, 1));
-      if (track) {
-        class_body.push_back(body);
-        root_body_[static_cast<std::size_t>(v)] = body;
-      }
-      root_rep_.push_back(static_cast<std::uint32_t>(v));
-      dedup.emplace(std::string(key), cls);
+      const std::uint32_t cls = body_cls_[b];
       root_class_[static_cast<std::size_t>(v)] = cls;
       roots[static_cast<std::size_t>(v)] = class_type[cls];
     }
@@ -370,15 +468,16 @@ void RefineState::advance() {
                                     static_cast<std::size_t>(s)]];
                           });
   } else if (split) {
-    // Retirement pass: active states run the rendezvous exactly as the
-    // dense pass would (first-occurrence interning in step order over
-    // the active spans; a retired span's tuples are provably cache
-    // hits), retired spans copy forward bitwise.  Stability detection is
+    // Retirement pass: Phase A resolved the previously-seen tuples of the
+    // active spans lock-free; the loop interns only what it left kNoType
+    // (first occurrences in step order; a retired span's tuples are
+    // provably cache hits), and retired spans copy forward bitwise.  The
+    // root pass above interned every edge node of every active span, so
+    // edge_ids_ is fully resolved here.  Stability detection is
     // incremental -- the multiset of current ids, seeded by the last
     // dense track round, is patched only at changed steps -- so a round
-    // costs O(active) hash work, not O(steps).
-    RendezvousMap dedup;  // active states: tuple bytes -> type id
-    std::vector<std::uint64_t> key_scratch;
+    // costs O(active) work, not O(steps).
+    std::vector<TypeId> tuple;
     changed_.assign(static_cast<std::size_t>(n), 0);
     for (Vertex v = 0; v < n; ++v) {
       const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
@@ -389,24 +488,12 @@ void RefineState::advance() {
       }
       bool vchanged = false;
       for (std::uint32_t s = lo; s < hi; ++s) {
-        key_scratch.clear();
-        for (std::uint32_t j = lo; j < hi; ++j)
-          if (j != s) key_scratch.push_back(entries_[j]);
-        const auto key = as_bytes(key_scratch.data(), key_scratch.size());
-        if (const auto it = dedup.find(key); it != dedup.end()) {
-          t_cur_[s] = it->second;
-        } else {
-          touch_steps(lo, hi);
-          tmp_edges.clear();
-          for (std::uint32_t j = lo; j < hi; ++j) {
-            if (j == s) continue;
-            const TypeId sub = t_prev_[step_succ[j]];
-            tmp_edges.push_back(
-                interner.intern_node(step_edge_tag[j], &sub, 1));
-          }
-          t_cur_[s] = interner.intern_node(
-              type_tag::kViewNode, tmp_edges.data(), tmp_edges.size());
-          dedup.emplace(std::string(key), t_cur_[s]);
+        if (t_cur_[s] == kNoType) {
+          tuple.clear();
+          for (std::uint32_t j = lo; j < hi; ++j)
+            if (j != s) tuple.push_back(edge_ids_[j]);
+          t_cur_[s] =
+              batch_intern(type_tag::kViewNode, tuple.data(), tuple.size());
         }
         if (t_cur_[s] != t_prev_[s]) {
           vchanged = true;
@@ -426,59 +513,69 @@ void RefineState::advance() {
     if (states_stable_) {
       // The per-class path takes over next round; rebuild the tables it
       // consumes once, with the dense labelling (first occurrence per id
-      // in step order).
-      std::unordered_map<TypeId, std::uint32_t> cls_of;
+      // in step order) via the stamped id -> class map.
+      ++round_stamp_;
       state_rep_.clear();
       for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(t_cur_.size());
            ++s) {
-        const auto [it, fresh] = cls_of.try_emplace(
-            t_cur_[s], static_cast<std::uint32_t>(state_rep_.size()));
-        if (fresh) state_rep_.push_back(s);
-        state_class_[s] = it->second;
+        const auto id = static_cast<std::size_t>(t_cur_[s]);
+        if (id >= id_round_.size()) {
+          const std::size_t grow =
+              std::max({id + 1, 2 * id_round_.size(), interner.size()});
+          id_round_.resize(grow, 0);
+          id_cls_.resize(grow);
+        }
+        if (id_round_[id] != round_stamp_) {
+          id_round_[id] = round_stamp_;
+          id_cls_[id] = static_cast<std::uint32_t>(state_rep_.size());
+          state_rep_.push_back(s);
+        }
+        state_class_[s] = id_cls_[id];
       }
     }
   } else {
-    RendezvousMap dedup;
+    // Dense pass: intern what Phase A left unresolved, in step order (the
+    // root pass resolved every edge node already, so a state tuple is a
+    // gather over edge_ids_).  Distinct tuples <=> distinct ids (the
+    // interner is injective on the serialized tuple), so class labels ride
+    // on the stamped id -> class map -- no byte keys, no hashing.
+    std::vector<TypeId> tuple;
+    ++round_stamp_;
     state_rep_.clear();
-    std::vector<TypeId> class_type;
-    std::vector<std::uint64_t> key_scratch;
+    std::size_t distinct = 0;
     if (track) changed_.assign(static_cast<std::size_t>(n), 0);
     for (Vertex v = 0; v < n; ++v) {
       const std::uint32_t lo = step_off[v], hi = step_off[v + 1];
       bool vchanged = false;
       for (std::uint32_t s = lo; s < hi; ++s) {
-        key_scratch.clear();
-        for (std::uint32_t j = lo; j < hi; ++j)
-          if (j != s) key_scratch.push_back(entries_[j]);
-        const auto key = as_bytes(key_scratch.data(), key_scratch.size());
-        if (const auto it = dedup.find(key); it != dedup.end()) {
-          state_class_[s] = it->second;
-          t_cur_[s] = class_type[it->second];
-        } else {
-          touch_steps(lo, hi);
-          tmp_edges.clear();
-          for (std::uint32_t j = lo; j < hi; ++j) {
-            if (j == s) continue;
-            const TypeId sub = t_prev_[step_succ[j]];
-            tmp_edges.push_back(
-                interner.intern_node(step_edge_tag[j], &sub, 1));
-          }
-          const auto cls = static_cast<std::uint32_t>(class_type.size());
-          class_type.push_back(interner.intern_node(
-              type_tag::kViewNode, tmp_edges.data(), tmp_edges.size()));
-          state_rep_.push_back(s);
-          dedup.emplace(std::string(key), cls);
-          state_class_[s] = cls;
-          t_cur_[s] = class_type[cls];
+        if (t_cur_[s] == kNoType) {
+          tuple.clear();
+          for (std::uint32_t j = lo; j < hi; ++j)
+            if (j != s) tuple.push_back(edge_ids_[j]);
+          t_cur_[s] =
+              batch_intern(type_tag::kViewNode, tuple.data(), tuple.size());
         }
+        const auto id = static_cast<std::size_t>(t_cur_[s]);
+        if (id >= id_round_.size()) {
+          const std::size_t grow =
+              std::max({id + 1, 2 * id_round_.size(), interner.size()});
+          id_round_.resize(grow, 0);
+          id_cls_.resize(grow);
+        }
+        if (id_round_[id] != round_stamp_) {
+          id_round_[id] = round_stamp_;
+          id_cls_[id] = static_cast<std::uint32_t>(distinct++);
+          state_rep_.push_back(s);
+        }
+        state_class_[s] = id_cls_[id];
         vchanged |= t_cur_[s] != t_prev_[s];
       }
       if (track && vchanged) changed_[static_cast<std::size_t>(v)] = 1;
     }
     // Equal class count + monotone refinement => identical partition, which
     // is then a fixed point of the splitting step: stable forever.
-    states_stable_ = class_type.size() == state_distinct_;
-    state_distinct_ = class_type.size();
+    states_stable_ = distinct == state_distinct_;
+    state_distinct_ = distinct;
     if (track && !states_stable_) {
       // Seed the split rounds' incremental stability detector with this
       // round's id multiset (distinct ids == distinct keys: the interner
@@ -809,7 +906,10 @@ RefineState::DeltaStats RefineState::refine_delta(const LDigraph& g) {
   // Size-only: advance()'s forced-unstable path rewrites every element of
   // these (and of the partition labels) before reading any of them.
   t_cur_.resize(steps);
-  entries_.resize(steps);
+  edge_ids_.resize(steps);
+  // The delta relabels steps, so stale (edge_sub_, edge_ids_) pairs no
+  // longer describe step j's move: drop the memo wholesale.
+  edge_sub_.assign(steps, kNoType);
   reset_partitions();
   return stats;
 }

@@ -227,7 +227,10 @@ core::TypeId ordered_ball_type_id(const Graph& g, const Keys& keys, Vertex v,
   const auto members = graph::ball(g, v, r);
   const auto sb = sorted_ball(members, keys, v);
   const auto edges = collect_edges(g, sb);
-  std::string key;
+  // Reused per thread: the homogeneity counting loop calls this for every
+  // vertex, and the interner never retains the caller's buffer.
+  thread_local std::string key;
+  key.clear();
   key.reserve(1 + 8 + 8 * edges.size());
   key.push_back('\x02');  // domain byte: ordered graph ball
   append_u32(key, static_cast<std::uint32_t>(sb.vertices.size()));
@@ -245,7 +248,8 @@ core::TypeId ordered_ball_type_id(const LDigraph& d, const Keys& keys,
   const auto members = digraph_ball(d, v, r);
   const auto sb = sorted_ball(members, keys, v);
   const auto arcs = collect_arcs(d, sb);
-  std::string key;
+  thread_local std::string key;  // see the Graph overload above
+  key.clear();
   key.reserve(1 + 8 + 12 * arcs.size());
   key.push_back('\x03');  // domain byte: ordered L-digraph ball
   append_u32(key, static_cast<std::uint32_t>(sb.vertices.size()));

@@ -19,8 +19,10 @@
 //    per-index slots (or otherwise synchronized state); which thread runs
 //    an item, and in what order, is unspecified and varies run to run --
 //    outputs must not depend on it.  The refinement engine guarantees this
-//    by interning through rendezvous maps in a serial pass, never from
-//    worker threads (DESIGN.md, "Work-stealing worklist & round barrier").
+//    with the interner's two-phase batch pattern: workers only resolve
+//    already-interned types lock-free (try_intern_node); anything novel is
+//    interned in a serial pass, never from worker threads (DESIGN.md,
+//    "Work-stealing worklist & round barrier").
 //
 // Nested calls and the 1-thread pool degrade to inline serial execution of
 // the same chunks, exactly like parallel_for.

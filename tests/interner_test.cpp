@@ -5,13 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lapx/core/ball.hpp"
 #include "lapx/core/interner.hpp"
+#include "lapx/core/refine.hpp"
 #include "lapx/core/model.hpp"
 #include "lapx/core/pn_view.hpp"
 #include "lapx/core/view.hpp"
@@ -72,6 +75,74 @@ TEST(Interner, StructuralNodesAreDeduplicated) {
   // look similar -- structural keys start with the '\x01' domain byte.
   const TypeId text = interner.intern(interner.spelling(n1).substr(1));
   EXPECT_NE(text, n1);
+}
+
+TEST(Interner, TryInternProbesWithoutInserting) {
+  TypeInterner interner;
+  const TypeId leaf = interner.intern("leaf");
+  EXPECT_EQ(interner.try_intern("absent"), core::kNoType);
+  EXPECT_EQ(interner.try_intern_node(7, &leaf, 1), core::kNoType);
+  EXPECT_EQ(interner.size(), 1u);  // probes never insert
+  const TypeId node = interner.intern_node(7, {leaf});
+  EXPECT_EQ(interner.try_intern("leaf"), leaf);
+  EXPECT_EQ(interner.try_intern_node(7, &leaf, 1), node);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Interner, WideNodesSpillToHeapFramedKeys) {
+  // Node keys above the stack-frame budget take the heap-fallback path;
+  // both must land in the same table entry as a rebuilt identical tuple.
+  TypeInterner interner;
+  const TypeId leaf = interner.intern("leaf");
+  std::vector<TypeId> children(300, leaf);
+  const TypeId wide = interner.intern_node(9, children.data(), children.size());
+  EXPECT_EQ(interner.intern_node(9, children.data(), children.size()), wide);
+  EXPECT_EQ(interner.try_intern_node(9, children.data(), children.size()),
+            wide);
+  EXPECT_EQ(interner.spelling(wide).size(), 1 + 8 + 4 * children.size());
+}
+
+TEST(Interner, SpellingBoundsCheckThrows) {
+  TypeInterner interner;
+  EXPECT_THROW(interner.spelling(0), std::out_of_range);
+  interner.intern("x");
+  EXPECT_NO_THROW(interner.spelling(0));
+  EXPECT_THROW(interner.spelling(1), std::out_of_range);
+  EXPECT_THROW(interner.spelling(core::kNoType), std::out_of_range);
+}
+
+// Strict LAPX_INTERN_SHARDS parser: parse_env_int rules (full consumption,
+// no partial writes) plus the power-of-two constraint sharding needs.
+TEST(ParseInternShards, AcceptsPowersOfTwoInRange) {
+  int v = -1;
+  EXPECT_TRUE(core::detail::parse_intern_shards("1", &v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(core::detail::parse_intern_shards("64", &v));
+  EXPECT_EQ(v, 64);
+  EXPECT_TRUE(core::detail::parse_intern_shards("1024", &v));
+  EXPECT_EQ(v, 1024);
+}
+
+TEST(ParseInternShards, RejectsJunkWithoutWriting) {
+  const auto rejected = [](const char* s) {
+    int v = 12345;  // sentinel: must be untouched on failure
+    const bool ok = core::detail::parse_intern_shards(s, &v);
+    EXPECT_EQ(v, 12345) << "parse_intern_shards wrote on failure for \"" << s
+                        << "\"";
+    return ok;
+  };
+  EXPECT_FALSE(rejected("48"));      // not a power of two
+  EXPECT_FALSE(rejected("0"));       // below range
+  EXPECT_FALSE(rejected("2048"));    // above range
+  EXPECT_FALSE(rejected("-64"));     // negative
+  EXPECT_FALSE(rejected("64x"));     // trailing junk
+  EXPECT_FALSE(rejected("x64"));     // leading junk
+  EXPECT_FALSE(rejected(" 64"));     // leading space
+  EXPECT_FALSE(rejected("64 "));     // trailing space
+  EXPECT_FALSE(rejected(""));        // empty
+  EXPECT_FALSE(rejected(nullptr));   // unset
+  EXPECT_FALSE(rejected("0x40"));    // no hex
+  EXPECT_FALSE(rejected("6.4"));     // not an integer
 }
 
 // The central contract: within one interner, equal TypeId <=> equal
@@ -266,6 +337,123 @@ TEST(Determinism, NestedParallelForRunsInline) {
                           [&](std::int64_t j) { out[i * 64 + j] = 1; });
   });
   for (int x : out) EXPECT_EQ(x, 1);
+}
+
+// --- concurrent churn ---
+//
+// N raw threads hammer one interner with overlapping key universes: every
+// key is interned by several threads concurrently (mixed hit/miss, flat and
+// structural, lock-free probes racing inserts).  Invariants: equal keys got
+// equal ids on every thread, ids are dense in [0, size), and every id maps
+// back to the key that produced it.  Runs under TSan in CI.
+
+class InternerChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(InternerChurn, OverlappingInternsStayConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kUniverse = 512;  // distinct flat keys; every thread sees all
+  TypeInterner interner(GetParam());
+  std::vector<std::vector<TypeId>> flat_ids(
+      kThreads, std::vector<TypeId>(kUniverse, core::kNoType));
+  std::vector<std::vector<TypeId>> node_ids(
+      kThreads, std::vector<TypeId>(kUniverse, core::kNoType));
+  std::atomic<int> start{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Per-thread visit order: overlapping but differently shuffled, so
+      // the same key races hit-path and miss-path threads.
+      std::vector<int> order(kUniverse);
+      std::iota(order.begin(), order.end(), 0);
+      std::mt19937_64 rng(1000 + t);
+      std::shuffle(order.begin(), order.end(), rng);
+      start.fetch_add(1);
+      while (start.load() < kThreads) {}  // line up the stampede
+      for (const int k : order) {
+        const std::string key = "churn:" + std::to_string(k);
+        const TypeId id = interner.intern(key);
+        flat_ids[t][k] = id;
+        // Structural churn on top of the flat id; try-probe then intern
+        // exercises the miss path of the lock-free read.
+        const TypeId probed = interner.try_intern_node(41, &id, 1);
+        const TypeId node = interner.intern_node(41, &id, 1);
+        if (probed != core::kNoType) {
+          EXPECT_EQ(probed, node);
+        }
+        node_ids[t][k] = node;
+        EXPECT_EQ(interner.intern(key), id);  // immediate re-intern: hit
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // No duplicate ids: every thread agrees on every key's id.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(flat_ids[t], flat_ids[0]);
+    EXPECT_EQ(node_ids[t], node_ids[0]);
+  }
+  // Density: exactly one id per distinct key, covering [0, size).
+  EXPECT_EQ(interner.size(), 2u * kUniverse);
+  std::vector<char> seen(interner.size(), 0);
+  for (int k = 0; k < kUniverse; ++k) {
+    ASSERT_LT(flat_ids[0][k], interner.size());
+    ASSERT_LT(node_ids[0][k], interner.size());
+    EXPECT_FALSE(seen[flat_ids[0][k]]++) << "duplicate id";
+    EXPECT_FALSE(seen[node_ids[0][k]]++) << "duplicate id";
+    // The spelling round-trips to the same id (reference-stable storage).
+    EXPECT_EQ(interner.intern(interner.spelling(flat_ids[0][k])),
+              flat_ids[0][k]);
+    EXPECT_EQ(interner.spelling(flat_ids[0][k]),
+              "churn:" + std::to_string(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, InternerChurn,
+                         ::testing::Values(1, 4, 64));
+
+// --- the determinism oracle of the two-phase batch contract ---
+//
+// Refine TypeIds must be byte-identical across every LAPX_THREADS x
+// LAPX_INTERN_SHARDS combination: sharding never changes which id a key
+// gets, and Phase B interns novel types serially in canonical order
+// whatever the worker count.  Compares the full id tables AND the
+// interners' allocation order (id -> spelling) against the 1-thread,
+// 1-shard reference.
+
+TEST(Determinism, RefineIdsIndependentOfThreadsAndShards) {
+  ThreadCountGuard guard;
+  std::mt19937_64 rng(91);
+  const Graph g = random_graph(60, 0.08, rng);
+  const auto pn = graph::PortNumbering::default_for(g);
+  const auto orient = graph::Orientation::default_for(g);
+  const auto ld = graph::to_ldigraph(g, pn, orient, g.max_degree());
+  constexpr int kRadius = 4;
+
+  struct Run {
+    std::vector<std::vector<TypeId>> roots;
+    std::vector<std::string> spellings;
+  };
+  const auto run = [&](int threads, int shards) {
+    runtime::set_thread_count(threads);
+    TypeInterner interner(shards);
+    core::RefineState refiner(ld, interner);
+    Run out;
+    for (int r = 0; r <= kRadius; ++r) out.roots.push_back(refiner.types_at(r));
+    out.spellings.reserve(interner.size());
+    for (TypeId id = 0; id < interner.size(); ++id)
+      out.spellings.push_back(interner.spelling(id));
+    return out;
+  };
+
+  const Run reference = run(1, 1);
+  for (const int threads : {1, 8, 16}) {
+    for (const int shards : {1, 64}) {
+      const Run got = run(threads, shards);
+      EXPECT_EQ(got.roots, reference.roots)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(got.spellings, reference.spellings)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
 }
 
 }  // namespace
